@@ -1,0 +1,58 @@
+"""Ablation: free multi-row placement vs Wu & Chu's even-row restriction.
+
+The paper positions itself against ref [10] (Wu & Chu, TCAD'16), which
+"limits standard cell height [to] two and double-row height cells are
+restricted to be placed on even rows".  MLL has no such restriction;
+this bench measures what the restriction would cost by re-running the
+legalizer with ``double_row_parity=0`` in relaxed power mode (where the
+restriction is the only parity constraint in play).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, suite_names
+from repro.bench import make_benchmark
+from repro.checker import displacement_stats, verify_placement
+from repro.core import Legalizer, LegalizerConfig
+
+
+@pytest.mark.parametrize("name", suite_names())
+@pytest.mark.parametrize("restricted", [False, True])
+def test_double_row_restriction(benchmark, name, restricted):
+    design = make_benchmark(name, scale=bench_scale())
+    cfg = LegalizerConfig(
+        seed=1,
+        power_aligned=False,
+        double_row_parity=0 if restricted else None,
+    )
+
+    def run():
+        design.reset_placement()
+        return Legalizer(design, cfg).run()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_placement(design, power_aligned=False) == []
+    if restricted:
+        for c in design.cells:
+            if c.height == 2:
+                assert c.y % 2 == 0
+    benchmark.extra_info["restricted"] = restricted
+    benchmark.extra_info["avg_disp_sites"] = round(
+        displacement_stats(design).avg_sites, 4
+    )
+
+
+def test_restriction_never_helps():
+    """Free placement dominates the restricted variant on every design."""
+    scale = bench_scale()
+    for name in suite_names():
+        free = make_benchmark(name, scale=scale)
+        Legalizer(free, LegalizerConfig(seed=1, power_aligned=False)).run()
+        restricted = make_benchmark(name, scale=scale)
+        Legalizer(
+            restricted,
+            LegalizerConfig(seed=1, power_aligned=False, double_row_parity=0),
+        ).run()
+        d_free = displacement_stats(free).avg_sites
+        d_res = displacement_stats(restricted).avg_sites
+        assert d_free <= d_res + 0.05, name

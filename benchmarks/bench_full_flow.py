@@ -1,0 +1,66 @@
+"""Full-flow bench: global placement → legalization, end to end.
+
+Measures the complete pipeline the paper's legalizer lives in and
+asserts its signature property: legalizing a *good* (well-spread) global
+placement changes HPWL by well under a percent — the same observation
+Table 1's ΔHPWL column makes about the contest placements.
+"""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, displacement_stats
+from repro.core import Legalizer, LegalizerConfig
+from repro.gp import GlobalPlacerConfig, global_place
+
+
+def netlist_only_design(n, seed):
+    design = generate_design(
+        GeneratorConfig(
+            num_cells=n, target_density=0.45, nets_per_cell=1.2, seed=seed
+        )
+    )
+    for cell in design.cells:
+        cell.gp_x = cell.gp_y = 0.0
+    return design
+
+
+@pytest.mark.parametrize("n", [300, 1000])
+def test_gp_plus_legalization(benchmark, n):
+    design = netlist_only_design(n, seed=7)
+
+    def flow():
+        design.reset_placement()
+        global_place(design, GlobalPlacerConfig(seed=7))
+        return Legalizer(design, LegalizerConfig(seed=7)).run()
+
+    benchmark.pedantic(flow, rounds=1, iterations=1)
+    assert_legal(design)
+    hpwl_gp = design.hpwl_um(use_gp=True)
+    hpwl_legal = design.hpwl_um()
+    benchmark.extra_info["gp_hpwl_cm"] = round(hpwl_gp / 1e4, 4)
+    benchmark.extra_info["legal_hpwl_cm"] = round(hpwl_legal / 1e4, 4)
+    benchmark.extra_info["delta_hpwl_pct"] = round(
+        100 * (hpwl_legal - hpwl_gp) / hpwl_gp, 3
+    )
+    benchmark.extra_info["avg_disp_sites"] = round(
+        displacement_stats(design).avg_sites, 3
+    )
+    # The paper's Table 1 observation, reproduced on our own GP.
+    assert abs(hpwl_legal - hpwl_gp) / hpwl_gp < 0.05
+
+
+def test_gp_quality_vs_synthetic_gp():
+    """Our quadratic GP should legalize about as gently as the
+    calibrated synthetic GP the Table 1 runs use."""
+    synthetic = generate_design(
+        GeneratorConfig(num_cells=600, target_density=0.45, seed=11)
+    )
+    Legalizer(synthetic, LegalizerConfig(seed=11)).run()
+    d_syn = displacement_stats(synthetic).avg_sites
+
+    quad = netlist_only_design(600, seed=11)
+    global_place(quad, GlobalPlacerConfig(seed=11))
+    Legalizer(quad, LegalizerConfig(seed=11)).run()
+    d_quad = displacement_stats(quad).avg_sites
+    assert d_quad < max(8.0, 6 * d_syn)

@@ -1,0 +1,58 @@
+"""Complexity-shape benchmarks for the paper's analytical claims.
+
+* Section 5.1.3: insertion point enumeration is O(|C_W|^h) in the target
+  height h — measured by sweeping the local population at h = 1, 2, 3.
+* Section 5.3: realization is O(|C_W|) — measured via full MLL calls.
+* End-to-end: legalization wall-clock grows near-linearly in the cell
+  count at fixed density (each cell triggers O(1) window work).
+"""
+
+import random
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import verify_placement
+from repro.core import (
+    LegalizerConfig,
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    extract_local_region,
+    legalize,
+)
+from repro.geometry import Rect
+from tests.conftest import random_legal_design
+
+
+@pytest.mark.parametrize("n_cells", [10, 30, 90])
+@pytest.mark.parametrize("height", [1, 2, 3])
+def test_enumeration_scaling(benchmark, n_cells, height):
+    d = random_legal_design(
+        random.Random(7), num_rows=8, row_width=max(30, n_cells * 2),
+        n_cells=n_cells,
+    )
+    fp = d.floorplan
+    region = extract_local_region(d, Rect(0, 0, fp.row_width, fp.num_rows))
+    bounds = compute_bounds(region)
+    feasible, discarded = build_insertion_intervals(region, bounds, 3)
+
+    points = benchmark(
+        enumerate_insertion_points, region, feasible, discarded, height
+    )
+    benchmark.extra_info["local_cells"] = len(region.cells)
+    benchmark.extra_info["num_points"] = len(points)
+
+
+@pytest.mark.parametrize("n_cells", [200, 800, 3200])
+def test_legalizer_scaling(benchmark, n_cells):
+    cfg = GeneratorConfig(num_cells=n_cells, target_density=0.5, seed=3)
+
+    def run():
+        design = generate_design(cfg)
+        legalize(design, LegalizerConfig(seed=3))
+        return design
+
+    design = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_placement(design) == []
+    benchmark.extra_info["num_cells"] = n_cells

@@ -1,0 +1,47 @@
+"""Table 1, power-line-aligned half: Ours vs ILP(-equivalent optimal).
+
+Regenerates, per benchmark, the three reported quantities — average
+displacement in site widths, ΔHPWL %, and runtime — for both the paper's
+algorithm (approximate MLL) and the optimal local legalizer standing in
+for the lpsolve ILP (see DESIGN.md, substitution table).
+
+Run ``python benchmarks/run_table1.py`` for the full formatted
+paper-vs-measured table; these pytest-benchmark entries time the same
+runs and export the quality metrics via ``extra_info``.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, record_quality, suite_names
+from repro.baselines import OptimalLegalizer
+from repro.bench import make_benchmark
+from repro.checker import assert_legal
+from repro.core import Legalizer, LegalizerConfig
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_ours_aligned(benchmark, name):
+    design = make_benchmark(name, scale=bench_scale())
+    cfg = LegalizerConfig(seed=1, power_aligned=True)
+
+    def run():
+        design.reset_placement()
+        return Legalizer(design, cfg).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_legal(design)
+    record_quality(benchmark, design, result)
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_ilp_aligned(benchmark, name):
+    design = make_benchmark(name, scale=bench_scale())
+    cfg = LegalizerConfig(seed=1, power_aligned=True)
+
+    def run():
+        design.reset_placement()
+        return OptimalLegalizer(design, cfg).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_legal(design)
+    record_quality(benchmark, design, result)

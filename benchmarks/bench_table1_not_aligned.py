@@ -1,0 +1,42 @@
+"""Table 1, power-line-not-aligned half: constraint 4 relaxed.
+
+Same protocol as :mod:`benchmarks.bench_table1_aligned` with
+``power_aligned=False`` — any cell may sit on any row (the paper's
+second experiment set).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, record_quality, suite_names
+from repro.baselines import OptimalLegalizer
+from repro.bench import make_benchmark
+from repro.checker import verify_placement
+from repro.core import Legalizer, LegalizerConfig
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_ours_not_aligned(benchmark, name):
+    design = make_benchmark(name, scale=bench_scale())
+    cfg = LegalizerConfig(seed=1, power_aligned=False)
+
+    def run():
+        design.reset_placement()
+        return Legalizer(design, cfg).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_placement(design, power_aligned=False) == []
+    record_quality(benchmark, design, result)
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_ilp_not_aligned(benchmark, name):
+    design = make_benchmark(name, scale=bench_scale())
+    cfg = LegalizerConfig(seed=1, power_aligned=False)
+
+    def run():
+        design.reset_placement()
+        return OptimalLegalizer(design, cfg).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_placement(design, power_aligned=False) == []
+    record_quality(benchmark, design, result)

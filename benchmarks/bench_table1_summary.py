@@ -1,0 +1,110 @@
+"""Table 1 summary rows: normalized averages and the Section 6 text claims.
+
+The paper's aggregate numbers:
+
+* normalized displacement — ILP 0.87 vs ours 1.00 (aligned): "13% better";
+* ILP runtime 185x ours (with lpsolve; our HiGHS MILP reproduces the
+  orders-of-magnitude blow-up, the exhaustive-optimal equivalent does
+  not — both are reported);
+* relaxing power alignment lowers displacement ~40% and ΔHPWL ~50%.
+
+This module computes all of them over the quick suite and stores them in
+``extra_info`` for EXPERIMENTS.md.
+"""
+
+import time
+
+from benchmarks.conftest import bench_scale, suite_names
+from repro.baselines import MilpLegalizer, OptimalLegalizer
+from repro.bench import make_benchmark
+from repro.checker import displacement_stats, hpwl_stats, verify_placement
+from repro.core import Legalizer, LegalizerConfig
+
+
+def _run(design, cls, power_aligned):
+    design.reset_placement()
+    t0 = time.perf_counter()
+    cls(design, LegalizerConfig(seed=1, power_aligned=power_aligned)).run()
+    runtime = time.perf_counter() - t0
+    assert verify_placement(design, power_aligned=power_aligned) == []
+    return (
+        displacement_stats(design).avg_sites,
+        hpwl_stats(design).delta_pct,
+        runtime,
+    )
+
+
+def test_normalized_averages(benchmark):
+    scale = bench_scale()
+    names = suite_names()
+
+    def run():
+        acc = {"ours": [0.0, 0.0, 0.0], "ilp": [0.0, 0.0, 0.0]}
+        for name in names:
+            d = make_benchmark(name, scale=scale)
+            o = _run(d, Legalizer, True)
+            d = make_benchmark(name, scale=scale)
+            i = _run(d, OptimalLegalizer, True)
+            for k in range(3):
+                acc["ours"][k] += o[k]
+                acc["ilp"][k] += i[k]
+        n = len(names)
+        return {k: [v / n for v in vals] for k, vals in acc.items()}
+
+    avg = benchmark.pedantic(run, rounds=1, iterations=1)
+    norm_disp_ilp = avg["ilp"][0] / max(avg["ours"][0], 1e-9)
+    benchmark.extra_info["norm_disp_ilp_vs_ours"] = round(norm_disp_ilp, 3)
+    benchmark.extra_info["avg_disp_ours"] = round(avg["ours"][0], 3)
+    benchmark.extra_info["avg_disp_ilp"] = round(avg["ilp"][0], 3)
+    benchmark.extra_info["avg_dhpwl_ours"] = round(avg["ours"][1], 3)
+    benchmark.extra_info["runtime_ratio_opt"] = round(
+        avg["ilp"][2] / max(avg["ours"][2], 1e-9), 2
+    )
+    # Shape claim: the optimal reference is at least as good on average.
+    assert norm_disp_ilp <= 1.02
+
+
+def test_relaxation_claims(benchmark):
+    scale = bench_scale()
+    names = suite_names()
+
+    def run():
+        sums = {"da": 0.0, "dr": 0.0, "ha": 0.0, "hr": 0.0}
+        for name in names:
+            d = make_benchmark(name, scale=scale)
+            da, ha, _ = _run(d, Legalizer, True)
+            d = make_benchmark(name, scale=scale)
+            dr, hr, _ = _run(d, Legalizer, False)
+            sums["da"] += da
+            sums["dr"] += dr
+            sums["ha"] += abs(ha)
+            sums["hr"] += abs(hr)
+        return sums
+
+    sums = benchmark.pedantic(run, rounds=1, iterations=1)
+    disp_red = 100 * (1 - sums["dr"] / max(sums["da"], 1e-9))
+    hp_red = 100 * (1 - sums["hr"] / max(sums["ha"], 1e-9))
+    benchmark.extra_info["disp_reduction_pct"] = round(disp_red, 2)
+    benchmark.extra_info["dhpwl_reduction_pct"] = round(hp_red, 2)
+    benchmark.extra_info["paper_disp_reduction_pct"] = 42.0
+    benchmark.extra_info["paper_dhpwl_reduction_pct"] = 58.0
+    assert sums["dr"] <= sums["da"]  # relaxing helps in aggregate
+
+
+def test_milp_runtime_blowup(benchmark):
+    """The literal-ILP runtime explosion, on one small benchmark."""
+    name = suite_names()[0]
+    scale = min(bench_scale(), 0.005)  # keep the MILP run tractable
+
+    def run():
+        d = make_benchmark(name, scale=scale)
+        _, _, t_ours = _run(d, Legalizer, True)
+        d = make_benchmark(name, scale=scale)
+        _, _, t_milp = _run(d, MilpLegalizer, True)
+        return t_ours, t_milp
+
+    t_ours, t_milp = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = t_milp / max(t_ours, 1e-9)
+    benchmark.extra_info["runtime_ratio_milp"] = round(ratio, 1)
+    benchmark.extra_info["paper_runtime_ratio"] = 185.0
+    assert ratio > 3  # the blow-up direction must reproduce

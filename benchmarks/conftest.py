@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — cell-count scale vs the paper's benchmarks
+  (default 0.02 = 1/50; the paper's counts would take hours in Python).
+* ``REPRO_BENCH_FULL=1`` — run all twenty Table 1 designs instead of the
+  four-design quick suite.
+
+Every benchmark registers its quality numbers (displacement, ΔHPWL,
+violations) in ``benchmark.extra_info`` so the pytest-benchmark JSON
+export carries the full Table 1 payload, not just runtimes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.ispd2015 import QUICK_SUITE, benchmark_names
+
+
+def bench_scale() -> float:
+    """Cell-count scale for generated benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+def suite_names() -> list[str]:
+    """Benchmarks to run: quick subset by default, all 20 when asked."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return benchmark_names()
+    return list(QUICK_SUITE)
+
+
+def record_quality(benchmark, design, result=None) -> None:
+    """Attach displacement/HPWL/legality to the benchmark record."""
+    from repro.checker import displacement_stats, hpwl_stats, verify_placement
+
+    disp = displacement_stats(design)
+    hp = hpwl_stats(design)
+    benchmark.extra_info["avg_disp_sites"] = round(disp.avg_sites, 4)
+    benchmark.extra_info["delta_hpwl_pct"] = round(hp.delta_pct, 4)
+    benchmark.extra_info["violations"] = len(
+        verify_placement(design, require_all_placed=False)
+    )
+    benchmark.extra_info["num_cells"] = len(design.cells)
+    if result is not None and hasattr(result, "mll_calls"):
+        benchmark.extra_info["mll_calls"] = result.mll_calls
+
+
+@pytest.fixture
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Generate an evaluation report: Table 1 data, scaling/ablation curves,
+telemetry histograms and placement snapshots, as SVG figures plus a
+Markdown index.
+
+Usage::
+
+    python benchmarks/make_report.py [--out report] [--scale 0.02] [--full]
+
+This is the "regenerate the paper's figures" endpoint: bar charts of
+displacement per benchmark (ours vs ILP vs paper), the relaxation
+comparison, the window/evaluation ablations, the scaling curves, the
+MLL telemetry distributions, and a before/after placement picture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.baselines import OptimalLegalizer
+from repro.bench import PAPER_TABLE1, GeneratorConfig, generate_design, make_benchmark
+from repro.bench.ispd2015 import QUICK_SUITE, benchmark_names
+from repro.checker import displacement_stats, verify_placement
+from repro.core import EvaluationMode, Legalizer, LegalizerConfig
+from repro.core.instrumentation import MllTelemetry
+from repro.geometry import Rect
+from repro.viz import Series, bar_chart, histogram_chart, line_chart, render_svg
+
+
+def run(design, cls, power_aligned=True, seed=1, telemetry=None):
+    design.reset_placement()
+    lg = cls(design, LegalizerConfig(seed=seed, power_aligned=power_aligned))
+    if telemetry is not None:
+        lg.mll.telemetry = telemetry
+    t0 = time.perf_counter()
+    lg.run()
+    runtime = time.perf_counter() - t0
+    assert verify_placement(design, power_aligned=power_aligned) == []
+    return displacement_stats(design).avg_sites, runtime
+
+
+def fig_table1(out: str, names: list[str], scale: float, lines: list[str]) -> None:
+    ours, ilp, paper_ours, paper_ilp, relaxed = [], [], [], [], []
+    for name in names:
+        d = make_benchmark(name, scale=scale)
+        disp, _ = run(d, Legalizer)
+        ours.append(disp)
+        d = make_benchmark(name, scale=scale)
+        disp, _ = run(d, OptimalLegalizer)
+        ilp.append(disp)
+        d = make_benchmark(name, scale=scale)
+        disp, _ = run(d, Legalizer, power_aligned=False)
+        relaxed.append(disp)
+        paper_ours.append(PAPER_TABLE1[name].aligned.ours_disp_sites)
+        paper_ilp.append(PAPER_TABLE1[name].aligned.ilp_disp_sites)
+    bar_chart(
+        "Table 1: average displacement (power-line aligned)",
+        names,
+        [
+            Series("ours (measured)", ours),
+            Series("ILP/opt (measured)", ilp),
+            Series("ours (paper)", paper_ours),
+            Series("ILP (paper)", paper_ilp),
+        ],
+        ylabel="sites",
+        path=os.path.join(out, "table1_displacement.svg"),
+    )
+    bar_chart(
+        "Power-rail relaxation (Section 6)",
+        names,
+        [
+            Series("aligned", ours),
+            Series("relaxed", relaxed),
+        ],
+        ylabel="sites",
+        path=os.path.join(out, "relaxation.svg"),
+    )
+    lines.append("## Table 1\n")
+    lines.append("![Table 1](table1_displacement.svg)\n")
+    lines.append("![Relaxation](relaxation.svg)\n")
+
+
+def fig_scaling(out: str, lines: list[str]) -> None:
+    sizes = [200, 500, 1200, 3000]
+    times = []
+    for n in sizes:
+        d = generate_design(
+            GeneratorConfig(num_cells=n, target_density=0.5, seed=3)
+        )
+        _, t = run(d, Legalizer, seed=3)
+        times.append(max(t, 1e-3))
+    line_chart(
+        "Legalization runtime scaling",
+        [float(s) for s in sizes],
+        [Series("ours", times)],
+        ylabel="seconds",
+        xlabel="cells",
+        log_x=True,
+        log_y=True,
+        path=os.path.join(out, "scaling.svg"),
+    )
+    lines.append("## Scaling\n")
+    lines.append("![Scaling](scaling.svg)\n")
+
+
+def fig_window_ablation(out: str, scale: float, lines: list[str]) -> None:
+    windows = [(5, 1), (15, 3), (30, 5), (60, 8)]
+    disp, times = [], []
+    for rx, ry in windows:
+        d = make_benchmark("fft_1", scale=scale)
+        d.reset_placement()
+        lg = Legalizer(d, LegalizerConfig(seed=1, rx=rx, ry=ry))
+        t0 = time.perf_counter()
+        lg.run()
+        times.append(time.perf_counter() - t0)
+        disp.append(displacement_stats(d).avg_sites)
+    xs = [float(rx) for rx, _ in windows]
+    line_chart(
+        "Window-size ablation (fft_1): paper's Rx=30 on the plateau",
+        xs,
+        [Series("displacement (sites)", disp)],
+        ylabel="sites",
+        xlabel="Rx (Ry scales with it)",
+        path=os.path.join(out, "window_ablation.svg"),
+    )
+    line_chart(
+        "Window-size ablation: runtime",
+        xs,
+        [Series("runtime (s)", times)],
+        ylabel="seconds",
+        xlabel="Rx",
+        path=os.path.join(out, "window_runtime.svg"),
+    )
+    lines.append("## Window ablation\n")
+    lines.append("![Window quality](window_ablation.svg)\n")
+    lines.append("![Window runtime](window_runtime.svg)\n")
+
+
+def fig_telemetry(out: str, scale: float, lines: list[str]) -> None:
+    d = make_benchmark("fft_1", scale=scale)
+    tel = MllTelemetry()
+    run(d, Legalizer, telemetry=tel)
+    if tel.records:
+        histogram_chart(
+            "Insertion points per MLL call (fft_1)",
+            tel.histogram("insertion_points", bins=12),
+            path=os.path.join(out, "telemetry_points.svg"),
+        )
+        histogram_chart(
+            "Local cells per MLL window (fft_1)",
+            tel.histogram("local_cells", bins=12),
+            path=os.path.join(out, "telemetry_cells.svg"),
+        )
+        lines.append("## MLL telemetry\n")
+        lines.append(f"`{tel.summary()}`\n")
+        lines.append("![Insertion points](telemetry_points.svg)\n")
+        lines.append("![Window population](telemetry_cells.svg)\n")
+
+
+def fig_placement(out: str, lines: list[str]) -> None:
+    d = generate_design(
+        GeneratorConfig(
+            num_cells=160, target_density=0.6, double_row_fraction=0.15, seed=8
+        )
+    )
+    run(d, Legalizer, seed=8)
+    render_svg(
+        d,
+        window=Rect(0, 0, min(70, d.floorplan.row_width), d.floorplan.num_rows),
+        show_gp=True,
+        show_labels=False,
+        path=os.path.join(out, "placement.svg"),
+    )
+    lines.append("## Placement snapshot\n")
+    lines.append(
+        "Dashed boxes are global-placement positions; red whiskers show "
+        "each cell's displacement.\n"
+    )
+    lines.append("![Placement](placement.svg)\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="report")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args(argv)
+    os.makedirs(args.out, exist_ok=True)
+
+    names = benchmark_names() if args.full else list(QUICK_SUITE)
+    lines = ["# Evaluation report\n"]
+    fig_table1(args.out, names, args.scale, lines)
+    fig_scaling(args.out, lines)
+    fig_window_ablation(args.out, args.scale, lines)
+    fig_telemetry(args.out, args.scale, lines)
+    fig_placement(args.out, lines)
+    with open(os.path.join(args.out, "index.md"), "w") as f:
+        f.write("\n".join(lines))
+    print(f"report written to {args.out}/index.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

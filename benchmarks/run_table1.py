@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Standalone Table 1 reproduction: formatted paper-vs-measured output.
+
+Usage::
+
+    python benchmarks/run_table1.py                 # quick 4-design suite
+    python benchmarks/run_table1.py --full          # all 20 designs
+    python benchmarks/run_table1.py --scale 0.05    # bigger instances
+    python benchmarks/run_table1.py --milp          # true MILP as the ILP
+                                                    # column (very slow)
+
+For every benchmark and both power-alignment modes, runs "Ours" (the
+paper's algorithm: approximate MLL evaluation) and the ILP reference
+(optimal local legalization; optionally the literal HiGHS MILP), then
+prints measured average displacement (sites), ΔHPWL (%), runtime (s) —
+side by side with the values the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.baselines import MilpLegalizer, OptimalLegalizer
+from repro.bench import PAPER_TABLE1, make_benchmark
+from repro.bench.ispd2015 import QUICK_SUITE, benchmark_names
+from repro.checker import displacement_stats, hpwl_stats, verify_placement
+from repro.core import Legalizer, LegalizerConfig
+
+
+def run_one(design, legalizer_cls, power_aligned, seed=1, **kwargs):
+    """Legalize a fresh copy of *design*'s placement; return metrics."""
+    design.reset_placement()
+    cfg = LegalizerConfig(seed=seed, power_aligned=power_aligned)
+    t0 = time.perf_counter()
+    legalizer_cls(design, cfg, **kwargs).run()
+    runtime = time.perf_counter() - t0
+    violations = verify_placement(design, power_aligned=power_aligned)
+    if violations:
+        raise RuntimeError(f"{design.name}: {len(violations)} violations")
+    return {
+        "disp": displacement_stats(design).avg_sites,
+        "dhpwl": hpwl_stats(design).delta_pct,
+        "time": runtime,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="all 20 designs")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument(
+        "--milp",
+        action="store_true",
+        help="use the literal MILP as the ILP column (100x slower)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    names = benchmark_names() if args.full else list(QUICK_SUITE)
+    ilp_cls = MilpLegalizer if args.milp else OptimalLegalizer
+    ilp_label = "MILP" if args.milp else "OPT"
+
+    header = (
+        f"{'benchmark':<16s}{'mode':<9s}"
+        f"{'ours.disp':>10s}{'paper':>7s}"
+        f"{'ilp.disp':>10s}{'paper':>7s}"
+        f"{'ours.dH%':>9s}{'paper':>7s}"
+        f"{'t.ours':>8s}{'t.ilp':>8s}{'ratio':>7s}"
+    )
+    print(f"Table 1 reproduction  (scale={args.scale}, ILP column = {ilp_label})")
+    print(header)
+    print("-" * len(header))
+
+    sums = {
+        (mode, col): 0.0
+        for mode in ("aligned", "relaxed")
+        for col in ("ours_disp", "ilp_disp", "ours_dh", "ilp_dh", "ours_t", "ilp_t")
+    }
+    for name in names:
+        paper = PAPER_TABLE1[name]
+        for mode, aligned in (("aligned", True), ("relaxed", False)):
+            design = make_benchmark(name, scale=args.scale)
+            ours = run_one(design, Legalizer, aligned, seed=args.seed)
+            design = make_benchmark(name, scale=args.scale)
+            ilp = run_one(design, ilp_cls, aligned, seed=args.seed)
+            side = paper.aligned if aligned else paper.relaxed
+            ratio = ilp["time"] / max(ours["time"], 1e-9)
+            print(
+                f"{name:<16s}{mode:<9s}"
+                f"{ours['disp']:>10.2f}{side.ours_disp_sites:>7.2f}"
+                f"{ilp['disp']:>10.2f}{side.ilp_disp_sites:>7.2f}"
+                f"{ours['dhpwl']:>9.2f}{side.ours_dhpwl_pct:>7.2f}"
+                f"{ours['time']:>8.2f}{ilp['time']:>8.2f}{ratio:>7.1f}"
+            )
+            sums[(mode, "ours_disp")] += ours["disp"]
+            sums[(mode, "ilp_disp")] += ilp["disp"]
+            sums[(mode, "ours_dh")] += ours["dhpwl"]
+            sums[(mode, "ilp_dh")] += ilp["dhpwl"]
+            sums[(mode, "ours_t")] += ours["time"]
+            sums[(mode, "ilp_t")] += ilp["time"]
+
+    n = len(names)
+    print("-" * len(header))
+    for mode in ("aligned", "relaxed"):
+        od, id_ = sums[(mode, "ours_disp")] / n, sums[(mode, "ilp_disp")] / n
+        ot, it = sums[(mode, "ours_t")] / n, sums[(mode, "ilp_t")] / n
+        print(
+            f"{'AVG':<16s}{mode:<9s}"
+            f"{od:>10.2f}{'':>7s}{id_:>10.2f}{'':>7s}"
+            f"{sums[(mode, 'ours_dh')] / n:>9.2f}{'':>7s}"
+            f"{ot:>8.2f}{it:>8.2f}{it / max(ot, 1e-9):>7.1f}"
+        )
+    print()
+    a_gain = 1 - sums[("aligned", "ilp_disp")] / max(sums[("aligned", "ours_disp")], 1e-9)
+    print(
+        f"ILP displacement advantage (aligned): {100 * a_gain:.1f}%  "
+        f"(paper: 13%)"
+    )
+    for mode in ("aligned",):
+        r = sums[(mode, "ilp_t")] / max(sums[(mode, "ours_t")], 1e-9)
+        print(
+            f"ILP/ours runtime ratio ({mode}): {r:.1f}x  "
+            f"(paper with lpsolve: 185x; with the exhaustive-optimal "
+            f"equivalent this is expected to be far smaller — pass "
+            f"--milp for the literal ILP)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Buffer insertion with local legalization (paper Section 1).
+
+Finds the longest nets of a legalized design and splits each with a
+buffer placed at the sinks' centroid; MLL clears space for every new
+buffer locally, so the placement never goes illegal and the rest of the
+design barely moves.
+
+Run::
+
+    python examples/buffer_insertion.py
+"""
+
+from repro import LegalizerConfig, legalize
+from repro.apps import insert_buffer
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal
+
+
+def main() -> None:
+    design = generate_design(
+        GeneratorConfig(
+            num_cells=1500,
+            target_density=0.55,
+            nets_per_cell=1.4,
+            max_net_degree=6,
+            seed=23,
+            name="buffering",
+        )
+    )
+    config = LegalizerConfig(seed=23)
+    legalize(design, config)
+    assert_legal(design)
+    hpwl_before = design.hpwl_um()
+    cells_before = len(design.cells)
+
+    buffer_master = design.library.get_or_create(1, 1)
+    longest = sorted(design.netlist, key=lambda n: -sum(n.hpwl_sites()))[:25]
+    inserted = 0
+    for net in longest:
+        result = insert_buffer(design, net, buffer_master, config)
+        if result.success:
+            inserted += 1
+            assert_legal(design)  # legal after every insertion
+
+    print(f"nets buffered:   {inserted}/25")
+    print(f"cells added:     {len(design.cells) - cells_before}")
+    print(f"HPWL before:     {hpwl_before / 1e4:.3f} cm")
+    print(f"HPWL after:      {design.hpwl_um() / 1e4:.3f} cm")
+    print("(buffers add pins; the point is legality, not HPWL gain)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Detailed placement with instant legalization (paper Section 1).
+
+Legalizes a design, then runs a greedy HPWL-improvement pass where each
+cell is moved toward the median of its nets' bounding boxes through MLL
+— every intermediate placement stays legal, the property the paper's
+refs [11]/[12] call *instant legalization* and which MLL extends to
+multi-row cells.
+
+Run::
+
+    python examples/detailed_placement.py
+"""
+
+from repro import LegalizerConfig, legalize
+from repro.apps import improve_hpwl
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal
+
+
+def main() -> None:
+    design = generate_design(
+        GeneratorConfig(
+            num_cells=1500,
+            target_density=0.45,
+            double_row_fraction=0.12,
+            nets_per_cell=1.3,
+            seed=7,
+            name="detailed",
+        )
+    )
+    config = LegalizerConfig(seed=7)
+    result = legalize(design, config)
+    assert_legal(design)
+    print(
+        f"legalized {result.placed} cells in {result.runtime_s:.2f}s, "
+        f"HPWL = {design.hpwl_um() / 1e4:.3f} cm"
+    )
+
+    for p in range(1, 4):
+        stats = improve_hpwl(design, config, passes=1)
+        assert_legal(design)  # instant legalization: legal after every pass
+        print(
+            f"pass {p}: tried {stats.moves_tried} moves, kept "
+            f"{stats.moves_kept}, HPWL {stats.hpwl_after_um / 1e4:.3f} cm "
+            f"({stats.improvement_pct:+.2f}% vs pass start)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The complete placement flow: netlist → global placement → MLL
+legalization → detailed placement → sign-off files.
+
+This is the pipeline the paper's legalizer sits inside.  The quadratic
+global placer stands in for the contest placers the paper took its
+inputs from (DESIGN.md, substitutions).
+
+Run::
+
+    python examples/full_flow.py [output_dir]
+"""
+
+import sys
+import tempfile
+
+from repro import LegalizerConfig, legalize
+from repro.apps import improve_hpwl
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, displacement_stats
+from repro.gp import GlobalPlacerConfig, global_place
+from repro.io import write_lefdef
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp()
+
+    # 1. A netlisted design.  The generator's synthetic GP is discarded —
+    #    this flow derives placement from the netlist alone.
+    design = generate_design(
+        GeneratorConfig(
+            num_cells=1500,
+            target_density=0.45,
+            double_row_fraction=0.12,
+            nets_per_cell=1.3,
+            seed=77,
+            name="fullflow",
+        )
+    )
+    for cell in design.cells:
+        cell.gp_x = cell.gp_y = 0.0
+    print(f"netlist: {len(design.cells)} cells, {len(design.netlist)} nets")
+
+    # 2. Global placement.
+    global_place(design, GlobalPlacerConfig(seed=77))
+    print(f"global placement HPWL: {design.hpwl_um(use_gp=True) / 1e4:.3f} cm")
+
+    # 3. Legalization (the paper's algorithm).
+    config = LegalizerConfig(seed=77)
+    result = legalize(design, config)
+    assert_legal(design)
+    disp = displacement_stats(design)
+    print(
+        f"legalized in {result.runtime_s:.2f}s: "
+        f"disp {disp.avg_sites:.2f} sites, "
+        f"HPWL {design.hpwl_um() / 1e4:.3f} cm "
+        f"({result.mll_successes} MLL calls, {result.rounds} retry rounds)"
+    )
+
+    # 4. One detailed-placement pass with instant legalization.
+    stats = improve_hpwl(design, config, passes=1)
+    assert_legal(design)
+    print(
+        f"detailed placement: {stats.moves_kept}/{stats.moves_tried} moves "
+        f"kept, HPWL {design.hpwl_um() / 1e4:.3f} cm "
+        f"({stats.improvement_pct:+.1f}%)"
+    )
+
+    # 5. Sign-off: write LEF/DEF.
+    lef, def_ = write_lefdef(design, out_dir)
+    print(f"wrote {lef}")
+    print(f"wrote {def_}")
+
+
+if __name__ == "__main__":
+    main()

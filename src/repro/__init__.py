@@ -1,0 +1,74 @@
+"""repro — multi-row height standard cell legalization.
+
+A from-scratch reproduction of *"Legalization Algorithm for Multiple-Row
+Height Standard Cell Design"* (W.-K. Chow, C.-W. Pui, E. F. Y. Young,
+DAC 2016): the Multi-row Local Legalization (MLL) algorithm, the
+Algorithm-1 driver around it, the placement database they operate on,
+optimal/classic baselines, and an ISPD2015-style synthetic benchmark
+suite reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import LegalizerConfig, legalize
+    from repro.bench import GeneratorConfig, generate_design
+
+    design = generate_design(GeneratorConfig(num_cells=2000, seed=1))
+    result = legalize(design, LegalizerConfig(seed=1))
+
+    from repro.checker import assert_legal, make_report
+    assert_legal(design)
+    print(make_report(design, result.runtime_s).row())
+"""
+
+from repro.checker import assert_legal, make_report, verify_placement
+from repro.core import (
+    EvaluationMode,
+    LegalizationError,
+    LegalizationResult,
+    Legalizer,
+    LegalizerConfig,
+    MultiRowLocalLegalizer,
+    legalize,
+)
+from repro.db import (
+    Cell,
+    CellMaster,
+    Design,
+    Floorplan,
+    Library,
+    Net,
+    Netlist,
+    Pin,
+    PinOffset,
+    Rail,
+    Row,
+    Segment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cell",
+    "CellMaster",
+    "Design",
+    "EvaluationMode",
+    "Floorplan",
+    "LegalizationError",
+    "LegalizationResult",
+    "Legalizer",
+    "LegalizerConfig",
+    "Library",
+    "MultiRowLocalLegalizer",
+    "Net",
+    "Netlist",
+    "Pin",
+    "PinOffset",
+    "Rail",
+    "Row",
+    "Segment",
+    "assert_legal",
+    "legalize",
+    "make_report",
+    "verify_placement",
+    "__version__",
+]

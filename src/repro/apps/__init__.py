@@ -1,0 +1,27 @@
+"""Applications of MLL as an *instant legalization* primitive.
+
+The paper motivates MLL with incremental flows where every intermediate
+placement must stay legal (Section 1): detailed-placement cell moves,
+gate sizing, and buffer insertion.  Each module here implements one of
+those flows on top of :class:`~repro.core.mll.MultiRowLocalLegalizer`:
+
+* :mod:`repro.apps.local_move` — single-cell moves with rollback and a
+  median-improvement detailed placement pass,
+* :mod:`repro.apps.sizing` — cell resizing with local re-legalization,
+* :mod:`repro.apps.buffering` — buffer insertion into nets with local
+  legalization of the new cell.
+"""
+
+from repro.apps.buffering import insert_buffer
+from repro.apps.local_move import improve_hpwl, move_cell
+from repro.apps.sizing import resize_cell
+from repro.apps.swap import swap_cells, swap_pass
+
+__all__ = [
+    "improve_hpwl",
+    "insert_buffer",
+    "move_cell",
+    "resize_cell",
+    "swap_cells",
+    "swap_pass",
+]

@@ -1,0 +1,80 @@
+"""Buffer insertion with local legalization (paper Section 1).
+
+A buffer splits a net: the driver-side pins keep the original net, the
+buffered sinks move to a new net through the buffer.  The freshly created
+buffer cell overlaps whatever sits at the desired location; MLL clears
+the spot locally.  On failure the netlist is left untouched and the
+buffer cell is discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LegalizerConfig
+from repro.core.mll import MultiRowLocalLegalizer
+from repro.db.cell import Cell
+from repro.db.design import Design
+from repro.db.library import CellMaster
+from repro.db.netlist import Net, Pin
+
+
+@dataclass(frozen=True, slots=True)
+class BufferResult:
+    """Outcome of one buffer insertion."""
+
+    success: bool
+    buffer: Cell | None = None
+    driver_net: Net | None = None
+    sink_net: Net | None = None
+
+
+def insert_buffer(
+    design: Design,
+    net: Net,
+    buffer_master: CellMaster,
+    config: LegalizerConfig | None = None,
+    split_at: int = 1,
+    position: tuple[float, float] | None = None,
+) -> BufferResult:
+    """Insert a buffer into *net*, legalizing it locally.
+
+    ``split_at`` partitions the pin list: pins[:split_at] stay on the
+    driver-side net, pins[split_at:] are re-routed through the buffer.
+    ``position`` defaults to the centroid of the re-routed pins.
+    """
+    if net not in design.netlist.nets:
+        raise ValueError(f"net {net.name!r} is not in the design")
+    if not 1 <= split_at < len(net.pins):
+        raise ValueError("split_at must leave pins on both sides")
+
+    sink_pins = net.pins[split_at:]
+    if position is None:
+        px = sum(p.position()[0] for p in sink_pins) / len(sink_pins)
+        py = sum(p.position()[1] for p in sink_pins) / len(sink_pins)
+        position = (px - buffer_master.width / 2, py - buffer_master.height / 2)
+
+    buffer = design.add_cell(
+        buffer_master,
+        gp_x=position[0],
+        gp_y=position[1],
+        name=f"buf_{net.name}",
+    )
+    mll = MultiRowLocalLegalizer(design, config)
+    if not mll.try_place(buffer, position[0], position[1]).success:
+        design.cells.remove(buffer)
+        return BufferResult(success=False)
+
+    buf_pin_out = Pin(
+        cell=buffer, dx=buffer.width / 2, dy=buffer.height / 2
+    )
+    driver_net = Net(
+        name=f"{net.name}_drv", pins=net.pins[:split_at] + (buf_pin_out,)
+    )
+    sink_net = Net(name=f"{net.name}_buf", pins=(buf_pin_out,) + sink_pins)
+    design.netlist.nets.remove(net)
+    design.netlist.add(driver_net)
+    design.netlist.add(sink_net)
+    return BufferResult(
+        success=True, buffer=buffer, driver_net=driver_net, sink_net=sink_net
+    )

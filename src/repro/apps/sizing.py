@@ -1,0 +1,59 @@
+"""Gate sizing with local re-legalization (paper Section 1).
+
+After a timing engine decides to up- or down-size a gate, the new
+footprint usually overlaps neighbors; MLL re-legalizes the neighborhood
+locally instead of re-running global legalization.  ``resize_cell``
+performs the swap transactionally: on failure the old master and
+position are restored.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import LegalizerConfig
+from repro.core.mll import MultiRowLocalLegalizer
+from repro.db.cell import Cell
+from repro.db.design import Design
+from repro.db.library import CellMaster
+
+
+def resize_cell(
+    design: Design,
+    cell: Cell,
+    new_master: CellMaster,
+    config: LegalizerConfig | None = None,
+) -> bool:
+    """Swap *cell*'s master and re-legalize it near its old position.
+
+    Returns True on success.  On failure the design is unchanged (old
+    master, old position).  The cell may legally shift or change rows —
+    whatever the cheapest insertion point dictates.
+    """
+    if not cell.is_placed:
+        raise ValueError(f"cell {cell.name!r} must be placed to be resized")
+    old_master = cell.master
+    old_x, old_y = cell.x, cell.y
+    assert old_x is not None and old_y is not None
+
+    design.unplace(cell)
+    cell.master = new_master
+    mll = MultiRowLocalLegalizer(design, config)
+    if mll.try_place(cell, old_x, old_y).success:
+        return True
+    cell.master = old_master
+    design.place(cell, old_x, old_y, power_aligned=False)
+    return False
+
+
+def upsize_sweep(
+    design: Design,
+    candidates: list[tuple[Cell, CellMaster]],
+    config: LegalizerConfig | None = None,
+) -> int:
+    """Apply a list of (cell, new master) sizing decisions; returns the
+    number of successful swaps.  Failed swaps leave their cell untouched,
+    mirroring how a sizing loop would skip unplaceable upsizes."""
+    done = 0
+    for cell, master in candidates:
+        if resize_cell(design, cell, master, config):
+            done += 1
+    return done

@@ -1,0 +1,154 @@
+"""Global swap with instant legalization.
+
+Classic detailed placement move: two cells trade neighborhoods when the
+trade reduces HPWL.  With multi-row cells the two footprints rarely
+match, so a literal position swap is illegal; instead each cell is
+re-inserted near the other's old spot through MLL, which absorbs the
+footprint mismatch by local pushes.  The whole swap is transactional —
+a full position snapshot is restored when either insertion fails or the
+HPWL does not improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LegalizerConfig
+from repro.core.mll import MultiRowLocalLegalizer
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+def swap_cells(
+    design: Design,
+    a: Cell,
+    b: Cell,
+    config: LegalizerConfig | None = None,
+) -> bool:
+    """Swap the neighborhoods of placed cells *a* and *b*.
+
+    Returns True when both cells were re-placed near each other's old
+    positions; on any failure the design is restored exactly.
+    """
+    if not a.is_placed or not b.is_placed:
+        raise ValueError("both cells must be placed to swap")
+    if a is b:
+        raise ValueError("cannot swap a cell with itself")
+    if a.region != b.region:
+        return False  # fence membership cannot change in a swap
+    snapshot = design.snapshot_positions()
+    ax, ay = float(a.x), float(a.y)  # type: ignore[arg-type]
+    bx, by = float(b.x), float(b.y)  # type: ignore[arg-type]
+    mll = MultiRowLocalLegalizer(design, config)
+    design.unplace(a)
+    design.unplace(b)
+    if mll.try_place(a, bx, by).success and mll.try_place(b, ax, ay).success:
+        return True
+    design.restore_positions(snapshot)
+    return False
+
+
+@dataclass(frozen=True, slots=True)
+class SwapStats:
+    """Outcome of one :func:`swap_pass` run."""
+
+    pairs_tried: int
+    swaps_kept: int
+    hpwl_before_um: float
+    hpwl_after_um: float
+
+    @property
+    def improvement_pct(self) -> float:
+        """HPWL reduction in percent."""
+        if self.hpwl_before_um == 0:
+            return 0.0
+        return (
+            100.0
+            * (self.hpwl_before_um - self.hpwl_after_um)
+            / self.hpwl_before_um
+        )
+
+
+def _optimal_center(design: Design, cell: Cell) -> tuple[float, float] | None:
+    """Median of the cell's nets' bounding boxes, cell excluded."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for net in design.netlist:
+        others = [p for p in net.pins if p.cell is not cell]
+        if len(others) == len(net.pins) or not others:
+            continue
+        px = [p.position()[0] for p in others]
+        py = [p.position()[1] for p in others]
+        xs.extend((min(px), max(px)))
+        ys.extend((min(py), max(py)))
+    if not xs:
+        return None
+    xs.sort()
+    ys.sort()
+    return xs[(len(xs) - 1) // 2], ys[(len(ys) - 1) // 2]
+
+
+def swap_pass(
+    design: Design,
+    config: LegalizerConfig | None = None,
+    max_pairs: int | None = None,
+    search_radius: float = 8.0,
+) -> SwapStats:
+    """One global-swap pass: each cell seeks a partner near its optimal
+    region; a swap is kept only when measured HPWL improves.
+
+    Every intermediate placement is legal (swap transactionality).
+    """
+    hpwl_before = design.hpwl_um()
+    hpwl_now = hpwl_before
+    tried = kept = 0
+    cells = [c for c in design.movable_cells() if c.is_placed]
+    from repro.geometry import Rect
+
+    for cell in cells:
+        if max_pairs is not None and tried >= max_pairs:
+            break
+        target = _optimal_center(design, cell)
+        if target is None:
+            continue
+        assert cell.x is not None and cell.y is not None
+        if (
+            abs(target[0] - (cell.x + cell.width / 2)) < 2
+            and abs(target[1] - (cell.y + cell.height / 2)) < 1
+        ):
+            continue  # already near-optimal
+        # A partner: a movable cell near the optimal region.
+        area = Rect(
+            target[0] - search_radius,
+            target[1] - 2,
+            2 * search_radius,
+            4,
+        )
+        partners = [
+            c
+            for c in design.cells_overlapping_rect(area)
+            if not c.fixed and c is not cell and c.region == cell.region
+        ]
+        if not partners:
+            continue
+        partner = min(
+            partners,
+            key=lambda c: abs(c.x + c.width / 2 - target[0])
+            + abs(c.y + c.height / 2 - target[1]),
+        )
+        tried += 1
+        snapshot = design.snapshot_positions()
+        if not swap_cells(design, cell, partner, config):
+            continue
+        hpwl_new = design.hpwl_um()
+        if hpwl_new < hpwl_now:
+            hpwl_now = hpwl_new
+            kept += 1
+        else:
+            design.restore_positions(snapshot)
+    return SwapStats(
+        pairs_tried=tried,
+        swaps_kept=kept,
+        hpwl_before_um=hpwl_before,
+        hpwl_after_um=hpwl_now,
+    )

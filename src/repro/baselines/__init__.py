@@ -1,0 +1,41 @@
+"""Baselines the paper compares against or argues about.
+
+* :mod:`repro.baselines.optimal` — the optimal local legalizer: the
+  paper's "ILP" quality reference, realized as exhaustive insertion-point
+  enumeration with exact evaluation (provably equivalent to the ILP's
+  optimum on the same local problem, see the module docstring).
+* :mod:`repro.baselines.milp` — the literal mixed-integer formulation of
+  the local problem solved with HiGHS via ``scipy.optimize.milp``
+  (substituting the paper's lpsolve); used to cross-validate the optimal
+  legalizer and to reproduce the ILP runtime blow-up.
+* :mod:`repro.baselines.abacus` — the classic Abacus single-row
+  legalizer [Spindler et al., ISPD'08], plus the two-step
+  "multi-row-cells-as-macros" variant the paper's Section 1 discusses.
+* :mod:`repro.baselines.tetris` — a greedy non-displacing legalizer in
+  the spirit of Hill's patent [7]: placed cells never move to
+  accommodate later ones.
+"""
+
+from repro.baselines.abacus import AbacusLegalizer, abacus_legalize
+from repro.baselines.milp import (
+    MilpLegalizer,
+    MilpLocalLegalizer,
+    milp_legalize,
+    solve_local_milp,
+)
+from repro.baselines.optimal import OptimalLegalizer, optimal_legalize
+from repro.baselines.tetris import TetrisLegalizer, find_nearest_free, tetris_legalize
+
+__all__ = [
+    "AbacusLegalizer",
+    "MilpLegalizer",
+    "MilpLocalLegalizer",
+    "OptimalLegalizer",
+    "TetrisLegalizer",
+    "abacus_legalize",
+    "find_nearest_free",
+    "milp_legalize",
+    "optimal_legalize",
+    "solve_local_milp",
+    "tetris_legalize",
+]

@@ -1,0 +1,259 @@
+"""Abacus single-row legalization [Spindler, Schlichtmann, Johannes,
+ISPD 2008], extended to mixed heights the only way single-row methods
+allow: the two-step "multi-row cells as macros" approach (paper Section 1,
+refs [4]-[6]).
+
+Step 1 places every multi-row cell greedily at the nearest free position
+(macros are frozen from then on).  Step 2 runs classic Abacus on the
+single-row cells over the remaining free intervals: cells are processed
+in x order, appended to per-interval cluster chains, and clusters are
+collapsed to their quadratic-optimal (mean) positions.
+
+The point of carrying this baseline is the paper's motivating argument:
+Abacus's intra-row shifting cannot coordinate across rows, so multi-row
+cells must be frozen early, which inflates displacement as density grows
+— measured in ``benchmarks/bench_baselines.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.tetris import find_nearest_free
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+@dataclass(slots=True)
+class AbacusResult:
+    """Run statistics of an Abacus legalization."""
+
+    placed: int = 0
+    macro_placed: int = 0
+    failed_cells: list[str] = field(default_factory=list)
+    runtime_s: float = 0.0
+
+
+@dataclass(slots=True)
+class _Cluster:
+    """A maximal run of abutting cells (Spindler's cluster record)."""
+
+    x: float  # optimal (clamped) position of the cluster's left edge
+    e: float  # total weight
+    q: float  # Σ e_i · (x'_i − offset_i)
+    w: int  # total width
+
+
+@dataclass(slots=True)
+class _IntervalState:
+    """Abacus state of one free interval (sub-row between obstacles)."""
+
+    row: int
+    x0: int
+    x1: int
+    region: int | None = None
+    clusters: list[_Cluster] = field(default_factory=list)
+    cells: list[tuple[Cell, float]] = field(default_factory=list)
+    used: int = 0
+
+    @property
+    def capacity(self) -> int:
+        return (self.x1 - self.x0) - self.used
+
+
+def _clamp(x: float, lo: float, hi: float) -> float:
+    return min(max(x, lo), hi)
+
+
+def _add_and_collapse(
+    clusters: list[_Cluster], gx: float, width: int, x0: int, x1: int
+) -> float:
+    """Append one cell and re-collapse; returns the cell's final x.
+
+    The appended cell is always the rightmost of the interval because
+    Abacus processes cells in global x order.
+    """
+    last = clusters[-1] if clusters else None
+    if last is not None and last.x + last.w > gx:
+        # Append to the last cluster.
+        last.q += gx - last.w
+        last.e += 1.0
+        last.w += width
+    else:
+        clusters.append(_Cluster(x=gx, e=1.0, q=gx, w=width))
+    # Collapse rightmost cluster leftward while it overlaps predecessors.
+    while True:
+        cur = clusters[-1]
+        cur.x = _clamp(cur.q / cur.e, x0, x1 - cur.w)
+        if len(clusters) >= 2 and clusters[-2].x + clusters[-2].w > cur.x:
+            prev = clusters.pop(-2)
+            cur.q = prev.q + (cur.q - cur.e * prev.w)
+            cur.e += prev.e
+            cur.w += prev.w
+            continue
+        break
+    cur = clusters[-1]
+    return cur.x + cur.w - width
+
+
+def _trial_position(
+    state: _IntervalState, gx: float, width: int
+) -> float:
+    """Final x the cell would get, without mutating the state."""
+    trial = [
+        _Cluster(x=c.x, e=c.e, q=c.q, w=c.w) for c in state.clusters
+    ]
+    return _add_and_collapse(trial, gx, width, state.x0, state.x1)
+
+
+class AbacusLegalizer:
+    """Two-step Abacus for mixed-height designs."""
+
+    def __init__(self, design: Design, power_aligned: bool = True) -> None:
+        self.design = design
+        self.power_aligned = power_aligned
+
+    def run(self) -> AbacusResult:
+        """Legalize all unplaced movable cells.
+
+        Multi-row cells are frozen first (greedy nearest-free), then
+        single-row cells are clustered per free interval.  Cells that fit
+        nowhere are recorded in ``failed_cells``.
+        """
+        t0 = time.perf_counter()
+        result = AbacusResult()
+        self._place_macros(result)
+        states = self._free_intervals()
+        self._abacus_singles(states, result)
+        self._commit(states, result)
+        result.runtime_s = time.perf_counter() - t0
+        return result
+
+    # -- step 1: multi-row cells as macros ------------------------------
+    def _place_macros(self, result: AbacusResult) -> None:
+        macros = [
+            c
+            for c in self.design.movable_cells()
+            if not c.is_placed and c.height > 1
+        ]
+        macros.sort(key=lambda c: (-c.height * c.width, c.id))
+        for cell in macros:
+            pos = find_nearest_free(
+                self.design,
+                cell,
+                cell.gp_x,
+                cell.gp_y,
+                power_aligned=self.power_aligned,
+            )
+            if pos is None:
+                result.failed_cells.append(cell.name)
+                continue
+            self.design.place(
+                cell, pos[0], pos[1], power_aligned=self.power_aligned
+            )
+            result.macro_placed += 1
+            result.placed += 1
+
+    # -- step 2: free intervals after macro freeze ----------------------
+    def _free_intervals(self) -> list[_IntervalState]:
+        fp = self.design.floorplan
+        states: list[_IntervalState] = []
+        for row in range(fp.num_rows):
+            for seg in fp.segments_in_row(row):
+                x = seg.x0
+                for c in sorted(seg.cells, key=lambda c: c.x):  # type: ignore[arg-type,return-value]
+                    assert c.x is not None
+                    if c.x > x:
+                        states.append(
+                            _IntervalState(
+                                row=row, x0=x, x1=c.x, region=seg.region
+                            )
+                        )
+                    x = max(x, c.x + c.width)
+                if x < seg.x1:
+                    states.append(
+                        _IntervalState(
+                            row=row, x0=x, x1=seg.x1, region=seg.region
+                        )
+                    )
+        return states
+
+    # -- step 3: classic Abacus over the intervals ----------------------
+    def _abacus_singles(
+        self, states: list[_IntervalState], result: AbacusResult
+    ) -> None:
+        fp = self.design.floorplan
+        by_row: dict[int, list[_IntervalState]] = {}
+        for st in states:
+            by_row.setdefault(st.row, []).append(st)
+        singles = [
+            c
+            for c in self.design.movable_cells()
+            if not c.is_placed and c.height == 1
+        ]
+        singles.sort(key=lambda c: (c.gp_x, c.id))
+        for cell in singles:
+            best: tuple[float, _IntervalState, float] | None = None
+            for y in self.design.candidate_rows(
+                cell, cell.gp_y, power_aligned=self.power_aligned
+            ):
+                y_cost = abs(y - cell.gp_y) * fp.site_height_um
+                if best is not None and y_cost >= best[0]:
+                    break
+                for st in by_row.get(y, ()):
+                    if st.capacity < cell.width or st.region != cell.region:
+                        continue
+                    x = _trial_position(st, cell.gp_x, cell.width)
+                    cost = y_cost + abs(x - cell.gp_x) * fp.site_width_um
+                    if best is None or cost < best[0]:
+                        best = (cost, st, x)
+            if best is None:
+                result.failed_cells.append(cell.name)
+                continue
+            _, st, _ = best
+            _add_and_collapse(st.clusters, cell.gp_x, cell.width, st.x0, st.x1)
+            st.cells.append((cell, cell.gp_x))
+            st.used += cell.width
+            result.placed += 1
+
+    # -- step 4: snap cluster positions to sites and commit -------------
+    def _commit(self, states: list[_IntervalState], result: AbacusResult) -> None:
+        for st in states:
+            if not st.cells:
+                continue
+            prev_end = st.x0
+            positions: list[int] = []
+            i = 0
+            for cluster in st.clusters:
+                x = int(round(cluster.x))
+                x = max(x, prev_end)
+                # Walk the cluster's cells left to right.
+                offset = 0
+                count = int(round(cluster.e))
+                for _ in range(count):
+                    cell, _gx = st.cells[i]
+                    positions.append(x + offset)
+                    offset += cell.width
+                    i += 1
+                prev_end = x + cluster.w
+            # Right-overflow repair after rounding.
+            overflow = (positions[-1] + st.cells[-1][0].width) - st.x1
+            if overflow > 0:
+                for j in range(len(positions) - 1, -1, -1):
+                    positions[j] -= overflow
+                    if j == 0:
+                        break
+                    gap = positions[j] - (
+                        positions[j - 1] + st.cells[j - 1][0].width
+                    )
+                    if gap >= 0:
+                        break
+                    overflow = -gap
+            for (cell, _gx), x in zip(st.cells, positions):
+                self.design.place(cell, x, st.row, validate=False)
+
+
+def abacus_legalize(design: Design, power_aligned: bool = True) -> AbacusResult:
+    """One-call wrapper around :class:`AbacusLegalizer`."""
+    return AbacusLegalizer(design, power_aligned).run()

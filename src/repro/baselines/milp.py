@@ -1,0 +1,291 @@
+"""Literal mixed-integer formulation of the local legalization problem.
+
+This is the reproduction of the paper's ILP experiment (Section 6): the
+MLL call is replaced by constructing and solving an integer program over
+the same local region, with the same frozen row assignments and cell
+orders, minimizing total displacement.  The paper used lpsolve; we use
+HiGHS through :func:`scipy.optimize.milp` (the only ILP solver available
+offline), which changes absolute runtimes but not the optimum or the
+orders-of-magnitude runtime gap to MLL.
+
+Formulation (everything in site units; M = row width):
+
+* integer ``x_c`` per local cell, bounded by its segments,
+* integer ``x_t`` for the target,
+* binary ``z_r`` per candidate bottom row of the target (``Σ z_r = 1``),
+* binary ``s_{r,c}`` per (candidate row, vertically-overlapping cell):
+  1 → target left of ``c``, 0 → ``c`` left of target, big-M gated by
+  ``z_r``,
+* per-segment order constraints ``x_a + w_a ≤ x_b`` for consecutive
+  local cells,
+* continuous ``d_c ≥ |x_c − x_c^cur|`` and ``d_t ≥ |x_t − x_t^des|``.
+
+Objective: ``Σ d_c·site_w + d_t·site_w + Σ z_r·|r − y_des|·site_h``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import csr_matrix
+
+from repro.core.config import LegalizerConfig
+from repro.core.legalizer import LegalizationResult, Legalizer
+from repro.core.local_region import LocalRegion, extract_local_region
+from repro.core.mll import MllResult, MultiRowLocalLegalizer
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class MilpSolution:
+    """Optimal local solution: new cell positions and target placement."""
+
+    cell_positions: dict[int, int]
+    target_x: int
+    target_bottom_row: int
+    cost_um: float
+
+
+def _candidate_rows(
+    design: Design,
+    region: LocalRegion,
+    target: Cell,
+    power_aligned: bool,
+) -> list[int]:
+    """Bottom rows where the target could go: all of its rows present in
+    the region and (optionally) rail-compatible."""
+    rows = set(region.segments)
+    out = []
+    for r in sorted(rows):
+        if any(rr not in rows for rr in range(r, r + target.height)):
+            continue
+        if power_aligned and not design.row_compatible(target, r):
+            continue
+        if any(
+            region.segments[rr].width < target.width
+            for rr in range(r, r + target.height)
+        ):
+            continue
+        out.append(r)
+    return out
+
+
+def solve_local_milp(
+    design: Design,
+    region: LocalRegion,
+    target: Cell,
+    desired_x: float,
+    desired_y: float,
+    power_aligned: bool = True,
+    time_limit_s: float | None = None,
+) -> MilpSolution | None:
+    """Solve the local problem to optimality; ``None`` when infeasible."""
+    fp = design.floorplan
+    cells = region.cells
+    n = len(cells)
+    cand = _candidate_rows(design, region, target, power_aligned)
+    if not cand:
+        return None
+    cell_pos = {c.id: i for i, c in enumerate(cells)}
+
+    # Variable layout: x_c (n) | x_t (1) | d_c (n) | d_t (1) | z_r | s_{r,c}
+    iz = {r: 2 * n + 2 + k for k, r in enumerate(cand)}
+    s_keys: list[tuple[int, int]] = []
+    for r in cand:
+        t_rows = set(range(r, r + target.height))
+        for c in cells:
+            if t_rows.intersection(c.rows_spanned()):
+                s_keys.append((r, c.id))
+    i_s = {key: 2 * n + 2 + len(cand) + k for k, key in enumerate(s_keys)}
+    nvar = 2 * n + 2 + len(cand) + len(s_keys)
+    M = float(fp.row_width + max(target.width, 1))
+
+    sw, sh = fp.site_width_um, fp.site_height_um
+    obj = np.zeros(nvar)
+    obj[n + 1 : 2 * n + 1] = sw  # d_c
+    obj[2 * n + 1] = sw  # d_t
+    for r in cand:
+        obj[iz[r]] = abs(r - desired_y) * sh
+
+    lb = np.full(nvar, -np.inf)
+    ub = np.full(nvar, np.inf)
+    integrality = np.zeros(nvar)
+    integrality[: n + 1] = 1  # positions integer
+    lo_t, hi_t = math.inf, -math.inf
+    for i, c in enumerate(cells):
+        xlo, xhi = -math.inf, math.inf
+        for rr in c.rows_spanned():
+            seg = region.segments[rr]
+            xlo = max(xlo, seg.x0) if xlo != -math.inf else seg.x0
+            xhi = min(xhi, seg.x1 - c.width)
+        lb[i], ub[i] = xlo, xhi
+        lb[n + 1 + i] = 0.0
+    for r in cand:
+        for rr in range(r, r + target.height):
+            seg = region.segments[rr]
+            lo_t = min(lo_t, seg.x0)
+            hi_t = max(hi_t, seg.x1 - target.width)
+    lb[n], ub[n] = lo_t, hi_t  # x_t coarse bounds; row gating refines
+    lb[2 * n + 1] = 0.0
+    for r in cand:
+        lb[iz[r]], ub[iz[r]] = 0, 1
+        integrality[iz[r]] = 1
+    for key in s_keys:
+        lb[i_s[key]], ub[i_s[key]] = 0, 1
+        integrality[i_s[key]] = 1
+
+    rows_A: list[dict[int, float]] = []
+    lbs: list[float] = []
+    ubs: list[float] = []
+
+    def add(coeffs: dict[int, float], lo: float, hi: float) -> None:
+        rows_A.append(coeffs)
+        lbs.append(lo)
+        ubs.append(hi)
+
+    # Σ z_r = 1
+    add({iz[r]: 1.0 for r in cand}, 1.0, 1.0)
+
+    # Per-segment order constraints.
+    for rr, seg in region.segments.items():
+        for a, b in zip(seg.cells, seg.cells[1:]):
+            ia, ib = cell_pos[a.id], cell_pos[b.id]
+            add({ib: 1.0, ia: -1.0}, a.width, math.inf)
+
+    # Target containment per candidate row (big-M gated).
+    for r in cand:
+        for rr in range(r, r + target.height):
+            seg = region.segments[rr]
+            # x_t >= seg.x0 - M(1 - z_r)  <=>  x_t - M*z_r >= seg.x0 - M
+            add({n: 1.0, iz[r]: -M}, seg.x0 - M, math.inf)
+            # x_t + wt <= seg.x1 + M(1 - z_r)
+            add({n: 1.0, iz[r]: M}, -math.inf, seg.x1 - target.width + M)
+
+    # Overlap disjunctions.
+    for r, cid in s_keys:
+        ic = cell_pos[cid]
+        isv = i_s[(r, cid)]
+        c = cells[ic]
+        # target left:  x_t + wt <= x_c + M(1-s) + M(1-z)
+        add(
+            {n: 1.0, ic: -1.0, isv: M, iz[r]: M},
+            -math.inf,
+            -target.width + 2 * M,
+        )
+        # cell left:    x_c + w_c <= x_t + M*s + M(1-z)
+        add(
+            {ic: 1.0, n: -1.0, isv: -M, iz[r]: M},
+            -math.inf,
+            -c.width + M,
+        )
+
+    # Displacement linearization.
+    for i, c in enumerate(cells):
+        assert c.x is not None
+        add({n + 1 + i: 1.0, i: -1.0}, -c.x, math.inf)  # d >= x - cur
+        add({n + 1 + i: 1.0, i: 1.0}, c.x, math.inf)  # d >= cur - x
+    add({2 * n + 1: 1.0, n: -1.0}, -desired_x, math.inf)
+    add({2 * n + 1: 1.0, n: 1.0}, desired_x, math.inf)
+
+    data, indices, indptr = [], [], [0]
+    for coeffs in rows_A:
+        for j, v in coeffs.items():
+            indices.append(j)
+            data.append(v)
+        indptr.append(len(indices))
+    A = csr_matrix((data, indices, indptr), shape=(len(rows_A), nvar))
+
+    options = {}
+    if time_limit_s is not None:
+        options["time_limit"] = time_limit_s
+    res = milp(
+        c=obj,
+        constraints=LinearConstraint(A, np.array(lbs), np.array(ubs)),
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=options,
+    )
+    if not res.success:
+        return None
+    x = res.x
+    bottom = max(cand, key=lambda r: x[iz[r]])
+    return MilpSolution(
+        cell_positions={c.id: int(round(x[i])) for i, c in enumerate(cells)},
+        target_x=int(round(x[n])),
+        target_bottom_row=bottom,
+        cost_um=float(res.fun),
+    )
+
+
+class MilpLocalLegalizer(MultiRowLocalLegalizer):
+    """Drop-in MLL replacement that solves each local problem as a MILP.
+
+    Plugs into :class:`~repro.core.legalizer.Legalizer` (the driver only
+    uses ``try_place``), reproducing the paper's ILP experiment.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        config: LegalizerConfig | None = None,
+        time_limit_s: float | None = 30.0,
+    ) -> None:
+        super().__init__(design, config)
+        self.time_limit_s = time_limit_s
+
+    def try_place(self, target: Cell, x: float, y: float) -> MllResult:
+        if target.is_placed:
+            raise ValueError(f"target {target.name!r} is already placed")
+        design = self.design
+        region = extract_local_region(
+            design, self.window_for(target, x, y), region_id=target.region
+        )
+        if not region.segments:
+            return MllResult(success=False)
+        solution = solve_local_milp(
+            design,
+            region,
+            target,
+            desired_x=x,
+            desired_y=y,
+            power_aligned=self.config.power_aligned,
+            time_limit_s=self.time_limit_s,
+        )
+        if solution is None:
+            return MllResult(success=False)
+        for cell in region.cells:
+            design.shift_x(cell, solution.cell_positions[cell.id])
+        design.place(
+            target,
+            solution.target_x,
+            solution.target_bottom_row,
+            power_aligned=self.config.power_aligned,
+            validate=False,
+        )
+        return MllResult(success=True, num_insertion_points=1, chosen=None)
+
+
+class MilpLegalizer(Legalizer):
+    """Algorithm 1 driving the MILP local solver (the paper's "ILP")."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: LegalizerConfig | None = None,
+        time_limit_s: float | None = 30.0,
+    ) -> None:
+        super().__init__(design, config)
+        self.mll = MilpLocalLegalizer(design, self.config, time_limit_s)
+
+
+def milp_legalize(
+    design: Design,
+    config: LegalizerConfig | None = None,
+    time_limit_s: float | None = 30.0,
+) -> LegalizationResult:
+    """One-call wrapper around :class:`MilpLegalizer`."""
+    return MilpLegalizer(design, config, time_limit_s).run()

@@ -1,0 +1,135 @@
+"""Greedy non-displacing legalizer ("Tetris", after Hill's patent [7]).
+
+Cells are processed once, in x order, and each is placed at the nearest
+free legal position — *placed cells never move* to accommodate later
+ones.  This is the mixed-size greedy extension the paper's Section 1
+criticizes: it is fast, but at high design density the lack of
+give-and-take inflates displacement, which the baseline ablation
+(``benchmarks/bench_baselines.py``) quantifies against MLL.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+@dataclass(slots=True)
+class TetrisResult:
+    """Run statistics of a greedy legalization."""
+
+    placed: int = 0
+    failed_cells: list[str] = field(default_factory=list)
+    runtime_s: float = 0.0
+
+
+def find_nearest_free(
+    design: Design,
+    cell: Cell,
+    tx: float,
+    ty: float,
+    power_aligned: bool = True,
+    max_candidates_per_row: int = 256,
+) -> tuple[int, int] | None:
+    """Nearest free legal position to ``(tx, ty)`` without moving anyone.
+
+    Rows are scanned nearest-first; within a row the candidate positions
+    are the rounded target plus the boundaries of nearby occupied spans,
+    tested with :meth:`~repro.db.design.Design.can_place`.  The search
+    stops once no untried row can beat the best found cost.
+    """
+    fp = design.floorplan
+    best: tuple[float, int, int] | None = None
+    for y in design.candidate_rows(cell, ty, power_aligned=power_aligned):
+        y_cost = abs(y - ty) * fp.site_height_um
+        if best is not None and y_cost >= best[0]:
+            break  # rows are sorted by |y - ty|; nothing better remains
+        x = _nearest_free_x_in_rows(
+            design, cell, tx, y, max_candidates_per_row
+        )
+        if x is None:
+            continue
+        cost = y_cost + abs(x - tx) * fp.site_width_um
+        if best is None or cost < best[0]:
+            best = (cost, x, y)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def _nearest_free_x_in_rows(
+    design: Design,
+    cell: Cell,
+    tx: float,
+    y: int,
+    max_candidates: int,
+) -> int | None:
+    """Nearest x at bottom row *y* where the cell's footprint is free."""
+    fp = design.floorplan
+    candidates: set[int] = set()
+    base = int(round(tx))
+    lo_bound = 0
+    hi_bound = fp.row_width - cell.width
+    if hi_bound < lo_bound:
+        return None
+    candidates.add(min(max(base, lo_bound), hi_bound))
+    for row in range(y, y + cell.height):
+        for seg in fp.segments_in_row(row):
+            candidates.add(min(max(seg.x0, lo_bound), hi_bound))
+            candidates.add(min(max(seg.x1 - cell.width, lo_bound), hi_bound))
+            for c in seg.cells:
+                assert c.x is not None
+                for cand in (c.x - cell.width, c.x + c.width):
+                    if lo_bound <= cand <= hi_bound:
+                        candidates.add(cand)
+    ordered = sorted(candidates, key=lambda x: (abs(x - tx), x))
+    for x in ordered[:max_candidates]:
+        if design.can_place(cell, x, y, power_aligned=False):
+            return x
+    return None
+
+
+class TetrisLegalizer:
+    """Greedy left-to-right nearest-free legalizer."""
+
+    def __init__(self, design: Design, power_aligned: bool = True) -> None:
+        self.design = design
+        self.power_aligned = power_aligned
+
+    def run(self) -> TetrisResult:
+        """Legalize all unplaced movable cells; never moves placed cells.
+
+        Cells that find no free position are recorded in
+        ``failed_cells`` (greedy legalizers can strand cells at high
+        density — that failure mode is part of what the baseline
+        comparison demonstrates).
+        """
+        t0 = time.perf_counter()
+        result = TetrisResult()
+        todo = [c for c in self.design.movable_cells() if not c.is_placed]
+        todo.sort(key=lambda c: (c.gp_x, c.id))
+        for cell in todo:
+            pos = find_nearest_free(
+                self.design,
+                cell,
+                cell.gp_x,
+                cell.gp_y,
+                power_aligned=self.power_aligned,
+            )
+            if pos is None:
+                result.failed_cells.append(cell.name)
+                continue
+            self.design.place(
+                cell, pos[0], pos[1], power_aligned=self.power_aligned
+            )
+            result.placed += 1
+        result.runtime_s = time.perf_counter() - t0
+        return result
+
+
+def tetris_legalize(design: Design, power_aligned: bool = True) -> TetrisResult:
+    """One-call wrapper around :class:`TetrisLegalizer`."""
+    return TetrisLegalizer(design, power_aligned).run()

@@ -1,0 +1,40 @@
+"""Synthetic benchmark generation.
+
+The paper evaluates on the ISPD 2015 detailed-routing-driven placement
+contest benchmarks, modified by converting sequential cells (or a random
+10 %) to double height and half width.  Those inputs are not
+redistributable, so this package generates structurally equivalent
+synthetic designs:
+
+* :mod:`repro.bench.generator` — parameterized design generator: site
+  grid, alternating-rail rows, mixed cell widths, a configurable
+  multi-row fraction converted by the paper's height-doubling/
+  width-halving protocol, optional macro blockages, a clustered netlist,
+  and an overlapping off-grid global placement obtained by perturbing a
+  legal seed placement.
+* :mod:`repro.bench.ispd2015` — the twenty named Table 1 designs with
+  matched density, double-cell fraction and relative size ordering
+  (cell counts scaled down for a pure-Python testbed).
+* :mod:`repro.bench.paper_data` — the numbers the paper reports, for
+  paper-vs-measured comparison in the harness and EXPERIMENTS.md.
+"""
+
+from repro.bench.generator import GeneratorConfig, generate_design
+from repro.bench.ispd2015 import (
+    ISPD2015_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    make_benchmark,
+)
+from repro.bench.paper_data import PAPER_TABLE1, PaperRow
+
+__all__ = [
+    "BenchmarkSpec",
+    "GeneratorConfig",
+    "ISPD2015_BENCHMARKS",
+    "PAPER_TABLE1",
+    "PaperRow",
+    "benchmark_names",
+    "generate_design",
+    "make_benchmark",
+]

@@ -1,0 +1,529 @@
+"""Parameterized synthetic design generator.
+
+The generator reproduces the *structure* of the paper's modified ISPD
+2015 inputs (Section 6):
+
+1. Single-row cells with a mixed width distribution.
+2. A fraction of cells converted to multi-row by the paper's protocol —
+   height doubled, width halved — preserving total cell area.
+3. A floorplan sized for a target design density, with alternating power
+   rails and optional macro blockages.
+4. A *legal seed placement* with good spatial distribution (cells
+   scattered, not packed), standing in for the contest global placer's
+   output shape.
+5. The global placement handed to the legalizer: the seed perturbed by
+   Gaussian noise and de-snapped from the grid — overlapping and
+   off-grid, but well distributed, exactly what legalization assumes.
+6. A locality-clustered netlist for HPWL accounting.
+
+Everything is driven by one :class:`random.Random` seed and is fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.db.cell import Cell
+from repro.db.design import Design
+from repro.db.floorplan import Floorplan
+from repro.db.library import Library, Rail
+from repro.db.netlist import Net, Netlist, Pin
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorConfig:
+    """Knobs of the synthetic design generator."""
+
+    num_cells: int = 1000
+    """Total number of movable cells (single + multi row)."""
+
+    target_density: float = 0.5
+    """Cell area / placeable area (Table 1 "Density" column)."""
+
+    double_row_fraction: float = 0.10
+    """Fraction of cells converted to double height / half width
+    (the paper converts sequential cells, or a random 10 %)."""
+
+    triple_row_fraction: float = 0.0
+    """Optional fraction of triple-row cells (the paper's formulation
+    supports any height; its benchmarks only exercise two)."""
+
+    single_widths: tuple[int, ...] = (2, 3, 4, 5, 6, 8)
+    """Width choices (sites) for single-row cells."""
+
+    single_width_weights: tuple[float, ...] = (20, 25, 25, 15, 10, 5)
+    """Sampling weights matching typical library width histograms."""
+
+    blockage_fraction: float = 0.0
+    """Fraction of die area covered by rectangular macro blockages."""
+
+    fence_count: int = 0
+    """Number of fence regions (DEF FENCE semantics, like the ISPD 2015
+    suite's).  Cells are assigned to fences up to each fence's capacity
+    at the design's target density."""
+
+    fence_area_fraction: float = 0.15
+    """Fraction of the die covered by fence regions (total)."""
+
+    gp_noise_x_sites: float = 1.0
+    """Std-dev of horizontal GP perturbation, in sites."""
+
+    gp_noise_y_rows: float = 0.05
+    """Std-dev of vertical GP perturbation, in rows.  Kept small: one row
+    is ~8.5 site widths of displacement, and contest global placements
+    are nearly row-aligned — larger values would swamp every other
+    effect in Table 1 (see EXPERIMENTS.md calibration notes)."""
+
+    parity_agnostic_gp: bool = True
+    """Model the contest global placers' ignorance of power rails: each
+    even-height cell's GP row parity is randomized (the paper's aligned
+    experiment then pays the row-jump cost that its Section 6 relaxation
+    experiment removes)."""
+
+    nets_per_cell: float = 1.1
+    """Nets generated per cell."""
+
+    max_net_degree: int = 5
+    """Net degrees are sampled uniformly from [2, max_net_degree]."""
+
+    net_locality_pool: int = 24
+    """Candidate-sampling pool for locality clustering: the closest
+    cells out of this many random candidates join a net."""
+
+    site_width_um: float = 0.2
+    site_height_um: float = 1.71
+
+    seed: int = 0
+    name: str = "synthetic"
+
+    aspect_ratio: float = 1.0
+    """Die width / die height in microns."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target_density < 1:
+            raise ValueError("target_density must be in (0, 1)")
+        if self.num_cells < 1:
+            raise ValueError("num_cells must be positive")
+        if len(self.single_widths) != len(self.single_width_weights):
+            raise ValueError("width choices and weights differ in length")
+        if self.double_row_fraction + self.triple_row_fraction > 1:
+            raise ValueError("multi-row fractions exceed 1")
+
+
+@dataclass(slots=True)
+class _CellSpec:
+    width: int
+    height: int
+    rail: Rail | None = None
+    region: int | None = None
+    cell: Cell | None = None
+    seed_x: int = 0
+    seed_y: int = 0
+
+
+def generate_design(config: GeneratorConfig) -> Design:
+    """Generate a design per *config*; cells are unplaced, with GP set.
+
+    The randomized seed placement can strand wide cells on small, dense,
+    fenced dies; it is retried with fresh randomness a few times before
+    giving up.
+    """
+    rng = random.Random(config.seed)
+    specs = _sample_cells(config, rng)
+    floorplan = _size_floorplan(config, specs, rng)
+    _assign_fences(config, specs, floorplan, rng)
+    design = Design(
+        floorplan, Library(), Netlist(), name=config.name
+    )
+    for attempt in range(8):
+        try:
+            _seed_placement(design, specs, rng)
+            break
+        except RuntimeError:
+            if attempt == 7:
+                raise
+            design.reset_placement()
+            design.cells.clear()
+            design._next_cell_id = 0
+            for s in specs:
+                s.cell = None
+    _perturb_to_gp(design, config, specs, rng)
+    _build_netlist(design, config, rng)
+    # Seed placement created multi-row cells first; restore an arbitrary
+    # processing order (the paper's Algorithm 1 assumes no ordering).
+    rng.shuffle(design.cells)
+    return design
+
+
+# ----------------------------------------------------------------------
+# Cell sampling
+# ----------------------------------------------------------------------
+def _sample_cells(config: GeneratorConfig, rng: random.Random) -> list[_CellSpec]:
+    """Sample cell geometries; multi-row cells use the paper's
+    double-height / half-width conversion of a sampled single-row cell."""
+    specs: list[_CellSpec] = []
+    n_double = round(config.num_cells * config.double_row_fraction)
+    n_triple = round(config.num_cells * config.triple_row_fraction)
+    n_single = config.num_cells - n_double - n_triple
+    widths = list(config.single_widths)
+    weights = list(config.single_width_weights)
+    for _ in range(n_single):
+        w = rng.choices(widths, weights)[0]
+        specs.append(_CellSpec(width=w, height=1))
+    for _ in range(n_double):
+        w = rng.choices(widths, weights)[0]
+        specs.append(
+            _CellSpec(
+                width=max(1, w // 2),
+                height=2,
+                rail=rng.choice((Rail.VDD, Rail.GND)),
+            )
+        )
+    for _ in range(n_triple):
+        w = rng.choices(widths, weights)[0]
+        specs.append(_CellSpec(width=max(1, (w + 1) // 3), height=3))
+    rng.shuffle(specs)
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Floorplan sizing
+# ----------------------------------------------------------------------
+def _size_floorplan(
+    config: GeneratorConfig, specs: list[_CellSpec], rng: random.Random
+) -> Floorplan:
+    """Pick rows/width for the target density and carve blockages."""
+    cell_area = sum(s.width * s.height for s in specs)
+    total_sites = cell_area / config.target_density / (1 - config.blockage_fraction)
+    # Die roughly square in microns: width_um = ar * height_um.
+    # row_width * sw = ar * num_rows * sh  ->  row_width = ar*(sh/sw)*rows
+    ratio = config.aspect_ratio * config.site_height_um / config.site_width_um
+    num_rows = max(6, round(math.sqrt(total_sites / ratio)))
+    if num_rows % 2:
+        num_rows += 1  # even row count keeps rail parities balanced
+    row_width = max(
+        max(s.width for s in specs) + 2, math.ceil(total_sites / num_rows)
+    )
+    blockages = _make_blockages(config, num_rows, row_width, rng)
+    fences = _make_fences(config, num_rows, row_width, blockages, rng)
+    return Floorplan(
+        num_rows=num_rows,
+        row_width=row_width,
+        site_width_um=config.site_width_um,
+        site_height_um=config.site_height_um,
+        blockages=blockages,
+        fences=fences,
+    )
+
+
+def _make_blockages(
+    config: GeneratorConfig, num_rows: int, row_width: int, rng: random.Random
+) -> list[Rect]:
+    """Random non-overlapping macro rectangles covering the requested
+    fraction of the die."""
+    if config.blockage_fraction <= 0:
+        return []
+    target = config.blockage_fraction * num_rows * row_width
+    blockages: list[Rect] = []
+    covered = 0.0
+    attempts = 0
+    while covered < target and attempts < 200:
+        attempts += 1
+        h = rng.randint(2, max(2, num_rows // 4))
+        w = rng.randint(4, max(4, row_width // 5))
+        x = rng.randint(0, max(0, row_width - w))
+        y = rng.randint(0, max(0, num_rows - h))
+        rect = Rect(x, y, w, h)
+        if any(rect.overlaps(b) for b in blockages):
+            continue
+        blockages.append(rect)
+        covered += rect.area
+    return blockages
+
+
+def _make_fences(
+    config: GeneratorConfig,
+    num_rows: int,
+    row_width: int,
+    blockages: list[Rect],
+    rng: random.Random,
+) -> list:
+    """Random non-overlapping single-rect fences clear of blockages."""
+    from repro.db.fence import FenceRegion
+
+    if config.fence_count <= 0:
+        return []
+    per_fence = config.fence_area_fraction * num_rows * row_width / config.fence_count
+    fences: list[FenceRegion] = []
+    taken: list[Rect] = list(blockages)
+    attempts = 0
+    while len(fences) < config.fence_count and attempts < 400:
+        attempts += 1
+        h = max(3, round(math.sqrt(per_fence / 8)))
+        w = max(8, round(per_fence / h))
+        if h > num_rows or w > row_width:
+            continue
+        x = rng.randint(0, row_width - w)
+        y = rng.randint(0, num_rows - h)
+        rect = Rect(x, y, w, h)
+        if any(rect.overlaps(t) for t in taken):
+            continue
+        taken.append(rect)
+        fences.append(
+            FenceRegion(
+                id=len(fences), name=f"fence{len(fences)}", rects=(rect,)
+            )
+        )
+    return fences
+
+
+def _assign_fences(
+    config: GeneratorConfig,
+    specs: list[_CellSpec],
+    floorplan: Floorplan,
+    rng: random.Random,
+) -> None:
+    """Assign cells to fences up to each fence's density capacity."""
+    if not floorplan.fences:
+        return
+    order = list(range(len(specs)))
+    rng.shuffle(order)
+    i = 0
+    for fence in floorplan.fences:
+        # Fill fences to at most ~85% of their density share: the random
+        # scatter needs slack to absorb fragmentation from multi-row
+        # cells, especially at high target densities.
+        budget = fence.area() * config.target_density * 0.85
+        max_h = max(int(r.h) for r in fence.rects)
+        while budget > 0 and i < len(order):
+            spec = specs[order[i]]
+            i += 1
+            if spec.height > max_h:
+                continue
+            area = spec.width * spec.height
+            if area > budget:
+                break
+            spec.region = fence.id
+            budget -= area
+
+
+# ----------------------------------------------------------------------
+# Seed placement (legal, scattered)
+# ----------------------------------------------------------------------
+def _seed_placement(
+    design: Design, specs: list[_CellSpec], rng: random.Random
+) -> None:
+    """Place every cell legally with a scattered distribution.
+
+    Multi-row cells go first by rejection sampling on an occupancy test;
+    single-row cells then fill per-row free intervals picked with
+    probability proportional to free length.  The placement is recorded
+    in the spec (``seed_x``/``seed_y``) and the design's placement state
+    is used transiently for overlap checks, then cleared.
+    """
+    fp = design.floorplan
+    lib = design.library
+    multi = [s for s in specs if s.height > 1]
+    single = [s for s in specs if s.height == 1]
+
+    fences_by_id = {f.id: f for f in fp.fences}
+    for s in multi:
+        master = lib.get_or_create(s.width, s.height, s.rail)
+        cell = design.add_cell(master, region=s.region)
+        s.cell = cell
+        # Sample positions from the cell's own region so fenced cells do
+        # not burn attempts on the rest of the die.
+        if s.region is not None:
+            rects = fences_by_id[s.region].rects
+        else:
+            rects = (fp.die_rect,)
+        placed = False
+        for _ in range(3000):
+            r = rects[rng.randrange(len(rects))]
+            if r.w < s.width or r.h < s.height:
+                continue
+            y = rng.randint(int(r.y), int(r.y1) - s.height)
+            if not design.row_compatible(cell, y):
+                continue
+            x = rng.randint(int(r.x), int(r.x1) - s.width)
+            if design.can_place(cell, x, y):
+                design.place(cell, x, y)
+                s.seed_x, s.seed_y = x, y
+                placed = True
+                break
+        if not placed:
+            raise RuntimeError(
+                f"seed placement failed for a {s.width}x{s.height} cell; "
+                f"lower target_density"
+            )
+
+    # Free intervals per row after multi-row placement, tagged with the
+    # segment's fence region.
+    flat: list[tuple[int, int, int, int | None]] = []
+    for row in range(fp.num_rows):
+        for seg in fp.segments_in_row(row):
+            x = seg.x0
+            for c in sorted(seg.cells, key=lambda c: c.x):  # type: ignore[arg-type,return-value]
+                if c.x > x:
+                    flat.append((row, x, c.x, seg.region))
+                x = max(x, c.x + c.width)
+            if x < seg.x1:
+                flat.append((row, x, seg.x1, seg.region))
+
+    by_region: dict[int | None, list[_CellSpec]] = {}
+    for s in single:
+        by_region.setdefault(s.region, []).append(s)
+    for region, group in by_region.items():
+        matching = [
+            (row, lo, hi) for row, lo, hi, reg in flat if reg == region
+        ]
+        _scatter_single_row(design, group, matching, rng)
+
+
+def _scatter_single_row(
+    design: Design,
+    single: list[_CellSpec],
+    intervals: list[tuple[int, int, int]],
+    rng: random.Random,
+) -> None:
+    """Scatter single-row cells over free intervals, legally and in O(n).
+
+    Cells are assigned to intervals by capacity-weighted sampling (with a
+    first-fit overflow pass), then each interval lays its cells out in a
+    random order with its slack randomly distributed among the gaps.
+    """
+    if single and not intervals:
+        raise RuntimeError(
+            "seed placement has no free intervals for a cell group; "
+            "lower target_density or fence occupancy"
+        )
+    # Wide cells first: they are the ones fragmentation strands, and
+    # placing them while intervals are still whole avoids most failures.
+    single = sorted(single, key=lambda s: -s.width)
+    lib = design.library
+    caps = [hi - lo for _, lo, hi in intervals]
+    cum: list[float] = []
+    run = 0.0
+    for c in caps:
+        run += c
+        cum.append(run)
+    total_cap = run
+
+    assigned: list[list[_CellSpec]] = [[] for _ in intervals]
+    remaining = list(caps)
+    overflow: list[_CellSpec] = []
+    from bisect import bisect_left
+
+    for s in single:
+        master = lib.get_or_create(s.width, s.height, s.rail)
+        s.cell = design.add_cell(master, region=s.region)
+        i = bisect_left(cum, rng.uniform(0, total_cap))
+        i = min(i, len(intervals) - 1)
+        if remaining[i] >= s.width:
+            assigned[i].append(s)
+            remaining[i] -= s.width
+        else:
+            overflow.append(s)
+    for s in overflow:
+        for i in range(len(intervals)):
+            if remaining[i] >= s.width:
+                assigned[i].append(s)
+                remaining[i] -= s.width
+                break
+        else:
+            raise RuntimeError(
+                "seed placement ran out of space; lower target_density"
+            )
+
+    for i, (row, lo, hi) in enumerate(intervals):
+        specs = assigned[i]
+        if not specs:
+            continue
+        rng.shuffle(specs)
+        slack = (hi - lo) - sum(s.width for s in specs)
+        assert slack >= 0
+        # Random composition of `slack` into len(specs)+1 gap sizes.
+        cuts = sorted(rng.randint(0, slack) for _ in range(len(specs)))
+        x = lo
+        prev = 0
+        for s, cut in zip(specs, cuts):
+            x += cut - prev
+            prev = cut
+            assert s.cell is not None
+            design.place(s.cell, x, row, validate=False)
+            s.seed_x, s.seed_y = x, row
+            x += s.width
+
+
+def _perturb_to_gp(
+    design: Design,
+    config: GeneratorConfig,
+    specs: list[_CellSpec],
+    rng: random.Random,
+) -> None:
+    """Turn the legal seed into an off-grid, overlapping global placement
+    and clear the placement state."""
+    fp = design.floorplan
+    for s in specs:
+        cell = s.cell
+        assert cell is not None
+        gx = s.seed_x + rng.gauss(0.0, config.gp_noise_x_sites)
+        gy = s.seed_y + rng.gauss(0.0, config.gp_noise_y_rows)
+        if (
+            config.parity_agnostic_gp
+            and cell.master.needs_rail_alignment
+            and rng.random() < 0.5
+        ):
+            # A rail-unaware global placer leaves even-height cells on
+            # either parity with equal probability; the seed was built
+            # parity-correct, so flip half of them one row.
+            gy += rng.choice((-1, 1))
+        cell.gp_x = min(max(gx, 0.0), fp.row_width - cell.width)
+        cell.gp_y = min(max(gy, 0.0), fp.num_rows - cell.height)
+    design.reset_placement()
+
+
+# ----------------------------------------------------------------------
+# Netlist
+# ----------------------------------------------------------------------
+def _build_netlist(
+    design: Design, config: GeneratorConfig, rng: random.Random
+) -> None:
+    """Locality-clustered nets: each net picks a seed cell plus the
+    nearest of a random candidate pool."""
+    cells = design.cells
+    if len(cells) < 2:
+        return
+    num_nets = round(config.nets_per_cell * len(cells))
+    for i in range(num_nets):
+        seed_cell = rng.choice(cells)
+        degree = rng.randint(2, config.max_net_degree)
+        pool_size = min(config.net_locality_pool, len(cells) - 1)
+        pool = rng.sample(cells, pool_size)
+        pool = [c for c in pool if c is not seed_cell]
+        pool.sort(
+            key=lambda c: abs(c.gp_x - seed_cell.gp_x)
+            + abs(c.gp_y - seed_cell.gp_y)
+        )
+        members = [seed_cell] + pool[: degree - 1]
+        pins = []
+        for k, c in enumerate(members):
+            # The net's driver (first member) connects through its output
+            # pin, sinks through one of their input pins.
+            master_pins = c.master.pins
+            if not master_pins:
+                pins.append(Pin(cell=c))
+                continue
+            if k == 0:
+                chosen = master_pins[-1]  # output pin "o"
+            else:
+                inputs = master_pins[:-1] or master_pins
+                chosen = inputs[rng.randrange(len(inputs))]
+            pins.append(
+                Pin(cell=c, dx=chosen.dx, dy=chosen.dy, name=chosen.name)
+            )
+        design.netlist.add(Net(name=f"n{i}", pins=tuple(pins)))

@@ -1,0 +1,93 @@
+"""The Table 1 benchmark suite, as synthetic stand-ins.
+
+Each of the paper's twenty modified ISPD 2015 designs is mapped to a
+:class:`~repro.bench.generator.GeneratorConfig` preserving what the
+legalizer actually sees: the design density, the double-row cell
+fraction, and the relative size ordering of the suite.  Cell counts are
+scaled down (default 1/50) so that a pure-Python testbed — including the
+optimal baseline, which the paper itself could only run because windows
+are tiny — finishes in minutes.
+
+``make_benchmark(name)`` returns a fresh :class:`~repro.db.design.Design`
+with an overlapping global placement, ready for legalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.generator import GeneratorConfig, generate_design
+from repro.bench.paper_data import PAPER_TABLE1
+from repro.db.design import Design
+
+DEFAULT_SCALE = 1.0 / 50.0
+"""Default cell-count scale versus the paper's benchmarks."""
+
+MIN_CELLS = 150
+"""Lower bound so heavily scaled designs keep a meaningful population."""
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkSpec:
+    """One named benchmark: paper statistics plus generator mapping."""
+
+    name: str
+    num_single: int
+    num_double: int
+    density: float
+
+    def config(self, scale: float = DEFAULT_SCALE, seed: int | None = None) -> GeneratorConfig:
+        """The generator configuration at the given scale."""
+        total = self.num_single + self.num_double
+        num_cells = max(MIN_CELLS, round(total * scale))
+        double_fraction = self.num_double / total
+        return GeneratorConfig(
+            name=self.name,
+            num_cells=num_cells,
+            target_density=self.density,
+            double_row_fraction=double_fraction,
+            seed=seed if seed is not None else _stable_seed(self.name),
+        )
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic per-benchmark seed (independent of PYTHONHASHSEED)."""
+    h = 0
+    for ch in name:
+        h = (h * 131 + ord(ch)) % (2**31)
+    return h
+
+
+ISPD2015_BENCHMARKS: dict[str, BenchmarkSpec] = {
+    row.name: BenchmarkSpec(
+        name=row.name,
+        num_single=row.num_single,
+        num_double=row.num_double,
+        density=row.density,
+    )
+    for row in PAPER_TABLE1.values()
+}
+
+#: A small subset covering the density range, for quick runs and tests.
+QUICK_SUITE = [
+    "fft_a",
+    "fft_2",
+    "pci_bridge32_a",
+    "fft_1",
+]
+
+
+def benchmark_names() -> list[str]:
+    """All twenty benchmark names, in Table 1 order."""
+    return list(ISPD2015_BENCHMARKS)
+
+
+def make_benchmark(
+    name: str, scale: float = DEFAULT_SCALE, seed: int | None = None
+) -> Design:
+    """Generate the named benchmark at the given scale."""
+    if name not in ISPD2015_BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        )
+    return generate_design(ISPD2015_BENCHMARKS[name].config(scale=scale, seed=seed))

@@ -1,0 +1,146 @@
+"""The paper's reported results (Table 1), for paper-vs-measured tables.
+
+Each row carries the benchmark statistics (cell counts, density, global
+placement HPWL in meters) and the six result columns of Table 1 for both
+the power-line-aligned and the relaxed experiment: average displacement
+in site widths, HPWL change in percent, and runtime in seconds — for the
+ILP reference and for the paper's algorithm ("Ours").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PaperSide:
+    """One power-alignment mode's six result columns."""
+
+    ilp_disp_sites: float
+    ours_disp_sites: float
+    ilp_dhpwl_pct: float
+    ours_dhpwl_pct: float
+    ilp_runtime_s: float
+    ours_runtime_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class PaperRow:
+    """One Table 1 row."""
+
+    name: str
+    num_single: int
+    num_double: int
+    density: float
+    gp_hpwl_m: float
+    aligned: PaperSide
+    relaxed: PaperSide
+
+
+def _row(
+    name: str,
+    ns: int,
+    nd: int,
+    dens: float,
+    hpwl: float,
+    a: tuple[float, float, float, float, float, float],
+    r: tuple[float, float, float, float, float, float],
+) -> PaperRow:
+    return PaperRow(
+        name=name,
+        num_single=ns,
+        num_double=nd,
+        density=dens,
+        gp_hpwl_m=hpwl,
+        aligned=PaperSide(*a),
+        relaxed=PaperSide(*r),
+    )
+
+
+#: Table 1 of the paper, verbatim.
+PAPER_TABLE1: dict[str, PaperRow] = {
+    row.name: row
+    for row in [
+        _row("des_perf_1", 103842, 8802, 0.91, 1.43,
+             (2.13, 3.32, 2.61, 2.85, 4098.7, 7.2),
+             (1.79, 1.84, 2.59, 1.30, 4478.9, 6.5)),
+        _row("des_perf_a", 99775, 8513, 0.43, 2.57,
+             (0.66, 0.96, 0.11, 0.28, 193.8, 2.6),
+             (0.26, 0.31, 0.03, 0.04, 151.4, 2.4)),
+        _row("des_perf_b", 103842, 8802, 0.50, 2.13,
+             (0.62, 0.85, 0.12, 0.31, 250.8, 2.4),
+             (0.24, 0.32, 0.02, 0.03, 194.7, 2.2)),
+        _row("edit_dist_a", 121913, 5500, 0.46, 5.25,
+             (0.45, 0.47, 0.09, 0.10, 206.0, 1.9),
+             (0.22, 0.24, 0.03, 0.03, 173.0, 1.8)),
+        _row("fft_1", 30297, 1984, 0.84, 0.46,
+             (1.58, 1.81, 2.25, 1.66, 776.8, 1.1),
+             (1.26, 1.13, 1.77, 0.66, 818.1, 0.9)),
+        _row("fft_2", 30297, 1984, 0.50, 0.46,
+             (0.66, 0.86, 0.55, 0.87, 72.7, 0.4),
+             (0.32, 0.33, 0.17, 0.11, 59.3, 0.4)),
+        _row("fft_a", 28718, 1907, 0.25, 0.75,
+             (0.60, 0.64, 0.32, 0.33, 38.2, 0.3),
+             (0.32, 0.35, 0.12, 0.11, 30.7, 0.2)),
+        _row("fft_b", 28718, 1907, 0.28, 0.95,
+             (0.73, 0.80, 0.32, 0.33, 61.9, 0.4),
+             (0.42, 0.51, 0.13, 0.13, 52.3, 0.4)),
+        _row("matrix_mult_1", 152427, 2898, 0.80, 2.39,
+             (0.49, 0.53, 0.36, 0.28, 967.4, 3.9),
+             (0.37, 0.40, 0.23, 0.13, 709.4, 3.8)),
+        _row("matrix_mult_2", 152427, 2898, 0.79, 2.59,
+             (0.45, 0.49, 0.30, 0.22, 825.0, 4.0),
+             (0.34, 0.37, 0.18, 0.09, 640.5, 4.1)),
+        _row("matrix_mult_a", 146837, 2813, 0.42, 3.77,
+             (0.27, 0.33, 0.09, 0.14, 150.7, 1.6),
+             (0.18, 0.19, 0.05, 0.05, 126.1, 1.5)),
+        _row("matrix_mult_b", 143695, 2740, 0.31, 3.43,
+             (0.25, 0.30, 0.09, 0.13, 127.8, 1.3),
+             (0.16, 0.17, 0.05, 0.05, 108.4, 1.2)),
+        _row("matrix_mult_c", 143695, 2740, 0.31, 3.29,
+             (0.27, 0.29, 0.11, 0.11, 139.0, 1.4),
+             (0.18, 0.20, 0.06, 0.05, 122.8, 1.3)),
+        _row("pci_bridge32_a", 26268, 3249, 0.38, 0.46,
+             (0.88, 0.95, 0.52, 0.58, 49.4, 0.3),
+             (0.30, 0.32, 0.11, 0.11, 35.7, 0.3)),
+        _row("pci_bridge32_b", 25734, 3180, 0.14, 0.98,
+             (0.95, 0.96, 0.12, 0.13, 15.3, 0.2),
+             (0.24, 0.25, 0.03, 0.03, 9.5, 0.1)),
+        _row("superblue11_a", 861314, 64302, 0.43, 42.94,
+             (1.85, 1.94, 0.15, 0.15, 3073.6, 23.4),
+             (1.49, 1.54, 0.12, 0.12, 2673.5, 21.7)),
+        _row("superblue12", 1172586, 114362, 0.45, 39.23,
+             (1.45, 1.63, 0.18, 0.22, 5079.0, 106.5),
+             (1.02, 1.07, 0.12, 0.12, 4462.4, 95.9)),
+        _row("superblue14", 564769, 47474, 0.56, 27.98,
+             (2.56, 2.62, 0.22, 0.22, 3360.6, 17.1),
+             (2.18, 2.20, 0.20, 0.19, 3141.1, 15.8)),
+        _row("superblue16_a", 625419, 55031, 0.48, 31.35,
+             (1.61, 1.73, 0.10, 0.12, 2470.7, 21.7),
+             (1.20, 1.26, 0.08, 0.08, 2221.0, 19.5)),
+        _row("superblue19", 478109, 27988, 0.52, 20.76,
+             (1.52, 1.60, 0.14, 0.14, 1848.8, 10.9),
+             (1.24, 1.28, 0.11, 0.11, 1717.4, 10.1)),
+    ]
+}
+
+#: Averages the paper reports in Table 1's summary rows.
+PAPER_AVERAGES = {
+    "aligned": PaperSide(1.00, 1.16, 0.44, 0.46, 1190.3, 10.4),
+    "relaxed": PaperSide(0.69, 0.71, 0.31, 0.18, 1096.3, 9.5),
+}
+
+#: Section 6 relaxation claims: relative improvement from turning the
+#: power-rail alignment constraint off.
+PAPER_RELAXATION_CLAIMS = {
+    "disp_reduction_ilp_pct": 38.0,
+    "disp_reduction_ours_pct": 42.0,
+    "dhpwl_improvement_ilp_pct": 45.0,
+    "dhpwl_improvement_ours_pct": 58.0,
+}
+
+#: Aggregate claims quoted in Section 6's text.
+PAPER_TEXT_CLAIMS = {
+    "ilp_disp_advantage_pct": 13.0,  # "13% better in displacement"
+    "ilp_runtime_ratio": 185.0,  # "runtime is 185x higher"
+}

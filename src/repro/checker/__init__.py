@@ -1,0 +1,35 @@
+"""Independent legality checking and quality metrics.
+
+The checker re-validates the four constraints of paper Section 2 from
+scratch (it does not trust the legalizer's own bookkeeping), plus the
+database invariant that placed cells are registered in exactly the
+segment lists they overlap.
+"""
+
+from repro.checker.legality import (
+    Violation,
+    ViolationKind,
+    assert_legal,
+    verify_placement,
+)
+from repro.checker.metrics import (
+    DisplacementStats,
+    HpwlStats,
+    LegalizationReport,
+    displacement_stats,
+    hpwl_stats,
+    make_report,
+)
+
+__all__ = [
+    "DisplacementStats",
+    "HpwlStats",
+    "LegalizationReport",
+    "Violation",
+    "ViolationKind",
+    "assert_legal",
+    "displacement_stats",
+    "hpwl_stats",
+    "make_report",
+    "verify_placement",
+]

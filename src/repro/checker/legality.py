@@ -1,0 +1,208 @@
+"""Legality verification (paper Section 2, constraints 1-4).
+
+``verify_placement`` walks the whole design and returns every violation it
+finds.  It deliberately avoids the :class:`~repro.db.design.Design`
+occupancy helpers for the overlap check — a plane-sweep over cell
+rectangles is used instead — so that a bug in the segment bookkeeping
+cannot mask itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+class ViolationKind(Enum):
+    """The legality rule a violation breaks."""
+
+    UNPLACED = "unplaced"
+    OUT_OF_BOUNDS = "out_of_bounds"
+    NOT_IN_SEGMENT = "not_in_segment"
+    RAIL_MISALIGNED = "rail_misaligned"
+    OVERLAP = "overlap"
+    BAD_REGISTRATION = "bad_registration"
+    WRONG_REGION = "wrong_region"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One legality violation, naming the offending cell(s)."""
+
+    kind: ViolationKind
+    cells: tuple[str, ...]
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.kind.value}] {self.message}"
+
+
+def verify_placement(
+    design: Design,
+    power_aligned: bool = True,
+    require_all_placed: bool = True,
+    check_registration: bool = True,
+) -> list[Violation]:
+    """All legality violations of the current placement.
+
+    Parameters
+    ----------
+    power_aligned:
+        When True (default), constraint 4 (rail parity of even-height
+        cells) is enforced; the paper's second experiment relaxes it.
+    require_all_placed:
+        When True, unplaced movable cells are violations.
+    check_registration:
+        Also verify the segment cell-list invariant of Section 2.1.2.
+    """
+    violations: list[Violation] = []
+    fp = design.floorplan
+    placed: list[Cell] = []
+
+    for cell in design.cells:
+        if not cell.is_placed:
+            if require_all_placed and not cell.fixed:
+                violations.append(
+                    Violation(
+                        ViolationKind.UNPLACED,
+                        (cell.name,),
+                        f"cell {cell.name!r} has no position",
+                    )
+                )
+            continue
+        placed.append(cell)
+        assert cell.x is not None and cell.y is not None
+        if cell.y < 0 or cell.y + cell.height > fp.num_rows:
+            violations.append(
+                Violation(
+                    ViolationKind.OUT_OF_BOUNDS,
+                    (cell.name,),
+                    f"cell {cell.name!r} rows [{cell.y},{cell.y + cell.height})"
+                    f" outside [0,{fp.num_rows})",
+                )
+            )
+            continue
+        # Constraint 3: contained in a segment in every row it spans —
+        # and, with fence regions, in a segment of the cell's region.
+        for row in cell.rows_spanned():
+            seg = fp.segment_containing_span(row, cell.x, cell.width)
+            if seg is None:
+                violations.append(
+                    Violation(
+                        ViolationKind.NOT_IN_SEGMENT,
+                        (cell.name,),
+                        f"cell {cell.name!r} span [{cell.x},{cell.x + cell.width})"
+                        f" not inside a segment of row {row}",
+                    )
+                )
+            elif seg.region != cell.region:
+                violations.append(
+                    Violation(
+                        ViolationKind.WRONG_REGION,
+                        (cell.name,),
+                        f"cell {cell.name!r} (region {cell.region}) occupies "
+                        f"a region-{seg.region} segment in row {row}",
+                    )
+                )
+        # Constraint 4: power-rail alignment for even-height cells.
+        if power_aligned and not design.row_compatible(cell, cell.y):
+            violations.append(
+                Violation(
+                    ViolationKind.RAIL_MISALIGNED,
+                    (cell.name,),
+                    f"even-height cell {cell.name!r} starts on row {cell.y} "
+                    f"with mismatched bottom rail",
+                )
+            )
+
+    violations.extend(_find_overlaps(placed))
+    if check_registration:
+        violations.extend(_check_registration(design, placed))
+    return violations
+
+
+def _find_overlaps(placed: list[Cell]) -> list[Violation]:
+    """Constraint 1: pairwise overlap check via a per-row sweep."""
+    violations: list[Violation] = []
+    by_row: dict[int, list[Cell]] = {}
+    for cell in placed:
+        for row in cell.rows_spanned():
+            by_row.setdefault(row, []).append(cell)
+    reported: set[tuple[int, int]] = set()
+    for row, cells in by_row.items():
+        cells.sort(key=lambda c: (c.x, c.id))
+        for a, b in zip(cells, cells[1:]):
+            assert a.x is not None and b.x is not None
+            if a.x + a.width > b.x:
+                key = (min(a.id, b.id), max(a.id, b.id))
+                if key not in reported:
+                    reported.add(key)
+                    violations.append(
+                        Violation(
+                            ViolationKind.OVERLAP,
+                            (a.name, b.name),
+                            f"cells {a.name!r} and {b.name!r} overlap in row {row}",
+                        )
+                    )
+    return violations
+
+
+def _check_registration(design: Design, placed: list[Cell]) -> list[Violation]:
+    """Database invariant: height-h cell in exactly its h segment lists."""
+    violations: list[Violation] = []
+    expected: dict[int, set[int]] = {c.id: set() for c in placed}
+    for cell in placed:
+        assert cell.x is not None
+        for row in cell.rows_spanned():
+            seg = design.floorplan.segment_containing_span(row, cell.x, cell.width)
+            if seg is not None:
+                expected[cell.id].add(seg.id)
+    actual: dict[int, set[int]] = {c.id: set() for c in placed}
+    names = {c.id: c.name for c in placed}
+    for seg in design.floorplan.segments:
+        last_x = None
+        for c in seg.cells:
+            if c.id in actual:
+                actual[c.id].add(seg.id)
+            if c.x is None or (last_x is not None and c.x < last_x):
+                violations.append(
+                    Violation(
+                        ViolationKind.BAD_REGISTRATION,
+                        (c.name,),
+                        f"segment {seg.id} cell list is not x-sorted at "
+                        f"{c.name!r}",
+                    )
+                )
+            last_x = c.x
+    for cid, segs in expected.items():
+        if actual.get(cid, set()) != segs:
+            violations.append(
+                Violation(
+                    ViolationKind.BAD_REGISTRATION,
+                    (names[cid],),
+                    f"cell {names[cid]!r} registered in segments "
+                    f"{sorted(actual.get(cid, set()))}, expected {sorted(segs)}",
+                )
+            )
+    return violations
+
+
+def assert_legal(
+    design: Design, power_aligned: bool = True, require_all_placed: bool = True
+) -> None:
+    """Raise :class:`AssertionError` listing violations, if any."""
+    violations = verify_placement(
+        design,
+        power_aligned=power_aligned,
+        require_all_placed=require_all_placed,
+    )
+    if violations:
+        head = "\n".join(str(v) for v in violations[:20])
+        more = "" if len(violations) <= 20 else f"\n... and {len(violations) - 20} more"
+        raise AssertionError(
+            f"placement of {design.name!r} has {len(violations)} violations:\n"
+            f"{head}{more}"
+        )

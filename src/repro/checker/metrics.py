@@ -1,0 +1,103 @@
+"""Quality metrics: displacement and HPWL (paper Table 1 columns).
+
+The paper reports
+
+* average cell displacement in *number of site widths* — micron
+  displacement divided by the site width,
+* HPWL change relative to the input global placement, in percent,
+* wall-clock runtime.
+
+``make_report`` bundles all three for one legalization run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class DisplacementStats:
+    """Displacement aggregates over all placed movable cells."""
+
+    total_um: float
+    avg_um: float
+    max_um: float
+    avg_sites: float
+    """Average displacement divided by the site width (Table 1 unit)."""
+    num_cells: int
+
+
+@dataclass(frozen=True, slots=True)
+class HpwlStats:
+    """HPWL before (global placement) and after legalization."""
+
+    gp_um: float
+    legal_um: float
+
+    @property
+    def delta_pct(self) -> float:
+        """Percent HPWL change caused by legalization (Table 1 ΔHPWL)."""
+        if self.gp_um == 0:
+            return 0.0
+        return 100.0 * (self.legal_um - self.gp_um) / self.gp_um
+
+
+@dataclass(frozen=True, slots=True)
+class LegalizationReport:
+    """One Table 1 row: displacement, ΔHPWL and runtime for a run."""
+
+    design_name: str
+    displacement: DisplacementStats
+    hpwl: HpwlStats
+    runtime_s: float
+
+    def row(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"{self.design_name:<18s} disp={self.displacement.avg_sites:7.3f} sites  "
+            f"dHPWL={self.hpwl.delta_pct:+6.2f}%  t={self.runtime_s:8.3f}s"
+        )
+
+
+def displacement_stats(design: Design) -> DisplacementStats:
+    """Displacement of every placed movable cell vs. its GP position."""
+    fp = design.floorplan
+    total = 0.0
+    peak = 0.0
+    n = 0
+    for cell in design.movable_cells():
+        if not cell.is_placed:
+            continue
+        dx, dy = cell.displacement_sites()
+        d_um = fp.displacement_um(dx, dy)
+        total += d_um
+        peak = max(peak, d_um)
+        n += 1
+    avg = total / n if n else 0.0
+    return DisplacementStats(
+        total_um=total,
+        avg_um=avg,
+        max_um=peak,
+        avg_sites=avg / fp.site_width_um if fp.site_width_um else 0.0,
+        num_cells=n,
+    )
+
+
+def hpwl_stats(design: Design) -> HpwlStats:
+    """HPWL at the GP positions and at the current positions."""
+    return HpwlStats(
+        gp_um=design.hpwl_um(use_gp=True),
+        legal_um=design.hpwl_um(use_gp=False),
+    )
+
+
+def make_report(design: Design, runtime_s: float) -> LegalizationReport:
+    """Bundle displacement + HPWL + runtime for the current placement."""
+    return LegalizationReport(
+        design_name=design.name,
+        displacement=displacement_stats(design),
+        hpwl=hpwl_stats(design),
+        runtime_s=runtime_s,
+    )

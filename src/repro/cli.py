@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  --cells 2000 --density 0.5 --out DIR     # make a design
+    repro legalize  DIR/design.aux --out DIR2 [--algorithm mll|optimal|
+                    milp|abacus|tetris] [--relaxed] [--exact]
+    repro check     DIR/design.aux [--relaxed]                # verify only
+    repro show      DIR/design.aux [--svg out.svg] [--window X Y W H]
+    repro stats     DIR/design.aux                            # metrics
+
+Also available as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.baselines import (
+    MilpLegalizer,
+    OptimalLegalizer,
+    abacus_legalize,
+    tetris_legalize,
+)
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import displacement_stats, hpwl_stats, verify_placement
+from repro.core import EvaluationMode, Legalizer, LegalizerConfig
+from repro.io import read_bookshelf, read_lefdef, write_bookshelf, write_lefdef
+
+
+def _load(path: str):
+    """Read a design from a .aux (Bookshelf) or .def (LEF/DEF) path."""
+    if path.endswith(".def"):
+        lef = path[: -len(".def")] + ".lef"
+        return read_lefdef(lef, path)
+    return read_bookshelf(path)
+
+
+def _save(design, out_dir: str, fmt: str, name: str | None = None) -> str:
+    if fmt == "lefdef":
+        _, def_path = write_lefdef(design, out_dir, name)
+        return def_path
+    return write_bookshelf(design, out_dir, name)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    design = generate_design(
+        GeneratorConfig(
+            num_cells=args.cells,
+            target_density=args.density,
+            double_row_fraction=args.double_fraction,
+            triple_row_fraction=args.triple_fraction,
+            blockage_fraction=args.blockages,
+            fence_count=args.fences,
+            seed=args.seed,
+            name=args.name,
+        )
+    )
+    path = _save(design, args.out, args.format, args.name)
+    print(f"wrote {path}  ({len(design.cells)} cells, "
+          f"density {design.density():.2f})")
+    return 0
+
+
+def _make_config(args: argparse.Namespace) -> LegalizerConfig:
+    return LegalizerConfig(
+        rx=args.rx,
+        ry=args.ry,
+        seed=args.seed,
+        power_aligned=not args.relaxed,
+        evaluation=EvaluationMode.EXACT if args.exact else EvaluationMode.APPROX,
+    )
+
+
+def _cmd_legalize(args: argparse.Namespace) -> int:
+    design = _load(args.aux)
+    design.reset_placement()
+    config = _make_config(args)
+    t0 = time.perf_counter()
+    if args.algorithm == "mll":
+        Legalizer(design, config).run()
+    elif args.algorithm == "optimal":
+        OptimalLegalizer(design, config).run()
+    elif args.algorithm == "milp":
+        MilpLegalizer(design, config).run()
+    elif args.algorithm == "abacus":
+        abacus_legalize(design, power_aligned=not args.relaxed)
+    else:
+        tetris_legalize(design, power_aligned=not args.relaxed)
+    runtime = time.perf_counter() - t0
+
+    violations = verify_placement(
+        design, power_aligned=not args.relaxed, require_all_placed=False
+    )
+    unplaced = sum(1 for c in design.movable_cells() if not c.is_placed)
+    disp = displacement_stats(design)
+    hp = hpwl_stats(design)
+    print(
+        f"{args.algorithm}: {runtime:.2f}s  disp {disp.avg_sites:.3f} sites"
+        f"  dHPWL {hp.delta_pct:+.2f}%  violations {len(violations)}"
+        f"  unplaced {unplaced}"
+    )
+    if args.out:
+        path = _save(design, args.out, args.format)
+        print(f"wrote {path}")
+    return 1 if violations or unplaced else 0
+
+
+def _cmd_gp(args: argparse.Namespace) -> int:
+    from repro.gp import GlobalPlacerConfig, global_place
+
+    design = _load(args.aux)
+    design.reset_placement()
+    t0 = time.perf_counter()
+    global_place(
+        design,
+        GlobalPlacerConfig(seed=args.seed, iterations=args.iterations),
+    )
+    runtime = time.perf_counter() - t0
+    print(
+        f"global placement: {runtime:.2f}s  "
+        f"HPWL {design.hpwl_um(use_gp=True) / 1e4:.4f} cm"
+    )
+    if args.out:
+        path = _save(design, args.out, args.format)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    design = _load(args.aux)
+    violations = verify_placement(design, power_aligned=not args.relaxed)
+    if not violations:
+        print("legal")
+        return 0
+    for v in violations[:50]:
+        print(v)
+    print(f"{len(violations)} violations")
+    return 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.geometry import Rect
+    from repro.viz import render_ascii, render_svg
+
+    design = _load(args.aux)
+    window = Rect(*args.window) if args.window else None
+    if args.svg:
+        render_svg(design, window=window, show_gp=args.gp, path=args.svg)
+        print(f"wrote {args.svg}")
+    else:
+        print(render_ascii(design, window=window, show_gp=args.gp))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    design = _load(args.aux)
+    fp = design.floorplan
+    singles = sum(1 for c in design.cells if c.height == 1)
+    doubles = sum(1 for c in design.cells if c.height == 2)
+    taller = len(design.cells) - singles - doubles
+    print(f"design:    {design.name}")
+    print(f"floorplan: {fp.num_rows} rows x {fp.row_width} sites, "
+          f"{len(fp.blockages)} blockages")
+    print(f"cells:     {len(design.cells)} "
+          f"({singles} single / {doubles} double / {taller} taller)")
+    print(f"density:   {design.density():.3f}")
+    print(f"nets:      {len(design.netlist)}")
+    placed = sum(1 for c in design.cells if c.is_placed)
+    print(f"placed:    {placed}")
+    if placed:
+        disp = displacement_stats(design)
+        print(f"avg disp:  {disp.avg_sites:.3f} sites ({disp.avg_um:.3f} um)")
+        print(f"HPWL:      {design.hpwl_um() / 1e4:.4f} cm")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="multi-row height legalization toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic design")
+    p.add_argument("--cells", type=int, default=2000)
+    p.add_argument("--density", type=float, default=0.5)
+    p.add_argument("--double-fraction", type=float, default=0.10)
+    p.add_argument("--triple-fraction", type=float, default=0.0)
+    p.add_argument("--blockages", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--name", default="design")
+    p.add_argument("--fences", type=int, default=0)
+    p.add_argument("--format", choices=["bookshelf", "lefdef"],
+                   default="bookshelf")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("legalize", help="legalize a Bookshelf design")
+    p.add_argument("aux")
+    p.add_argument(
+        "--algorithm",
+        choices=["mll", "optimal", "milp", "abacus", "tetris"],
+        default="mll",
+    )
+    p.add_argument("--relaxed", action="store_true",
+                   help="drop the power-rail alignment constraint")
+    p.add_argument("--exact", action="store_true",
+                   help="exact insertion point evaluation")
+    p.add_argument("--rx", type=int, default=30)
+    p.add_argument("--ry", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="directory for the legalized bundle")
+    p.add_argument("--format", choices=["bookshelf", "lefdef"],
+                   default="bookshelf")
+    p.set_defaults(func=_cmd_legalize)
+
+    p = sub.add_parser("gp", help="global placement from the netlist")
+    p.add_argument("aux")
+    p.add_argument("--iterations", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="directory for the placed bundle")
+    p.add_argument("--format", choices=["bookshelf", "lefdef"],
+                   default="bookshelf")
+    p.set_defaults(func=_cmd_gp)
+
+    p = sub.add_parser("check", help="verify legality")
+    p.add_argument("aux")
+    p.add_argument("--relaxed", action="store_true")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("show", help="render a placement")
+    p.add_argument("aux")
+    p.add_argument("--svg", help="write an SVG instead of ASCII")
+    p.add_argument("--gp", action="store_true", help="show GP positions")
+    p.add_argument("--window", type=int, nargs=4,
+                   metavar=("X", "Y", "W", "H"))
+    p.set_defaults(func=_cmd_show)
+
+    p = sub.add_parser("stats", help="print design statistics")
+    p.add_argument("aux")
+    p.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

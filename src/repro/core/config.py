@@ -1,0 +1,92 @@
+"""Legalizer configuration.
+
+The defaults mirror the paper's implementation choices: window half-sizes
+``Rx = 30`` sites and ``Ry = 5`` rows (Section 3), approximate insertion
+point evaluation using neighboring cells only (Section 5.2), and power
+rail alignment enforced (the relaxation experiment of Section 6 turns it
+off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CellOrder(Enum):
+    """Order in which Algorithm 1 processes cells.
+
+    The paper processes cells "in an arbitrary order" (INPUT).  On small,
+    dense dies placing tall cells first avoids fragmenting the vertical
+    space they need (TALL_FIRST), at a small displacement cost for the
+    single-row majority.
+    """
+
+    INPUT = "input"
+    TALL_FIRST = "tall_first"
+
+
+class EvaluationMode(Enum):
+    """How an insertion point's cost and target position are computed."""
+
+    APPROX = "approx"
+    """Neighbor-only critical positions (paper Section 5.2, last
+    paragraph) — O(h_t) per insertion point; the paper's default."""
+
+    EXACT = "exact"
+    """Full critical positions via longest-path propagation over the push
+    chains — O(|C_W|) per insertion point, exact cost."""
+
+
+@dataclass(frozen=True, slots=True)
+class LegalizerConfig:
+    """Tunable parameters of Algorithm 1 and MLL."""
+
+    rx: int = 30
+    """Horizontal window half-size in sites (paper: Rx = 30)."""
+
+    ry: int = 5
+    """Vertical window half-size in rows (paper: Ry = 5)."""
+
+    power_aligned: bool = True
+    """Enforce power-rail alignment of even-height cells (constraint 4).
+
+    ``False`` reproduces the "Power Line Not Aligned" experiment."""
+
+    evaluation: EvaluationMode = EvaluationMode.APPROX
+    """Insertion point evaluation mode."""
+
+    seed: int = 0
+    """Seed of the retry-perturbation RNG (Algorithm 1 lines 9-17)."""
+
+    order: CellOrder = CellOrder.INPUT
+    """Cell processing order of the first pass."""
+
+    max_rounds: int = 200
+    """Safety bound on retry rounds before giving up on a design."""
+
+    double_row_parity: int | None = None
+    """Emulate Wu & Chu's restriction (paper ref [10], TCAD'16): double-
+    row-height cells may only start on rows whose index has this parity
+    (0 = even rows).  ``None`` (default) is the paper's unrestricted
+    algorithm; the ablation bench quantifies what the restriction costs."""
+
+    max_target_displacement_um: float | None = None
+    """Optional cap on the target cell's own displacement per MLL call
+    — the displacement-constrained instant legalization of the paper's
+    ref [11] (Chow et al., ISPD 2014).  Insertion points that would move
+    the target farther than this are rejected; MLL fails when none
+    remain.  ``None`` (default) disables the cap, matching the paper."""
+
+    def __post_init__(self) -> None:
+        if self.rx < 1 or self.ry < 0:
+            raise ValueError("rx must be >= 1 and ry >= 0")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        if (
+            self.max_target_displacement_um is not None
+            and self.max_target_displacement_um < 0
+        ):
+            raise ValueError("max_target_displacement_um must be >= 0")
+        if self.double_row_parity not in (None, 0, 1):
+            raise ValueError("double_row_parity must be None, 0 or 1")

@@ -1,0 +1,257 @@
+"""Insertion point evaluation (paper Section 5.2, Figure 9).
+
+Fixing an insertion point fixes every cell's relative position; only the
+target's exact x remains free.  Each local cell's displacement as a
+function of the target x is the V-with-flat-bottom curve of equation (3),
+characterized by two *critical positions* ``x_a`` (below which the cell
+is pushed left… actually: below which the target pushes the cell) and
+``x_b``:
+
+* a cell on the target's **left** is displaced iff the target x drops
+  below ``x_a = x_c + chain``, where ``chain`` is the largest total width
+  of cells on a push path from the target to the cell (inclusive);
+* a cell on the target's **right** is displaced iff the target x exceeds
+  ``x_b = x_c - w_t - chain'``, where ``chain'`` sums the widths of the
+  cells strictly between the target and the cell on the worst path;
+* the target itself contributes the degenerate curve
+  ``x_a = x_b = desired x``.
+
+The total displacement is convex piecewise-linear; its minimum is attained
+at the median of the multiset of critical positions (left cells contribute
+``x_b = +inf``, right cells ``x_a = -inf``).  The push paths form a DAG —
+multi-row cells fan a push out into every row they span — and the chain
+maxima are longest paths, computable in one sweep over cells ordered by x
+(paper: "values of all critical positions can be found in O(|C_W|)").
+
+The *approximate* mode (the paper's default) only uses the ≤ 2·h_t cells
+adjacent to the chosen gaps: ``x_a = x_i + w_i`` for a left neighbor,
+``x_b = x_j - w_t`` for a right neighbor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import EvaluationMode
+from repro.core.enumeration import InsertionPoint
+from repro.core.local_region import LocalRegion
+from repro.db.cell import Cell
+
+_INF = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluatedPoint:
+    """An insertion point with its chosen target x and estimated cost.
+
+    ``cost`` is in *micron* units so that horizontal (site width) and
+    vertical (row height) displacement combine consistently.
+    """
+
+    point: InsertionPoint
+    target_x: int
+    cost: float
+
+    @property
+    def bottom_row(self) -> int:
+        """Row of the target's lower edge."""
+        return self.point.bottom_row
+
+
+def _critical_positions_exact(
+    region: LocalRegion,
+    point: InsertionPoint,
+    target_width: int,
+) -> list[tuple[float, float]]:
+    """(x_a, x_b) pairs of every local cell displaced by some target x.
+
+    Longest-path propagation over the push DAG, left side and right side
+    independently.  Cells unreachable from the target never move and are
+    omitted (their curve is identically zero).
+    """
+    pairs: list[tuple[float, float]] = []
+
+    # --- left side: chain[c] = max total width from target to c inclusive.
+    chain: dict[int, float] = {}
+    seeds: list[Cell] = [iv.left for iv in point.intervals if iv.left is not None]
+    order: list[Cell] = []
+    seen: set[int] = set()
+    # Work right-to-left: a push goes from a cell to its left neighbors.
+    stack = list(seeds)
+    for c in stack:
+        if c.id not in seen:
+            seen.add(c.id)
+            order.append(c)
+    i = 0
+    while i < len(order):
+        c = order[i]
+        i += 1
+        for row in c.rows_spanned():
+            seg = region.segments[row]
+            idx = region.cell_index(row, c)
+            if idx > 0:
+                p = seg.cells[idx - 1]
+                if p.id not in seen:
+                    seen.add(p.id)
+                    order.append(p)
+    # Longest path: process in decreasing current-x order (topological).
+    order.sort(key=lambda c: -(c.x or 0))
+    seed_ids = {c.id for c in seeds}
+    pushers: dict[int, list[Cell]] = {}
+    for c in order:
+        for row in c.rows_spanned():
+            seg = region.segments[row]
+            idx = region.cell_index(row, c)
+            if idx > 0:
+                p = seg.cells[idx - 1]
+                if p.id in seen:
+                    pushers.setdefault(p.id, []).append(c)
+    for c in order:
+        base = c.width if c.id in seed_ids else -_INF
+        via = max(
+            (chain[q.id] + c.width for q in pushers.get(c.id, ()) if q.id in chain),
+            default=-_INF,
+        )
+        val = max(base, via)
+        if val > -_INF:
+            chain[c.id] = val
+            assert c.x is not None
+            pairs.append((c.x + val, _INF))
+
+    # --- right side: chain'[c] = max width strictly between target and c.
+    chain_r: dict[int, float] = {}
+    seeds_r = [iv.right for iv in point.intervals if iv.right is not None]
+    seen_r: set[int] = set()
+    order_r: list[Cell] = []
+    for c in seeds_r:
+        if c.id not in seen_r:
+            seen_r.add(c.id)
+            order_r.append(c)
+    i = 0
+    while i < len(order_r):
+        c = order_r[i]
+        i += 1
+        for row in c.rows_spanned():
+            seg = region.segments[row]
+            idx = region.cell_index(row, c)
+            if idx + 1 < len(seg.cells):
+                nxt = seg.cells[idx + 1]
+                if nxt.id not in seen_r:
+                    seen_r.add(nxt.id)
+                    order_r.append(nxt)
+    order_r.sort(key=lambda c: (c.x or 0))
+    seed_ids_r = {c.id for c in seeds_r}
+    pushers_r: dict[int, list[Cell]] = {}
+    for c in order_r:
+        for row in c.rows_spanned():
+            seg = region.segments[row]
+            idx = region.cell_index(row, c)
+            if idx + 1 < len(seg.cells):
+                nxt = seg.cells[idx + 1]
+                if nxt.id in seen_r:
+                    pushers_r.setdefault(nxt.id, []).append(c)
+    for c in order_r:
+        base = 0.0 if c.id in seed_ids_r else -_INF
+        via = max(
+            (
+                chain_r[p.id] + p.width
+                for p in pushers_r.get(c.id, ())
+                if p.id in chain_r
+            ),
+            default=-_INF,
+        )
+        val = max(base, via)
+        if val > -_INF:
+            chain_r[c.id] = val
+            assert c.x is not None
+            pairs.append((-_INF, c.x - target_width - val))
+
+    return pairs
+
+
+def _critical_positions_approx(
+    point: InsertionPoint,
+    target_width: int,
+) -> list[tuple[float, float]]:
+    """Neighbor-only critical positions (paper Section 5.2 last para)."""
+    pairs: list[tuple[float, float]] = []
+    for iv in point.intervals:
+        if iv.left is not None:
+            assert iv.left.x is not None
+            pairs.append((iv.left.x + iv.left.width, _INF))
+        if iv.right is not None:
+            assert iv.right.x is not None
+            pairs.append((-_INF, iv.right.x - target_width))
+    return pairs
+
+
+def _total_cost(pairs: list[tuple[float, float]], x: float) -> float:
+    """Sum of equation-(3) curves at target position *x*, in sites."""
+    total = 0.0
+    for a, b in pairs:
+        if x < a:
+            total += a - x
+        elif x > b:
+            total += x - b
+    return total
+
+
+def _optimal_x(
+    pairs: list[tuple[float, float]],
+    x_lo: int,
+    x_hi: int,
+    desired_x: float,
+) -> int:
+    """Integer x in [x_lo, x_hi] minimizing the summed curves.
+
+    The median of the critical-position multiset minimizes the sum; we
+    clamp it into the feasible range and round to the site grid, picking
+    the better of floor/ceil (the objective is convex).
+    """
+    endpoints = sorted(v for pair in pairs for v in pair)
+    n = len(endpoints)
+    if n == 0:
+        best = min(max(desired_x, x_lo), x_hi)
+        return int(round(best))
+    # Lower median; any point of [endpoints[n//2-1], endpoints[n//2]] is
+    # optimal for even n, and endpoints[n//2] for odd n.
+    med = endpoints[(n - 1) // 2]
+    if med == -_INF:
+        med = x_lo
+    elif med == _INF:
+        med = x_hi
+    clamped = min(max(med, x_lo), x_hi)
+    candidates = {x_lo, x_hi, int(math.floor(clamped)), int(math.ceil(clamped))}
+    candidates = {x for x in candidates if x_lo <= x <= x_hi}
+    return min(candidates, key=lambda x: (_total_cost(pairs, x), abs(x - desired_x)))
+
+
+def evaluate_insertion_point(
+    region: LocalRegion,
+    point: InsertionPoint,
+    target: Cell,
+    desired_x: float,
+    desired_y: float,
+    site_width_um: float,
+    site_height_um: float,
+    mode: EvaluationMode = EvaluationMode.APPROX,
+) -> EvaluatedPoint:
+    """Choose the target x for *point* and estimate its total cost.
+
+    The cost combines the local cells' x-displacement (sites × site
+    width) with the target's displacement from its desired position
+    (Manhattan, in microns).  In :data:`EvaluationMode.EXACT` the cost is
+    the true total displacement of the realized placement; in
+    :data:`EvaluationMode.APPROX` only gap-adjacent cells contribute.
+    """
+    if mode is EvaluationMode.EXACT:
+        pairs = _critical_positions_exact(region, point, target.width)
+    else:
+        pairs = _critical_positions_approx(point, target.width)
+    # The target's own displacement curve: x_a = x_b = desired_x.
+    pairs.append((desired_x, desired_x))
+    x = _optimal_x(pairs, point.x_lo, point.x_hi, desired_x)
+    cost_sites = _total_cost(pairs, x)
+    cost = cost_sites * site_width_um + abs(point.bottom_row - desired_y) * site_height_um
+    return EvaluatedPoint(point=point, target_x=x, cost=cost)

@@ -1,0 +1,113 @@
+"""MLL telemetry.
+
+Attach an :class:`MllTelemetry` to a
+:class:`~repro.core.mll.MultiRowLocalLegalizer` (or to the legalizer's
+``mll``) and every ``try_place`` call records what the algorithm saw:
+local population, number of insertion points enumerated, cells actually
+pushed, cost, and wall time.  ``summary()`` aggregates the records into
+the quantities the paper reasons about — the O(|C_W|^h) enumeration
+population and the O(|C_W|) realization work.
+
+Telemetry is strictly opt-in; the hot path pays nothing when no
+telemetry object is attached.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class MllCallRecord:
+    """One MLL invocation's observations."""
+
+    success: bool
+    target_width: int
+    target_height: int
+    local_cells: int
+    insertion_points: int
+    cells_pushed: int
+    cost_um: float
+    runtime_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySummary:
+    """Aggregates over all recorded calls."""
+
+    calls: int
+    successes: int
+    mean_local_cells: float
+    mean_insertion_points: float
+    max_insertion_points: int
+    mean_cells_pushed: float
+    mean_cost_um: float
+    p95_cost_um: float
+    total_runtime_s: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"MLL calls={self.calls} ok={self.successes} "
+            f"|C_W|~{self.mean_local_cells:.1f} "
+            f"points~{self.mean_insertion_points:.1f} "
+            f"(max {self.max_insertion_points}) "
+            f"pushed~{self.mean_cells_pushed:.1f} "
+            f"cost~{self.mean_cost_um:.3f}um "
+            f"t={self.total_runtime_s:.2f}s"
+        )
+
+
+@dataclass(slots=True)
+class MllTelemetry:
+    """Collects :class:`MllCallRecord` objects."""
+
+    records: list[MllCallRecord] = field(default_factory=list)
+
+    def record(self, rec: MllCallRecord) -> None:
+        """Append one call record."""
+        self.records.append(rec)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+    def histogram(self, attr: str, bins: int = 10) -> list[tuple[float, int]]:
+        """(bin lower edge, count) pairs for one numeric record field."""
+        values = [float(getattr(r, attr)) for r in self.records]
+        if not values:
+            return []
+        lo, hi = min(values), max(values)
+        if hi == lo:
+            return [(lo, len(values))]
+        width = (hi - lo) / bins
+        counts = [0] * bins
+        for v in values:
+            idx = min(bins - 1, int((v - lo) / width))
+            counts[idx] += 1
+        return [(lo + i * width, c) for i, c in enumerate(counts)]
+
+    def summary(self) -> TelemetrySummary:
+        """Aggregate statistics over all records."""
+        n = len(self.records)
+        if n == 0:
+            return TelemetrySummary(0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
+
+        def mean(attr: str) -> float:
+            return sum(getattr(r, attr) for r in self.records) / n
+
+        costs = sorted(
+            r.cost_um for r in self.records if math.isfinite(r.cost_um)
+        )
+        p95 = costs[min(len(costs) - 1, int(0.95 * len(costs)))] if costs else 0.0
+        return TelemetrySummary(
+            calls=n,
+            successes=sum(1 for r in self.records if r.success),
+            mean_local_cells=mean("local_cells"),
+            mean_insertion_points=mean("insertion_points"),
+            max_insertion_points=max(r.insertion_points for r in self.records),
+            mean_cells_pushed=mean("cells_pushed"),
+            mean_cost_um=sum(costs) / len(costs) if costs else 0.0,
+            p95_cost_um=p95,
+            total_runtime_s=sum(r.runtime_s for r in self.records),
+        )

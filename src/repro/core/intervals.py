@@ -1,0 +1,102 @@
+"""Insertion intervals (paper Section 5.1.1, Figure 7).
+
+For a target cell of width ``w_t``, every gap between horizontally
+consecutive local cells of a segment (or between a cell and the segment
+boundary) yields an interval ``[x_lo, x_hi]`` of feasible target-cell
+x-coordinates:
+
+* between cells ``i`` and ``j``:  ``[xL_i + w_i,  xR_j - w_t]``
+* between the left boundary and ``j``:  ``[x0,  xR_j - w_t]``
+* between ``i`` and the right boundary:  ``[xL_i + w_i,  x1 - w_t]``
+
+where ``xL`` / ``xR`` come from the leftmost/rightmost placements.  An
+interval with negative length admits no legal position and is discarded
+(Figure 7(f)) — but a discarded gap whose left cell is multi-row still
+matters to the enumeration scanline (it must clear queues), so
+``build_insertion_intervals`` returns discarded gaps separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import PlacementBounds
+from repro.core.local_region import LocalRegion
+from repro.db.cell import Cell
+
+
+@dataclass(frozen=True, slots=True)
+class InsertionInterval:
+    """One gap of one segment, annotated with the feasible target range.
+
+    ``left`` / ``right`` are the neighboring cells (``None`` encodes the
+    segment boundary, the paper's ``L`` / ``R`` markers).  ``gap_index``
+    is the slot position in the segment's ordered cell list: inserting at
+    ``gap_index`` g places the target between ``cells[g-1]`` and
+    ``cells[g]``.
+    """
+
+    row_index: int
+    left: Cell | None
+    right: Cell | None
+    gap_index: int
+    x_lo: int
+    x_hi: int
+
+    @property
+    def length(self) -> int:
+        """Signed length; negative means infeasible (Figure 7(f))."""
+        return self.x_hi - self.x_lo
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when at least one target position exists in the gap."""
+        return self.x_hi >= self.x_lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lname = self.left.name if self.left else "L"
+        rname = self.right.name if self.right else "R"
+        return (
+            f"I(r{self.row_index},{lname},{rname},[{self.x_lo},{self.x_hi}])"
+        )
+
+
+def build_insertion_intervals(
+    region: LocalRegion,
+    bounds: PlacementBounds,
+    target_width: int,
+) -> tuple[list[InsertionInterval], list[InsertionInterval]]:
+    """All insertion intervals of *region* for a target of *target_width*.
+
+    Returns ``(feasible, discarded)`` where *discarded* holds the
+    negative-length gaps (kept for the enumeration's queue-clearing
+    rule — see :mod:`repro.core.enumeration`).
+    """
+    feasible: list[InsertionInterval] = []
+    discarded: list[InsertionInterval] = []
+    for row in region.rows():
+        seg = region.segments[row]
+        n = len(seg.cells)
+        for g in range(n + 1):
+            left = seg.cells[g - 1] if g > 0 else None
+            right = seg.cells[g] if g < n else None
+            x_lo = (
+                seg.x0
+                if left is None
+                else bounds.x_left(left.id) + left.width
+            )
+            x_hi = (
+                seg.x1 - target_width
+                if right is None
+                else bounds.x_right(right.id) - target_width
+            )
+            interval = InsertionInterval(
+                row_index=row,
+                left=left,
+                right=right,
+                gap_index=g,
+                x_lo=x_lo,
+                x_hi=x_hi,
+            )
+            (feasible if interval.is_feasible else discarded).append(interval)
+    return feasible, discarded

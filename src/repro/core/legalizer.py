@@ -1,0 +1,148 @@
+"""The top-level legalization driver (paper Section 3, Algorithm 1).
+
+Every movable cell is first tried at its global-placement position: if
+the nearest site-aligned, rail-matching spot is free, the cell is placed
+directly; otherwise MLL legalizes it locally.  Cells that fail (their
+neighborhood is packed) are retried in later rounds at positions
+perturbed by uniform random offsets whose amplitude grows with the round
+number — ``Rand_x(k) ∈ [-Rx·(k-1), Rx·(k-1)]`` — until everything is
+placed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import CellOrder, LegalizerConfig
+from repro.core.mll import MultiRowLocalLegalizer
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+class LegalizationError(Exception):
+    """The driver exhausted its retry budget without placing every cell."""
+
+
+@dataclass(slots=True)
+class LegalizationResult:
+    """Run statistics of one legalization."""
+
+    placed: int = 0
+    direct_placements: int = 0
+    mll_successes: int = 0
+    mll_failures: int = 0
+    rounds: int = 0
+    runtime_s: float = 0.0
+    insertion_points_evaluated: int = 0
+    failed_cells: list[str] = field(default_factory=list)
+
+    @property
+    def mll_calls(self) -> int:
+        """Total MLL invocations."""
+        return self.mll_successes + self.mll_failures
+
+
+class Legalizer:
+    """Algorithm 1 bound to one design and configuration."""
+
+    def __init__(self, design: Design, config: LegalizerConfig | None = None) -> None:
+        self.design = design
+        self.config = config if config is not None else LegalizerConfig()
+        self.mll = MultiRowLocalLegalizer(design, self.config)
+
+    def run(self, cells: list[Cell] | None = None) -> LegalizationResult:
+        """Legalize *cells* (default: all unplaced movable cells).
+
+        Cells are processed in input order (the paper: "arbitrary
+        order").  Raises :class:`LegalizationError` when
+        ``config.max_rounds`` retry rounds do not suffice; the design is
+        left with the successfully placed subset in place.
+        """
+        t0 = time.perf_counter()
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        result = LegalizationResult()
+
+        if cells is None:
+            todo = [c for c in self.design.movable_cells() if not c.is_placed]
+        else:
+            todo = [c for c in cells if not c.is_placed]
+        if cfg.order is CellOrder.TALL_FIRST:
+            todo.sort(key=lambda c: (-c.height, -c.width, c.id))
+
+        # First pass at the raw GP positions (Algorithm 1 lines 2-7).
+        unplaced: list[Cell] = []
+        for cell in todo:
+            if not self._try_cell(cell, cell.gp_x, cell.gp_y, result):
+                unplaced.append(cell)
+
+        # Retry rounds with growing random perturbation (lines 8-17).
+        k = 1
+        while unplaced:
+            if k > cfg.max_rounds:
+                result.failed_cells = [c.name for c in unplaced]
+                result.runtime_s = time.perf_counter() - t0
+                raise LegalizationError(
+                    f"{len(unplaced)} cells unplaced after {cfg.max_rounds} "
+                    f"retry rounds on {self.design.name!r}"
+                )
+            # Amplitudes follow the paper (Rx·(k-1), Ry·(k-1)) but are
+            # capped at the die size: on small dies an unbounded amplitude
+            # would concentrate every clamped retry position on the die
+            # edges and never sample the interior.
+            amp_x = min(cfg.rx * (k - 1), self.design.floorplan.row_width)
+            amp_y = min(cfg.ry * (k - 1), self.design.floorplan.num_rows)
+            still: list[Cell] = []
+            for cell in unplaced:
+                tx = cell.gp_x + (rng.randint(-amp_x, amp_x) if amp_x else 0)
+                ty = cell.gp_y + (rng.randint(-amp_y, amp_y) if amp_y else 0)
+                if not self._try_cell(cell, tx, ty, result):
+                    still.append(cell)
+            unplaced = still
+            result.rounds = k
+            k += 1
+
+        result.runtime_s = time.perf_counter() - t0
+        return result
+
+    def _try_cell(
+        self, cell: Cell, tx: float, ty: float, result: LegalizationResult
+    ) -> bool:
+        """Direct placement at the nearest aligned free spot, else MLL."""
+        cfg = self.config
+        pos = self.design.nearest_position(
+            cell, tx, ty, power_aligned=cfg.power_aligned
+        )
+        if (
+            pos is not None
+            and cfg.double_row_parity is not None
+            and cell.height == 2
+            and pos[1] % 2 != cfg.double_row_parity
+        ):
+            pos = None  # Wu & Chu restriction: let MLL pick a legal row
+        if pos is not None and self.design.can_place(
+            cell, pos[0], pos[1], power_aligned=cfg.power_aligned
+        ):
+            self.design.place(
+                cell, pos[0], pos[1], power_aligned=cfg.power_aligned
+            )
+            result.direct_placements += 1
+            result.placed += 1
+            return True
+        mll_result = self.mll.try_place(cell, tx, ty)
+        result.insertion_points_evaluated += mll_result.num_insertion_points
+        if mll_result.success:
+            result.mll_successes += 1
+            result.placed += 1
+            return True
+        result.mll_failures += 1
+        return False
+
+
+def legalize(
+    design: Design, config: LegalizerConfig | None = None
+) -> LegalizationResult:
+    """One-call convenience wrapper around :class:`Legalizer`."""
+    return Legalizer(design, config).run()

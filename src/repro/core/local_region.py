@@ -1,0 +1,229 @@
+"""Local region extraction (paper Sections 2.1.3 and 3, Figure 3).
+
+Given a rectangular window, we carve out one *local segment* per row —
+a run of sites bounded by the window, by blockages/segment ends, and by
+*non-local* cells — and classify the cells completely contained in the
+local segments as *local cells*.  Local cells are the only cells MLL may
+move (and only horizontally).
+
+The paper omits the extraction algorithm ("due to page limit").  We use a
+fixed-point construction that matches every property stated in the paper:
+
+1. Cells not completely inside the window are non-local.
+2. Non-local cells split each row's span into candidate runs; the run
+   closest to the window center becomes the row's local segment.
+3. A cell is local iff it is completely contained in the local segment of
+   *every* row it spans; a cell inside the window that fails this (e.g. a
+   single-row cell in a non-chosen run, or a multi-row cell whose rows
+   chose incompatible runs — cells ``i`` and ``c`` of Figure 3) becomes
+   non-local, and extraction repeats with it as a blocker.
+
+The non-local set only grows, so the iteration terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.cell import Cell
+from repro.db.design import Design
+from repro.db.segment import Segment
+from repro.geometry import Rect
+
+
+@dataclass(slots=True)
+class LocalSegment:
+    """One row's slice of the local region.
+
+    ``cells`` holds the local cells overlapping the slice, ordered by x —
+    the order MLL will preserve.
+    """
+
+    row_index: int
+    x0: int
+    x1: int
+    db_segment: Segment
+    cells: list[Cell] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """Number of sites in the local segment."""
+        return self.x1 - self.x0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalSegment(row={self.row_index}, x=[{self.x0},{self.x1}), "
+            f"cells=[{', '.join(c.name for c in self.cells)}])"
+        )
+
+
+@dataclass(slots=True)
+class LocalRegion:
+    """The extracted local placement problem.
+
+    ``segments`` maps row index to the row's local segment; rows of the
+    window without a usable run are absent.  ``cells`` lists each local
+    cell once.
+    """
+
+    window: Rect
+    segments: dict[int, LocalSegment]
+    cells: list[Cell]
+
+    def rows(self) -> list[int]:
+        """Sorted row indices that have a local segment."""
+        return sorted(self.segments)
+
+    def cell_index(self, row_index: int, cell: Cell) -> int:
+        """Index of *cell* in the local segment of ``row_index``."""
+        seg = self.segments[row_index]
+        for i, c in enumerate(seg.cells):
+            if c is cell:
+                return i
+        raise ValueError(f"cell {cell.name!r} not local in row {row_index}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalRegion(window={self.window}, rows={self.rows()}, "
+            f"{len(self.cells)} local cells)"
+        )
+
+
+def extract_local_region(
+    design: Design, window: Rect, region_id: int | None = None
+) -> LocalRegion:
+    """Extract the local region for *window* (integer site coordinates).
+
+    ``region_id`` restricts the extraction to segments of one fence
+    region (the target cell's); segments are disjoint in x, so cells of
+    other regions can neither move for nor block the target and are
+    simply outside the local region.
+
+    See the module docstring for the construction.  The returned region
+    references the design's :class:`~repro.db.cell.Cell` objects directly;
+    realization mutates their positions in place.
+    """
+    fp = design.floorplan
+    row_lo = max(0, int(window.y))
+    row_hi = min(fp.num_rows, int(window.y1))
+    wx0 = max(0, int(window.x))
+    wx1 = min(fp.row_width, int(window.x1))
+    center_x = (wx0 + wx1) / 2
+
+    # Cells intersecting the window area at all (placed ones only).
+    touching: list[Cell] = design.cells_overlapping_rect(
+        Rect(wx0, row_lo, wx1 - wx0, row_hi - row_lo)
+    )
+    window_box = Rect(wx0, row_lo, wx1 - wx0, row_hi - row_lo)
+    non_local_ids: set[int] = set()
+    for cell in touching:
+        if cell.fixed or not window_box.contains_rect(cell.rect):
+            non_local_ids.add(cell.id)
+
+    while True:
+        segments = _choose_local_segments(
+            fp, touching, non_local_ids, row_lo, row_hi, wx0, wx1, center_x,
+            region_id,
+        )
+        local, rejected = _classify_cells(touching, non_local_ids, segments)
+        if not rejected:
+            for cell in local:
+                for row in cell.rows_spanned():
+                    segments[row].cells.append(cell)
+            for seg in segments.values():
+                seg.cells.sort(key=lambda c: c.x)  # type: ignore[arg-type,return-value]
+            return LocalRegion(window=window_box, segments=segments, cells=local)
+        non_local_ids.update(c.id for c in rejected)
+
+
+def _choose_local_segments(
+    fp,
+    touching: list[Cell],
+    non_local_ids: set[int],
+    row_lo: int,
+    row_hi: int,
+    wx0: int,
+    wx1: int,
+    center_x: float,
+    region_id: int | None = None,
+) -> dict[int, LocalSegment]:
+    """Pick, per row, the candidate run closest to the window center."""
+    segments: dict[int, LocalSegment] = {}
+    for row in range(row_lo, row_hi):
+        best: tuple[float, int, int, Segment] | None = None
+        for db_seg in fp.segments_in_row(row):
+            if db_seg.region != region_id:
+                continue
+            lo = max(db_seg.x0, wx0)
+            hi = min(db_seg.x1, wx1)
+            if lo >= hi:
+                continue
+            # Blockers: non-local cells overlapping this run.
+            spans = sorted(
+                (max(int(c.x), lo), min(int(c.x) + c.width, hi))  # type: ignore[arg-type]
+                for c in db_seg.cells
+                if c.id in non_local_ids and c.x is not None and c.x < hi
+                and c.x + c.width > lo
+            )
+            x = lo
+            for b_lo, b_hi in spans:
+                if b_lo > x:
+                    best = _better(best, x, b_lo, center_x, db_seg)
+                x = max(x, b_hi)
+            if x < hi:
+                best = _better(best, x, hi, center_x, db_seg)
+        if best is not None:
+            _, lo, hi, db_seg = best
+            segments[row] = LocalSegment(
+                row_index=row, x0=lo, x1=hi, db_segment=db_seg
+            )
+    return segments
+
+
+def _better(
+    best: tuple[float, int, int, Segment] | None,
+    lo: int,
+    hi: int,
+    center_x: float,
+    db_seg: Segment,
+) -> tuple[float, int, int, Segment]:
+    """Keep the run closest to the window center (ties: wider, leftmost)."""
+    if lo <= center_x <= hi:
+        dist = 0.0
+    else:
+        dist = min(abs(lo - center_x), abs(hi - center_x))
+    cand = (dist, lo, hi, db_seg)
+    if best is None:
+        return cand
+    if (dist, -(hi - lo), lo) < (best[0], -(best[2] - best[1]), best[1]):
+        return cand
+    return best
+
+
+def _classify_cells(
+    touching: list[Cell],
+    non_local_ids: set[int],
+    segments: dict[int, LocalSegment],
+) -> tuple[list[Cell], list[Cell]]:
+    """Split window cells into local and newly-rejected (non-local).
+
+    A cell is local iff every row it spans has a local segment that fully
+    contains the cell's span.
+    """
+    local: list[Cell] = []
+    rejected: list[Cell] = []
+    for cell in touching:
+        if cell.id in non_local_ids:
+            continue
+        assert cell.x is not None
+        ok = all(
+            row in segments
+            and cell.x >= segments[row].x0
+            and cell.x + cell.width <= segments[row].x1
+            for row in cell.rows_spanned()
+        )
+        if ok:
+            local.append(cell)
+        else:
+            rejected.append(cell)
+    return local, rejected

@@ -1,0 +1,43 @@
+"""Placement database substrate.
+
+This package models everything the legalizer operates on:
+
+* :mod:`repro.db.library` — standard-cell masters with width/height in
+  sites and a power-rail parity for even-height masters.
+* :mod:`repro.db.row` / :mod:`repro.db.floorplan` — placement rows on a
+  uniform site grid, placement blockages, and the *segments* (continuous
+  runs of unblocked sites) derived from them.
+* :mod:`repro.db.segment` — a segment with its ordered cell list
+  (paper Section 2.1.2).
+* :mod:`repro.db.cell` — cell instances carrying both the input
+  global-placement position and the current (legalized) position.
+* :mod:`repro.db.netlist` — nets over cell pins, for HPWL accounting.
+* :mod:`repro.db.design` — the :class:`~repro.db.design.Design` facade
+  tying all of the above together with placement/occupancy operations.
+"""
+
+from repro.db.cell import Cell
+from repro.db.design import Design, PlacementError
+from repro.db.fence import FenceRegion
+from repro.db.floorplan import Floorplan
+from repro.db.library import CellMaster, Library, PinOffset, Rail
+from repro.db.netlist import Net, Netlist, Pin
+from repro.db.row import Row
+from repro.db.segment import Segment
+
+__all__ = [
+    "Cell",
+    "CellMaster",
+    "Design",
+    "FenceRegion",
+    "Floorplan",
+    "Library",
+    "Net",
+    "Netlist",
+    "Pin",
+    "PinOffset",
+    "PlacementError",
+    "Rail",
+    "Row",
+    "Segment",
+]

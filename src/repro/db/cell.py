@@ -1,0 +1,96 @@
+"""Cell instances.
+
+A :class:`Cell` carries two positions:
+
+* ``gp_x`` / ``gp_y`` — the input global-placement position in fractional
+  site units (off-grid and possibly overlapping other cells); this is the
+  position displacement is measured against.
+* ``x`` / ``y`` — the current legalized position in integer site units, or
+  ``None`` while the cell is unplaced.
+
+Position fields always refer to the lower-left corner (paper Section 2.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.library import CellMaster
+from repro.geometry import Rect
+
+
+@dataclass(slots=True, eq=False)
+class Cell:
+    """One placeable instance of a :class:`~repro.db.library.CellMaster`."""
+
+    id: int
+    name: str
+    master: CellMaster
+    gp_x: float = 0.0
+    gp_y: float = 0.0
+    x: int | None = None
+    y: int | None = None
+    fixed: bool = field(default=False)
+    region: int | None = field(default=None)
+    """Fence region the cell is assigned to (None = default region);
+    the cell may only occupy segments with a matching region tag."""
+
+    @property
+    def width(self) -> int:
+        """Cell width in sites."""
+        return self.master.width
+
+    @property
+    def height(self) -> int:
+        """Cell height in rows."""
+        return self.master.height
+
+    @property
+    def is_placed(self) -> bool:
+        """True when the cell has a legalized position."""
+        return self.x is not None
+
+    @property
+    def is_multi_row(self) -> bool:
+        """True when the cell spans more than one row."""
+        return self.master.is_multi_row
+
+    @property
+    def rect(self) -> Rect:
+        """Bounding box at the current position.
+
+        Raises :class:`ValueError` when the cell is unplaced.
+        """
+        if self.x is None or self.y is None:
+            raise ValueError(f"cell {self.name!r} is not placed")
+        return Rect(self.x, self.y, self.width, self.height)
+
+    @property
+    def gp_rect(self) -> Rect:
+        """Bounding box at the input global-placement position."""
+        return Rect(self.gp_x, self.gp_y, self.width, self.height)
+
+    def rows_spanned(self) -> range:
+        """Row indices the cell currently occupies.
+
+        Raises :class:`ValueError` when the cell is unplaced.
+        """
+        if self.y is None:
+            raise ValueError(f"cell {self.name!r} is not placed")
+        return range(self.y, self.y + self.height)
+
+    def displacement_sites(self) -> tuple[float, float]:
+        """(|dx|, |dy|) between current and GP position, in site units.
+
+        Raises :class:`ValueError` when the cell is unplaced.
+        """
+        if self.x is None or self.y is None:
+            raise ValueError(f"cell {self.name!r} is not placed")
+        return abs(self.x - self.gp_x), abs(self.y - self.gp_y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pos = f"({self.x},{self.y})" if self.is_placed else "unplaced"
+        return (
+            f"Cell({self.name!r}, {self.width}x{self.height}, {pos}, "
+            f"gp=({self.gp_x:.2f},{self.gp_y:.2f}))"
+        )

@@ -1,0 +1,66 @@
+"""Fence regions (DEF ``REGION``/``FENCE`` semantics).
+
+The paper evaluates on the ISPD 2015 "Benchmarks with Fence Regions and
+Routing Blockages" suite [13].  A fence region is a set of rectangles:
+cells *assigned* to the fence must be placed completely inside it, and
+cells *not* assigned must stay completely outside.  Both directions fall
+out of one mechanism here: fence boundaries split placement segments,
+and every segment carries the region id it belongs to (``None`` for the
+default region).  A cell is only ever placeable in segments whose region
+matches its own, so the legalizer, the baselines and the checker all
+inherit fence awareness from segment containment without extra logic in
+their inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class FenceRegion:
+    """One fence: an id, a display name, and its rectangles.
+
+    Rectangles are in integer site units and must be row-aligned (integer
+    coordinates).  Rectangles of different fences must not overlap.
+    """
+
+    id: int
+    name: str
+    rects: tuple[Rect, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rects:
+            raise ValueError(f"fence {self.name!r} has no rectangles")
+        for r in self.rects:
+            if any(v != int(v) for v in (r.x, r.y, r.w, r.h)):
+                raise ValueError(
+                    f"fence {self.name!r}: rect {r} is not site-aligned"
+                )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when (x, y) lies inside one of the fence's rectangles."""
+        return any(
+            r.x <= x < r.x1 and r.y <= y < r.y1 for r in self.rects
+        )
+
+    def area(self) -> float:
+        """Total fence area in sites."""
+        return sum(r.area for r in self.rects)
+
+
+def validate_fences(fences: list[FenceRegion]) -> None:
+    """Raise ``ValueError`` on duplicate ids or overlapping fences."""
+    ids = [f.id for f in fences]
+    if len(ids) != len(set(ids)):
+        raise ValueError("fence ids must be unique")
+    for i, a in enumerate(fences):
+        for b in fences[i + 1 :]:
+            for ra in a.rects:
+                for rb in b.rects:
+                    if ra.overlaps(rb):
+                        raise ValueError(
+                            f"fences {a.name!r} and {b.name!r} overlap"
+                        )

@@ -1,0 +1,196 @@
+"""Floorplan: rows, blockages and the segments derived from them.
+
+The floorplan fixes the site grid.  Internally everything is in site
+units; ``site_width_um`` and ``site_height_um`` convert to microns for
+metric reporting only (paper Section 2.1.1: displacement and wirelength
+are reported in actual microns, the algorithm itself works in sites).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.db.fence import FenceRegion, validate_fences
+from repro.db.library import Rail
+from repro.db.row import Row
+from repro.db.segment import Segment
+from repro.geometry import Rect
+
+
+class Floorplan:
+    """Rows on a uniform site grid, with optional placement blockages.
+
+    Parameters
+    ----------
+    num_rows:
+        Number of placement rows.
+    row_width:
+        Number of sites per row (all rows share one width and start at
+        x = 0; irregular outlines are modelled with blockages).
+    site_width_um / site_height_um:
+        Physical size of one site in microns.  The ISPD 2015 benchmarks
+        use 0.2 x 1.71 um sites; those are the defaults.
+    first_rail:
+        Rail on the bottom edge of row 0.  Rails alternate upward so
+        adjacent rows share a rail.
+    blockages:
+        Rectangles (site units, integer coordinates) whose sites cannot
+        host cells — macros and routing blockages.
+    fences:
+        Fence regions (DEF FENCE semantics); fence boundaries split
+        segments and tag them with the fence id, see
+        :mod:`repro.db.fence`.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        row_width: int,
+        site_width_um: float = 0.2,
+        site_height_um: float = 1.71,
+        first_rail: Rail = Rail.GND,
+        blockages: list[Rect] | None = None,
+        fences: list[FenceRegion] | None = None,
+    ) -> None:
+        if num_rows <= 0 or row_width <= 0:
+            raise ValueError("floorplan must have positive rows and width")
+        self.num_rows = num_rows
+        self.row_width = row_width
+        self.site_width_um = site_width_um
+        self.site_height_um = site_height_um
+        self.blockages: list[Rect] = list(blockages or [])
+        self.fences: list[FenceRegion] = list(fences or [])
+        validate_fences(self.fences)
+        self.rows: list[Row] = [
+            Row(
+                index=i,
+                x0=0,
+                width=row_width,
+                bottom_rail=first_rail if i % 2 == 0 else first_rail.other(),
+            )
+            for i in range(num_rows)
+        ]
+        self.segments: list[Segment] = []
+        #: Per row: segments ordered by x0 (parallel lists for bisection).
+        self._row_segments: list[list[Segment]] = [[] for _ in range(num_rows)]
+        self._row_segment_x0: list[list[int]] = [[] for _ in range(num_rows)]
+        self._build_segments()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_segments(self) -> None:
+        """Subtract blockages, then split at fence boundaries and tag."""
+        next_id = 0
+        for row in self.rows:
+            blocked: list[tuple[int, int]] = []
+            for b in self.blockages:
+                if b.y < row.index + 1 and b.y1 > row.index:
+                    lo = max(int(b.x), row.x0)
+                    hi = min(int(b.x1), row.x1)
+                    if lo < hi:
+                        blocked.append((lo, hi))
+            blocked.sort()
+            x = row.x0
+            spans: list[tuple[int, int]] = []
+            for lo, hi in blocked:
+                if lo > x:
+                    spans.append((x, lo))
+                x = max(x, hi)
+            if x < row.x1:
+                spans.append((x, row.x1))
+            for lo, hi in spans:
+                for s_lo, s_hi, region in self._fence_split(row.index, lo, hi):
+                    seg = Segment(
+                        id=next_id,
+                        row_index=row.index,
+                        x0=s_lo,
+                        width=s_hi - s_lo,
+                        region=region,
+                    )
+                    next_id += 1
+                    self.segments.append(seg)
+                    self._row_segments[row.index].append(seg)
+                    self._row_segment_x0[row.index].append(s_lo)
+
+    def _fence_split(self, row_index: int, lo: int, hi: int):
+        """Split an unblocked span at fence edges, yielding tagged runs."""
+        if not self.fences:
+            yield lo, hi, None
+            return
+        cuts = {lo, hi}
+        row_fences: list[tuple[int, int, int]] = []
+        for fence in self.fences:
+            for r in fence.rects:
+                if r.y < row_index + 1 and r.y1 > row_index:
+                    f_lo = max(int(r.x), lo)
+                    f_hi = min(int(r.x1), hi)
+                    if f_lo < f_hi:
+                        cuts.add(f_lo)
+                        cuts.add(f_hi)
+                        row_fences.append((f_lo, f_hi, fence.id))
+        ordered = sorted(cuts)
+        for s_lo, s_hi in zip(ordered, ordered[1:]):
+            mid = (s_lo + s_hi) / 2
+            region = next(
+                (fid for f_lo, f_hi, fid in row_fences if f_lo <= mid < f_hi),
+                None,
+            )
+            yield s_lo, s_hi, region
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def segments_in_row(self, row_index: int) -> list[Segment]:
+        """Segments of one row, ordered by x."""
+        return self._row_segments[row_index]
+
+    def segment_at(self, row_index: int, x: float) -> Segment | None:
+        """The segment of ``row_index`` containing site ``x``, if any."""
+        if not 0 <= row_index < self.num_rows:
+            return None
+        x0s = self._row_segment_x0[row_index]
+        i = bisect_right(x0s, x) - 1
+        if i < 0:
+            return None
+        seg = self._row_segments[row_index][i]
+        return seg if x < seg.x1 else None
+
+    def segment_containing_span(
+        self, row_index: int, x: int, width: int
+    ) -> Segment | None:
+        """The segment fully containing ``[x, x + width)``, if any."""
+        seg = self.segment_at(row_index, x)
+        if seg is not None and seg.contains_span(x, width):
+            return seg
+        return None
+
+    def row_allows_bottom(self, row_index: int, master_bottom_rail: Rail) -> bool:
+        """True when a cell whose bottom rail is *master_bottom_rail* may
+        start on ``row_index`` under the power-rail alignment rule."""
+        return self.rows[row_index].bottom_rail is master_bottom_rail
+
+    @property
+    def die_rect(self) -> Rect:
+        """The overall placement area in site units."""
+        return Rect(0, 0, self.row_width, self.num_rows)
+
+    def placeable_area(self) -> int:
+        """Total number of unblocked sites."""
+        return sum(seg.width for seg in self.segments)
+
+    def to_microns(self, x_sites: float, y_sites: float) -> tuple[float, float]:
+        """Convert a site-unit coordinate pair to microns."""
+        return x_sites * self.site_width_um, y_sites * self.site_height_um
+
+    def displacement_um(self, dx_sites: float, dy_sites: float) -> float:
+        """Manhattan displacement in microns for a site-unit delta."""
+        return (
+            abs(dx_sites) * self.site_width_um + abs(dy_sites) * self.site_height_um
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Floorplan({self.num_rows} rows x {self.row_width} sites, "
+            f"{len(self.segments)} segments, {len(self.blockages)} blockages)"
+        )

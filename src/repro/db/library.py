@@ -1,0 +1,167 @@
+"""Standard-cell library model.
+
+The paper's legalization problem only needs three properties per master:
+its width and height in site units, and — for masters whose height is an
+even number of rows — which power rail lies on its bottom edge.  An
+even-height master exposes power on both its top and bottom edge (paper
+Figure 1(a)), so it can only sit on rows whose bottom rail matches; an
+odd-height master can be flipped to match any row (Figure 1(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Rail(Enum):
+    """Identity of a horizontal power rail."""
+
+    VDD = "VDD"
+    GND = "GND"
+
+    def other(self) -> "Rail":
+        """The opposite rail."""
+        return Rail.GND if self is Rail.VDD else Rail.VDD
+
+
+@dataclass(frozen=True, slots=True)
+class PinOffset:
+    """A pin of a master, as an offset from the cell's lower-left corner.
+
+    Offsets are in site units and may be fractional (pins sit on routing
+    tracks, not necessarily on site boundaries).
+    """
+
+    name: str
+    dx: float
+    dy: float
+
+
+@dataclass(frozen=True, slots=True)
+class CellMaster:
+    """A standard-cell master.
+
+    Parameters
+    ----------
+    name:
+        Unique master name (e.g. ``"INVX1"`` or ``"DFFX2"``).
+    width:
+        Cell width in sites (a positive integer; paper Section 2 requires
+        all cell widths to be multiples of the site width).
+    height:
+        Cell height in rows (a positive integer).
+    bottom_rail:
+        For even-``height`` masters, the rail on the bottom edge; this
+        fixes the row parity the master may occupy.  ``None`` for
+        odd-height masters, which can be flipped onto any row.
+    pins:
+        Pin offsets used for HPWL computation.
+    """
+
+    name: str
+    width: int
+    height: int = 1
+    bottom_rail: Rail | None = None
+    pins: tuple[PinOffset, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"master {self.name!r}: width must be positive")
+        if self.height <= 0:
+            raise ValueError(f"master {self.name!r}: height must be positive")
+        if self.height % 2 == 0 and self.bottom_rail is None:
+            raise ValueError(
+                f"master {self.name!r}: even-height masters need a bottom_rail"
+            )
+
+    @property
+    def is_multi_row(self) -> bool:
+        """True when the master spans more than one row."""
+        return self.height > 1
+
+    @property
+    def needs_rail_alignment(self) -> bool:
+        """True when the master can only occupy rows of one parity.
+
+        Even-height cells have the same rail on top and bottom and thus
+        must be placed on alternate rows (paper Section 2, constraint 4).
+        """
+        return self.height % 2 == 0
+
+
+class Library:
+    """A collection of :class:`CellMaster` objects addressed by name."""
+
+    def __init__(self, masters: list[CellMaster] | None = None) -> None:
+        self._masters: dict[str, CellMaster] = {}
+        for master in masters or []:
+            self.add(master)
+
+    def add(self, master: CellMaster) -> None:
+        """Register *master*; names must be unique."""
+        if master.name in self._masters:
+            raise ValueError(f"duplicate master name {master.name!r}")
+        self._masters[master.name] = master
+
+    def __getitem__(self, name: str) -> CellMaster:
+        return self._masters[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._masters
+
+    def __len__(self) -> int:
+        return len(self._masters)
+
+    def __iter__(self):
+        return iter(self._masters.values())
+
+    def get_or_create(
+        self,
+        width: int,
+        height: int,
+        bottom_rail: Rail | None = None,
+    ) -> CellMaster:
+        """Return a master of the given geometry, creating it on demand.
+
+        Used by the benchmark generator and the file readers, which
+        discover masters from instance sizes.  Created masters get a
+        default pin set (see :func:`default_pins`) so netlists and the
+        LEF/DEF writer have named terminals to reference.
+        """
+        if height % 2 == 0 and bottom_rail is None:
+            bottom_rail = Rail.VDD
+        suffix = "" if bottom_rail is None else f"_{bottom_rail.value}"
+        name = f"M_W{width}_H{height}{suffix}"
+        if name not in self._masters:
+            self.add(
+                CellMaster(
+                    name=name,
+                    width=width,
+                    height=height,
+                    bottom_rail=bottom_rail,
+                    pins=default_pins(width, height),
+                )
+            )
+        return self._masters[name]
+
+
+def default_pins(width: int, height: int) -> tuple[PinOffset, ...]:
+    """A plausible pin set for a generated master.
+
+    Input pins ``a``, ``b``, … sit on the left half of the cell, the
+    output pin ``o`` on the right, all at routing-track-ish fractional
+    offsets.  Pin count grows with cell width the way real libraries'
+    do (wider cells have more inputs).
+    """
+    n_inputs = max(1, min(4, width // 2))
+    pins = [
+        PinOffset(
+            name=chr(ord("a") + i),
+            dx=width * (i + 1) / (n_inputs + 2),
+            dy=height * (0.3 if i % 2 == 0 else 0.7),
+        )
+        for i in range(n_inputs)
+    ]
+    pins.append(PinOffset(name="o", dx=width * 0.85, dy=height * 0.5))
+    return tuple(pins)

@@ -1,0 +1,95 @@
+"""Netlist model for wirelength accounting.
+
+Legalization itself never looks at the netlist — its objective is pure
+displacement (paper Section 2) — but the evaluation reports the HPWL
+change caused by legalization (Table 1, the "ΔHPWL" columns), so the
+database carries nets over cell pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.cell import Cell
+
+
+@dataclass(frozen=True, slots=True)
+class Pin:
+    """A net terminal: a cell plus an offset from its lower-left corner.
+
+    Offsets are in site units and may be fractional.  ``name`` refers to
+    a pin of the cell's master when the netlist came from (or goes to) a
+    named-pin format like DEF; ad-hoc pins may leave it empty.  Fixed
+    terminals (I/O pads) are modelled as pins on a fixed zero-size cell.
+    """
+
+    cell: Cell
+    dx: float = 0.0
+    dy: float = 0.0
+    name: str = ""
+
+    def position(self, use_gp: bool = False) -> tuple[float, float]:
+        """Pin position in site units.
+
+        With ``use_gp`` the global-placement cell position is used;
+        otherwise the current position (falling back to GP while the cell
+        is unplaced).
+        """
+        if use_gp or not self.cell.is_placed:
+            return self.cell.gp_x + self.dx, self.cell.gp_y + self.dy
+        return self.cell.x + self.dx, self.cell.y + self.dy  # type: ignore[operator]
+
+
+@dataclass(frozen=True, slots=True)
+class Net:
+    """A net connecting two or more pins."""
+
+    name: str
+    pins: tuple[Pin, ...]
+
+    def hpwl_sites(self, use_gp: bool = False) -> tuple[float, float]:
+        """Half-perimeter bounding box of the net as (dx_sites, dy_sites).
+
+        Nets with fewer than two pins have zero wirelength.
+        """
+        if len(self.pins) < 2:
+            return 0.0, 0.0
+        xs_lo = ys_lo = float("inf")
+        xs_hi = ys_hi = float("-inf")
+        for pin in self.pins:
+            x, y = pin.position(use_gp=use_gp)
+            xs_lo = min(xs_lo, x)
+            xs_hi = max(xs_hi, x)
+            ys_lo = min(ys_lo, y)
+            ys_hi = max(ys_hi, y)
+        return xs_hi - xs_lo, ys_hi - ys_lo
+
+
+class Netlist:
+    """All nets of a design."""
+
+    def __init__(self, nets: list[Net] | None = None) -> None:
+        self.nets: list[Net] = list(nets or [])
+
+    def add(self, net: Net) -> None:
+        """Append one net."""
+        self.nets.append(net)
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def hpwl_um(
+        self,
+        site_width_um: float,
+        site_height_um: float,
+        use_gp: bool = False,
+    ) -> float:
+        """Total HPWL in microns."""
+        total = 0.0
+        for net in self.nets:
+            dx, dy = net.hpwl_sites(use_gp=use_gp)
+            total += dx * site_width_um + dy * site_height_um
+        return total

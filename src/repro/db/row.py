@@ -1,0 +1,50 @@
+"""Placement rows.
+
+A row is one horizontal strip of the floorplan, one site-height tall
+(paper Section 2: all row heights equal ``Site_h``).  Rows carry the power
+rail identity of their bottom edge; rails alternate from row to row so
+that adjacent rows share a rail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.library import Rail
+
+
+@dataclass(frozen=True, slots=True)
+class Row:
+    """A placement row.
+
+    Parameters
+    ----------
+    index:
+        Row index; the row occupies ``y in [index, index + 1)`` in site
+        units.
+    x0:
+        Leftmost placement site of the row.
+    width:
+        Number of placement sites in the row.
+    bottom_rail:
+        Rail along the row's bottom edge (alternates across rows).
+    """
+
+    index: int
+    x0: int
+    width: int
+    bottom_rail: Rail
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"row {self.index}: width must be positive")
+
+    @property
+    def y(self) -> int:
+        """Lower edge of the row, equal to its index in site units."""
+        return self.index
+
+    @property
+    def x1(self) -> int:
+        """One past the rightmost site of the row."""
+        return self.x0 + self.width

@@ -1,0 +1,13 @@
+"""Geometry primitives shared by the whole library.
+
+All legalizer-internal coordinates are integers measured in *placement
+site* units (paper Section 2.1.1): one horizontal unit is one site width,
+one vertical unit is one row (= site) height.  Conversion to microns only
+happens in metric reporting (:mod:`repro.checker.metrics`).
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+__all__ = ["Interval", "Point", "Rect"]

@@ -1,0 +1,50 @@
+"""Closed 1-D intervals on the site grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[lo, hi]``.
+
+    Insertion intervals in the paper (Section 5.1.1) are exactly this
+    structure: ``lo``/``hi`` are the leftmost/rightmost feasible
+    x-coordinates of the target cell inside a gap.  An interval with
+    ``hi < lo`` has *negative length* (paper Figure 7(f)) and is empty.
+    """
+
+    lo: float
+    hi: float
+
+    @property
+    def length(self) -> float:
+        """Signed length ``hi - lo``; negative means empty (Fig. 7(f))."""
+        return self.hi - self.lo
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no point lies in the interval."""
+        return self.hi < self.lo
+
+    def contains(self, x: float) -> bool:
+        """True when ``lo <= x <= hi``."""
+        return self.lo <= x <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The (possibly empty) intersection with *other*."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def clamp(self, x: float) -> float:
+        """The point of the interval closest to *x*.
+
+        Raises :class:`ValueError` on an empty interval.
+        """
+        if self.is_empty:
+            raise ValueError(f"cannot clamp into empty interval {self}")
+        return min(max(x, self.lo), self.hi)

@@ -1,0 +1,29 @@
+"""2-D point in site units."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An (x, y) coordinate pair.
+
+    Coordinates may be ``float`` (global-placement input positions are
+    off-grid) or ``int`` (legalized positions).
+    """
+
+    x: float
+    y: float
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to *other*."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy shifted by (dx, dy)."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_int(self) -> "Point":
+        """A copy with both coordinates rounded to the nearest integer."""
+        return Point(round(self.x), round(self.y))

@@ -1,0 +1,76 @@
+"""Axis-aligned rectangles in site units."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A rectangle given by its lower-left corner and size.
+
+    Rectangles are half-open boxes ``[x, x + w) x [y, y + h)`` so that two
+    cells abutting edge-to-edge do *not* overlap — exactly the overlap-free
+    constraint of paper Section 2 (constraint 1).
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def x1(self) -> float:
+        """Right edge ``x + w``."""
+        return self.x + self.w
+
+    @property
+    def y1(self) -> float:
+        """Top edge ``y + h``."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        """Rectangle area ``w * h``."""
+        return self.w * self.h
+
+    @property
+    def center(self) -> Point:
+        """Center point of the rectangle."""
+        return Point(self.x + self.w / 2, self.y + self.h / 2)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two half-open boxes share interior area."""
+        return (
+            self.x < other.x1
+            and other.x < self.x1
+            and self.y < other.y1
+            and other.y < self.y1
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when *other* lies completely inside this rectangle."""
+        return (
+            other.x >= self.x
+            and other.y >= self.y
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def contains_point(self, p: Point) -> bool:
+        """True when point *p* lies in the half-open box."""
+        return self.x <= p.x < self.x1 and self.y <= p.y < self.y1
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A copy shifted by (dx, dy)."""
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Overlap area with *other* (0.0 when disjoint)."""
+        ix = min(self.x1, other.x1) - max(self.x, other.x)
+        iy = min(self.y1, other.y1) - max(self.y, other.y)
+        if ix <= 0 or iy <= 0:
+            return 0.0
+        return ix * iy

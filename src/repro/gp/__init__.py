@@ -1,0 +1,22 @@
+"""Global placement substrate.
+
+The paper consumes "a global placement solution [with] good distribution
+of cells" from an ISPD 2015 contest placer.  This package provides a
+small but genuine quadratic placer so the repository can run the entire
+flow — netlist → global placement → MLL legalization — without external
+tools:
+
+* star-model quadratic wirelength, solved per axis with
+  ``scipy.sparse`` linear algebra,
+* iterative anchor-based spreading (quantile remapping per axis, order
+  preserving), the SimPL-style fixed-point loop in miniature,
+* density-aware stopping.
+
+Its output is exactly what legalization expects: fractional, mildly
+overlapping, well-spread positions written to each cell's
+``gp_x``/``gp_y``.
+"""
+
+from repro.gp.quadratic import GlobalPlacerConfig, QuadraticPlacer, global_place
+
+__all__ = ["GlobalPlacerConfig", "QuadraticPlacer", "global_place"]

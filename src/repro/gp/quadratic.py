@@ -1,0 +1,252 @@
+"""Quadratic global placement with anchor spreading.
+
+Model
+-----
+Each net is a *star*: every pin connects to an auxiliary net-center
+variable, eliminated analytically — equivalent to a clique with weight
+``1/p`` per edge pair, which is the standard quadratic HPWL surrogate.
+Pin offsets enter the right-hand side as constants, so wide cells feel
+the correct lever arms.
+
+Spreading
+---------
+Pure quadratic placement collapses into the netlist's center of
+gravity.  We interleave solves with *order-preserving quantile
+spreading*: per axis, cells are ranked and mapped onto density-balanced
+quantiles of the die span; the mapped positions become pseudo-anchors
+whose weight grows each iteration.  This is the fixed-point skeleton of
+SimPL/ePlace-class placers with their Poisson machinery swapped for a
+rank map — adequate for producing the well-distributed, overlapping
+input legalization assumes (and cheap enough for unit tests).
+
+Fixed cells and fence regions are respected by anchoring: fixed cells
+are not variables at all, and fenced cells' spread targets are computed
+within their fence's span.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.db.cell import Cell
+from repro.db.design import Design
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalPlacerConfig:
+    """Knobs of the quadratic placer."""
+
+    iterations: int = 12
+    """Solve/spread rounds."""
+
+    anchor_weight_initial: float = 0.01
+    """Pseudo-anchor weight of the first spreading round, relative to
+    the average net weight."""
+
+    anchor_weight_growth: float = 1.6
+    """Multiplicative anchor weight growth per round."""
+
+    margin_rows: float = 0.5
+    """Vertical margin kept free at the die edges, in rows."""
+
+    seed: int = 0
+    """Seed for the initial scatter of netlist-free cells."""
+
+
+class QuadraticPlacer:
+    """Star-model quadratic placer bound to one design."""
+
+    def __init__(
+        self, design: Design, config: GlobalPlacerConfig | None = None
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else GlobalPlacerConfig()
+        self._movable: list[Cell] = [
+            c for c in design.cells if not c.fixed
+        ]
+        self._index = {c.id: i for i, c in enumerate(self._movable)}
+
+    def run(self) -> None:
+        """Place globally: writes ``gp_x``/``gp_y`` on every movable cell."""
+        design = self.design
+        cfg = self.config
+        fp = design.floorplan
+        n = len(self._movable)
+        if n == 0:
+            return
+        rng = random.Random(cfg.seed)
+
+        # Initial positions: center of the die with a small scatter.
+        x = np.array(
+            [
+                fp.row_width / 2 + rng.uniform(-1, 1)
+                for _ in self._movable
+            ]
+        )
+        y = np.array(
+            [fp.num_rows / 2 + rng.uniform(-0.5, 0.5) for _ in self._movable]
+        )
+
+        lap, bx0, by0 = self._build_system()
+        avg_w = max(1e-9, lap.diagonal().mean())
+        anchor_w = cfg.anchor_weight_initial * avg_w
+
+        for it in range(cfg.iterations):
+            # The rank-map share of the anchor target grows from gentle
+            # nudging to full spreading as the anchors stiffen.
+            alpha = min(1.0, 0.4 + 0.6 * it / max(1, cfg.iterations - 1))
+            tx, ty = self._spread_targets(x, y, alpha)
+            a = lap + csr_matrix(
+                (np.full(n, anchor_w), (range(n), range(n))), shape=(n, n)
+            )
+            x = spsolve(a.tocsr(), bx0 + anchor_w * tx)
+            y = spsolve(a.tocsr(), by0 + anchor_w * ty)
+            anchor_w *= cfg.anchor_weight_growth
+
+        # Final snap-in of the full spread map, then clamp into the die.
+        x, y = self._spread_targets(x, y, alpha=1.0)
+        for i, cell in enumerate(self._movable):
+            cell.gp_x = float(
+                min(max(x[i], 0.0), fp.row_width - cell.width)
+            )
+            cell.gp_y = float(
+                min(max(y[i], 0.0), fp.num_rows - cell.height)
+            )
+
+    # ------------------------------------------------------------------
+    def _build_system(self):
+        """Star-model Laplacian and constant vectors per axis.
+
+        A net with p pins and pin offsets d_k contributes, after
+        eliminating the star center, clique terms with weight 1/p.
+        Offsets and fixed-cell positions land in the right-hand side.
+        """
+        n = len(self._movable)
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        bx = np.zeros(n)
+        by = np.zeros(n)
+
+        for net in self.design.netlist:
+            pins = net.pins
+            p = len(pins)
+            if p < 2:
+                continue
+            w = 1.0 / p
+            for a_i in range(p):
+                for b_i in range(a_i + 1, p):
+                    pa, pb = pins[a_i], pins[b_i]
+                    ia = self._index.get(pa.cell.id)
+                    ib = self._index.get(pb.cell.id)
+                    if ia is None and ib is None:
+                        continue
+                    # Edge between (x_a + dxa) and (x_b + dxb).
+                    if ia is not None and ib is not None:
+                        rows += [ia, ib, ia, ib]
+                        cols += [ia, ib, ib, ia]
+                        vals += [w, w, -w, -w]
+                        bx[ia] += w * (pb.dx - pa.dx)
+                        bx[ib] += w * (pa.dx - pb.dx)
+                        by[ia] += w * (pb.dy - pa.dy)
+                        by[ib] += w * (pa.dy - pb.dy)
+                    else:
+                        # One endpoint fixed: behaves as an anchor.
+                        im = ia if ia is not None else ib
+                        pm = pa if ia is not None else pb
+                        pf = pb if ia is not None else pa
+                        fx, fy = pf.position()
+                        rows.append(im)
+                        cols.append(im)
+                        vals.append(w)
+                        bx[im] += w * (fx - pm.dx)
+                        by[im] += w * (fy - pm.dy)
+        lap = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        # Cells untouched by any net still need a nonsingular row.
+        diag = lap.diagonal()
+        loose = np.where(diag <= 0)[0]
+        if len(loose):
+            fix = csr_matrix(
+                (np.full(len(loose), 1e-6), (loose, loose)), shape=(n, n)
+            )
+            lap = lap + fix
+        return lap, bx, by
+
+    # ------------------------------------------------------------------
+    def _spread_targets(self, x: np.ndarray, y: np.ndarray, alpha: float = 0.6):
+        """Order-preserving quantile spreading per axis.
+
+        Cells are ranked by coordinate and mapped to positions where the
+        cumulative cell *area* matches the cumulative die capacity —
+        fenced cells within their fence span, everyone else across the
+        die (minus a small margin).
+        """
+        fp = self.design.floorplan
+        cfg = self.config
+        tx = np.array(x)
+        ty = np.array(y)
+
+        groups: dict[int | None, list[int]] = {}
+        for i, cell in enumerate(self._movable):
+            groups.setdefault(cell.region, []).append(i)
+
+        for region, idxs in groups.items():
+            if region is None:
+                x_lo, x_hi = 0.0, float(fp.row_width)
+                y_lo = cfg.margin_rows
+                y_hi = fp.num_rows - cfg.margin_rows
+            else:
+                fence = next(f for f in fp.fences if f.id == region)
+                x_lo = min(r.x for r in fence.rects)
+                x_hi = max(r.x1 for r in fence.rects)
+                y_lo = min(r.y for r in fence.rects)
+                y_hi = max(r.y1 for r in fence.rects)
+            # Banded 2D spreading: a y-rank map alone makes the y marginal
+            # uniform but can leave the joint distribution on a diagonal;
+            # so cells are y-ranked into equal-area bands and x-ranked
+            # independently *within* each band.
+            y_order = sorted(idxs, key=lambda i: (y[i], x[i]))
+            total_h = sum(self._movable[i].height for i in y_order)
+            y_scale = (y_hi - y_lo) / max(total_h, 1e-9)
+            run_h = 0.0
+            n_bands = max(1, min(int(y_hi - y_lo), round(math.sqrt(len(idxs)))))
+            band_of: dict[int, int] = {}
+            for i in y_order:
+                c = self._movable[i]
+                pos = y_lo + (run_h + c.height / 2) * y_scale
+                blended = alpha * pos + (1 - alpha) * y[i]
+                ty[i] = min(max(blended, y_lo), max(y_lo, y_hi - c.height))
+                frac = run_h / max(total_h, 1e-9)
+                band_of[i] = min(n_bands - 1, int(frac * n_bands))
+                run_h += c.height
+
+            bands: dict[int, list[int]] = {}
+            for i in y_order:
+                bands.setdefault(band_of[i], []).append(i)
+            for members in bands.values():
+                x_order = sorted(members, key=lambda i: x[i])
+                total_w = sum(self._movable[i].width for i in x_order)
+                x_scale = (x_hi - x_lo) / max(total_w, 1e-9)
+                run_w = 0.0
+                for i in x_order:
+                    c = self._movable[i]
+                    pos = x_lo + (run_w + c.width / 2) * x_scale
+                    blended = alpha * pos + (1 - alpha) * x[i]
+                    tx[i] = min(
+                        max(blended, x_lo), max(x_lo, x_hi - c.width)
+                    )
+                    run_w += c.width
+        return tx, ty
+
+
+def global_place(
+    design: Design, config: GlobalPlacerConfig | None = None
+) -> None:
+    """One-call wrapper around :class:`QuadraticPlacer`."""
+    QuadraticPlacer(design, config).run()

@@ -1,0 +1,19 @@
+"""Design file I/O.
+
+* :mod:`repro.io.bookshelf` — the academic Bookshelf placement format
+  (.aux/.nodes/.nets/.pl/.scl), the lingua franca of placement research
+  benchmarks.
+* :mod:`repro.io.lefdef` — a LEF/DEF subset matching what the ISPD 2015
+  benchmarks exercise (sites, macros with pins, rows, fence regions and
+  groups, placement blockages, components, nets).
+"""
+
+from repro.io.bookshelf import read_bookshelf, write_bookshelf
+from repro.io.lefdef import read_lefdef, write_lefdef
+
+__all__ = [
+    "read_bookshelf",
+    "read_lefdef",
+    "write_bookshelf",
+    "write_lefdef",
+]

@@ -1,0 +1,317 @@
+"""Bookshelf placement format reader/writer.
+
+The Bookshelf format is a family of plain-text files tied together by an
+``.aux`` index:
+
+* ``.nodes`` — one line per cell: name, width, height (we use site
+  units, consistent with the rest of the library);
+* ``.pl`` — positions: name, x, y, orientation (``: N``); the current
+  legalized position when placed, otherwise the GP position;
+* ``.scl`` — row records (CoreRow blocks with Coordinate, Height,
+  SubrowOrigin, NumSites and Siteorient);
+* ``.nets`` — net records with per-pin cell name and offsets.
+
+Deviations, all documented here:
+
+* Dimensions and coordinates are written in **site units** (Bookshelf
+  does not mandate a unit; site units round-trip exactly).
+* A fourth token on a ``.nodes`` line records the bottom power rail of
+  even-height masters (``rail=VDD``/``rail=GND``) — information the
+  stock format cannot express but constraint 4 requires.
+* Row power rails are encoded in ``Siteorient`` (``N`` = GND bottom,
+  ``FS`` = VDD bottom), mirroring how real row flipping alternates.
+* The GP position of each cell is written as a comment suffix on its
+  ``.pl`` line (``# gp <x> <y>``) so displacement baselines survive a
+  round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.db.design import Design
+from repro.db.floorplan import Floorplan
+from repro.db.library import Library, Rail
+from repro.db.netlist import Net, Netlist, Pin
+
+
+def write_bookshelf(design: Design, directory: str, name: str | None = None) -> str:
+    """Write *design* as a Bookshelf bundle; returns the .aux path."""
+    name = name if name is not None else design.name
+    os.makedirs(directory, exist_ok=True)
+
+    def path(ext: str) -> str:
+        return os.path.join(directory, f"{name}.{ext}")
+
+    _write_nodes(design, path("nodes"))
+    _write_pl(design, path("pl"))
+    _write_scl(design, path("scl"))
+    _write_nets(design, path("nets"))
+    with open(path("aux"), "w") as f:
+        f.write(
+            f"RowBasedPlacement : {name}.nodes {name}.nets "
+            f"{name}.pl {name}.scl\n"
+        )
+    return path("aux")
+
+
+def _write_nodes(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA nodes 1.0\n\n")
+        f.write(f"NumNodes : {len(design.cells)}\n")
+        terminals = sum(1 for c in design.cells if c.fixed)
+        f.write(f"NumTerminals : {terminals}\n")
+        for c in design.cells:
+            rail = (
+                f" rail={c.master.bottom_rail.value}"
+                if c.master.bottom_rail is not None
+                else ""
+            )
+            term = " terminal" if c.fixed else ""
+            region = f" region={c.region}" if c.region is not None else ""
+            f.write(f"  {c.name} {c.width} {c.height}{term}{rail}{region}\n")
+
+
+def _write_pl(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA pl 1.0\n\n")
+        for c in design.cells:
+            if c.is_placed:
+                x, y = c.x, c.y
+                orient = design.orientation_of(c)
+                marker = ""
+            else:
+                x, y = c.gp_x, c.gp_y
+                orient = "N"
+                marker = " unplaced"  # integral GP must not read as placed
+            f.write(
+                f"  {c.name} {x} {y} : {orient} "
+                f"# gp {c.gp_x!r} {c.gp_y!r}{marker}\n"
+            )
+
+
+def _write_scl(design: Design, path: str) -> None:
+    fp = design.floorplan
+    with open(path, "w") as f:
+        f.write("UCLA scl 1.0\n\n")
+        f.write(f"NumRows : {fp.num_rows}\n\n")
+        for row in fp.rows:
+            orient = "N" if row.bottom_rail is Rail.GND else "FS"
+            f.write("CoreRow Horizontal\n")
+            f.write(f"  Coordinate   : {row.index}\n")
+            f.write("  Height       : 1\n")
+            f.write("  Sitewidth    : 1\n")
+            f.write("  Sitespacing  : 1\n")
+            f.write(f"  Siteorient   : {orient}\n")
+            f.write("  Sitesymmetry : Y\n")
+            f.write(f"  SubrowOrigin : {row.x0}  NumSites : {row.width}\n")
+            f.write("End\n")
+        # Site metrics as a trailing comment for exact round-trips.
+        f.write(
+            f"# SiteMicrons {fp.site_width_um!r} {fp.site_height_um!r}\n"
+        )
+        for b in fp.blockages:
+            f.write(f"# Blockage {int(b.x)} {int(b.y)} {int(b.w)} {int(b.h)}\n")
+        for fence in fp.fences:
+            for r in fence.rects:
+                f.write(
+                    f"# Fence {fence.id} {fence.name} "
+                    f"{int(r.x)} {int(r.y)} {int(r.w)} {int(r.h)}\n"
+                )
+
+
+def _write_nets(design: Design, path: str) -> None:
+    nets = design.netlist
+    num_pins = sum(len(n.pins) for n in nets)
+    with open(path, "w") as f:
+        f.write("UCLA nets 1.0\n\n")
+        f.write(f"NumNets : {len(nets)}\n")
+        f.write(f"NumPins : {num_pins}\n")
+        for net in nets:
+            f.write(f"NetDegree : {len(net.pins)}  {net.name}\n")
+            for pin in net.pins:
+                pname = f" {pin.name}" if pin.name else ""
+                f.write(
+                    f"  {pin.cell.name} B : {pin.dx!r} {pin.dy!r}{pname}\n"
+                )
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+def read_bookshelf(aux_path: str) -> Design:
+    """Read a Bookshelf bundle written by :func:`write_bookshelf`.
+
+    Also accepts stock Bookshelf files (the rail/GP extensions are
+    optional); cells then get default rail parity and GP = .pl position.
+    """
+    directory = os.path.dirname(aux_path)
+    with open(aux_path) as f:
+        line = f.readline()
+    _, _, files = line.partition(":")
+    file_map: dict[str, str] = {}
+    for token in files.split():
+        ext = token.rsplit(".", 1)[-1]
+        file_map[ext] = os.path.join(directory, token)
+    name = os.path.basename(aux_path).rsplit(".", 1)[0]
+
+    floorplan = _read_scl(file_map["scl"])
+    design = Design(floorplan, Library(), Netlist(), name=name)
+    _read_nodes(design, file_map["nodes"])
+    _read_pl(design, file_map["pl"])
+    if "nets" in file_map and os.path.exists(file_map["nets"]):
+        _read_nets(design, file_map["nets"])
+    return design
+
+
+def _read_scl(path: str) -> Floorplan:
+    from repro.db.fence import FenceRegion
+    from repro.geometry import Rect
+
+    rows: list[tuple[int, int, int, Rail]] = []
+    site_w, site_h = 0.2, 1.71
+    blockages: list[Rect] = []
+    fence_rects: dict[int, tuple[str, list[Rect]]] = {}
+    coord = height = origin = nsites = None
+    orient = "N"
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("# SiteMicrons"):
+                parts = line.split()
+                site_w, site_h = float(parts[2]), float(parts[3])
+                continue
+            if line.startswith("# Blockage"):
+                parts = line.split()
+                blockages.append(
+                    Rect(int(parts[2]), int(parts[3]), int(parts[4]), int(parts[5]))
+                )
+                continue
+            if line.startswith("# Fence"):
+                parts = line.split()
+                fid, fname = int(parts[2]), parts[3]
+                rect = Rect(
+                    int(parts[4]), int(parts[5]), int(parts[6]), int(parts[7])
+                )
+                fence_rects.setdefault(fid, (fname, []))[1].append(rect)
+                continue
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("CoreRow"):
+                coord = origin = nsites = None
+                orient = "N"
+            elif line.startswith("Coordinate"):
+                coord = int(float(line.split(":")[1]))
+            elif line.startswith("Siteorient"):
+                orient = line.split(":")[1].strip()
+            elif line.startswith("SubrowOrigin"):
+                parts = line.replace(":", " ").split()
+                origin = int(float(parts[1]))
+                nsites = int(float(parts[3]))
+            elif line.startswith("End"):
+                if coord is None or origin is None or nsites is None:
+                    raise ValueError(f"malformed CoreRow block in {path}")
+                rail = Rail.GND if orient == "N" else Rail.VDD
+                rows.append((coord, origin, nsites, rail))
+    if not rows:
+        raise ValueError(f"no rows in {path}")
+    rows.sort()
+    num_rows = len(rows)
+    row_width = max(origin + nsites for _, origin, nsites, _ in rows)
+    first_rail = rows[0][3]
+    fences = [
+        FenceRegion(id=fid, name=fname, rects=tuple(rects))
+        for fid, (fname, rects) in sorted(fence_rects.items())
+    ]
+    return Floorplan(
+        num_rows=num_rows,
+        row_width=row_width,
+        site_width_um=site_w,
+        site_height_um=site_h,
+        first_rail=first_rail,
+        blockages=blockages,
+        fences=fences,
+    )
+
+
+def _read_nodes(design: Design, path: str) -> None:
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if (
+                not line
+                or line.startswith("#")
+                or line.startswith("UCLA")
+                or line.startswith("NumNodes")
+                or line.startswith("NumTerminals")
+            ):
+                continue
+            parts = line.split()
+            name, w, h = parts[0], int(float(parts[1])), int(float(parts[2]))
+            fixed = "terminal" in parts[3:]
+            rail: Rail | None = None
+            region: int | None = None
+            for token in parts[3:]:
+                if token.startswith("rail="):
+                    rail = Rail[token.split("=")[1]]
+                elif token.startswith("region="):
+                    region = int(token.split("=")[1])
+            if h % 2 == 0 and rail is None:
+                rail = Rail.VDD
+            master = design.library.get_or_create(w, h, rail)
+            design.add_cell(master, name=name, fixed=fixed, region=region)
+
+
+def _read_pl(design: Design, path: str) -> None:
+    by_name = {c.name: c for c in design.cells}
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith(("#", "UCLA")):
+                continue
+            body, _, comment = line.partition("#")
+            parts = body.split()
+            if len(parts) < 3 or parts[0] not in by_name:
+                continue
+            cell = by_name[parts[0]]
+            x, y = float(parts[1]), float(parts[2])
+            ctoks = comment.split()
+            if len(ctoks) >= 3 and ctoks[0] == "gp":
+                cell.gp_x, cell.gp_y = float(ctoks[1]), float(ctoks[2])
+            else:
+                cell.gp_x, cell.gp_y = x, y
+            if "unplaced" in ctoks:
+                continue
+            if x == int(x) and y == int(y):
+                try:
+                    design.place(cell, int(x), int(y), validate=False)
+                except Exception:
+                    cell.x = cell.y = None
+
+
+def _read_nets(design: Design, path: str) -> None:
+    by_name = {c.name: c for c in design.cells}
+    current: list[Pin] = []
+    net_name = ""
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith(("#", "UCLA", "NumNets", "NumPins")):
+                continue
+            if line.startswith("NetDegree"):
+                if current:
+                    design.netlist.add(Net(name=net_name, pins=tuple(current)))
+                    current = []
+                parts = line.replace(":", " ").split()
+                net_name = parts[-1] if len(parts) >= 3 else f"net{len(design.netlist)}"
+                continue
+            parts = line.replace(":", " ").split()
+            if parts and parts[0] in by_name:
+                dx = float(parts[2]) if len(parts) > 2 else 0.0
+                dy = float(parts[3]) if len(parts) > 3 else 0.0
+                pname = parts[4] if len(parts) > 4 else ""
+                current.append(
+                    Pin(cell=by_name[parts[0]], dx=dx, dy=dy, name=pname)
+                )
+    if current:
+        design.netlist.add(Net(name=net_name, pins=tuple(current)))

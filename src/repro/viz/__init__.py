@@ -1,0 +1,21 @@
+"""Placement visualization.
+
+* :func:`render_ascii` — terminal snapshot of a design or window; the
+  fastest way to see what a legalizer did to a neighborhood.
+* :func:`render_svg` — scalable figure of the placement (cells colored
+  by height, blockages hatched, GP ghosts optional), suitable for docs
+  and for eyeballing the paper's figures against real output.
+"""
+
+from repro.viz.ascii_art import render_ascii
+from repro.viz.charts import Series, bar_chart, histogram_chart, line_chart
+from repro.viz.svg import render_svg
+
+__all__ = [
+    "Series",
+    "bar_chart",
+    "histogram_chart",
+    "line_chart",
+    "render_ascii",
+    "render_svg",
+]

@@ -1,0 +1,88 @@
+"""ASCII placement rendering.
+
+Each row of the floorplan becomes one text line (top row first, so the
+drawing matches the geometric orientation); each site becomes one
+character:
+
+* ``.`` — free site
+* ``#`` — blockage
+* letters/digits — cells (each cell gets one character, cycling; a
+  multi-row cell shows the same character in every row it spans)
+* ``?`` — overlap (two cells on one site: a bug made visible)
+
+Intended for small windows; pass a :class:`~repro.geometry.Rect` to clip.
+"""
+
+from __future__ import annotations
+
+from repro.db.design import Design
+from repro.geometry import Rect
+
+_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def render_ascii(
+    design: Design,
+    window: Rect | None = None,
+    show_gp: bool = False,
+    legend: bool = True,
+) -> str:
+    """Render the current placement (or the GP with ``show_gp``) as text."""
+    fp = design.floorplan
+    if window is None:
+        window = Rect(0, 0, fp.row_width, fp.num_rows)
+    x0 = max(0, int(window.x))
+    x1 = min(fp.row_width, int(window.x1))
+    y0 = max(0, int(window.y))
+    y1 = min(fp.num_rows, int(window.y1))
+    width = x1 - x0
+    height = y1 - y0
+    if width <= 0 or height <= 0:
+        return "(empty window)"
+
+    grid = [["." for _ in range(width)] for _ in range(height)]
+
+    # Blocked sites: anything outside every segment.
+    for row in range(y0, y1):
+        free = [False] * width
+        for seg in fp.segments_in_row(row):
+            for x in range(max(seg.x0, x0), min(seg.x1, x1)):
+                free[x - x0] = True
+        for i, ok in enumerate(free):
+            if not ok:
+                grid[row - y0][i] = "#"
+
+    names: list[tuple[str, str]] = []
+    for idx, cell in enumerate(design.cells):
+        if show_gp:
+            cx, cy = int(round(cell.gp_x)), int(round(cell.gp_y))
+        elif cell.is_placed:
+            assert cell.x is not None and cell.y is not None
+            cx, cy = cell.x, cell.y
+        else:
+            continue
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        drawn = False
+        for row in range(cy, cy + cell.height):
+            if not y0 <= row < y1:
+                continue
+            for x in range(cx, cx + cell.width):
+                if not x0 <= x < x1:
+                    continue
+                cur = grid[row - y0][x - x0]
+                grid[row - y0][x - x0] = "?" if cur not in ".#" else glyph
+                drawn = True
+        if drawn:
+            names.append((glyph, cell.name))
+
+    lines = []
+    for row in range(y1 - 1, y0 - 1, -1):  # top row first
+        rail = fp.rows[row].bottom_rail.value[0]
+        lines.append(f"{row:>3d}{rail} |" + "".join(grid[row - y0]) + "|")
+    if legend and names:
+        shown = names[:24]
+        lines.append(
+            "     " + "  ".join(f"{g}={n}" for g, n in shown)
+            + ("  ..." if len(names) > len(shown) else "")
+        )
+    return "\n".join(lines)

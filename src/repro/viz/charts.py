@@ -1,0 +1,279 @@
+"""Minimal dependency-free SVG charts.
+
+The environment has no plotting library, so the report generator
+(`benchmarks/make_report.py`) draws its figures with this module:
+grouped bar charts (Table 1 style comparisons) and log/linear line
+charts (scaling curves).  Deliberately small: axes, ticks, series,
+legend — nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+_PALETTE = ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2"]
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1
+    raw = (hi - lo) / n
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step / 2:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+@dataclass(slots=True)
+class Series:
+    """One named data series."""
+
+    name: str
+    values: list[float]
+    color: str | None = None
+
+
+@dataclass(slots=True)
+class _Frame:
+    width: int
+    height: int
+    ml: int = 60
+    mr: int = 20
+    mt: int = 40
+    mb: int = 70
+
+    @property
+    def plot_w(self) -> int:
+        return self.width - self.ml - self.mr
+
+    @property
+    def plot_h(self) -> int:
+        return self.height - self.mt - self.mb
+
+
+def _chrome(frame: _Frame, title: str, ylabel: str) -> list[str]:
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{frame.width}" '
+        f'height="{frame.height}" viewBox="0 0 {frame.width} {frame.height}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{frame.width}" height="{frame.height}" fill="white"/>',
+        f'<text x="{frame.width / 2}" y="22" font-size="14" '
+        f'text-anchor="middle" font-weight="bold">{_esc(title)}</text>',
+        f'<text x="14" y="{frame.mt + frame.plot_h / 2}" font-size="11" '
+        f'text-anchor="middle" '
+        f'transform="rotate(-90 14 {frame.mt + frame.plot_h / 2})">'
+        f"{_esc(ylabel)}</text>",
+    ]
+    return parts
+
+
+def _legend(frame: _Frame, series: list[Series]) -> list[str]:
+    parts = []
+    x = frame.ml
+    y = frame.height - 14
+    for i, s in enumerate(series):
+        color = s.color or _PALETTE[i % len(_PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 9}" width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 14}" y="{y}" font-size="11">{_esc(s.name)}</text>'
+        )
+        x += 20 + 7 * len(s.name)
+    return parts
+
+
+def bar_chart(
+    title: str,
+    categories: list[str],
+    series: list[Series],
+    ylabel: str = "",
+    width: int = 720,
+    height: int = 360,
+    path: str | None = None,
+) -> str:
+    """Grouped bar chart; one bar group per category."""
+    frame = _Frame(width, height)
+    hi = max((max(s.values) for s in series if s.values), default=1.0)
+    ticks = _nice_ticks(0.0, hi)
+    top = ticks[-1]
+
+    def sy(v: float) -> float:
+        return frame.mt + frame.plot_h * (1 - v / top)
+
+    parts = _chrome(frame, title, ylabel)
+    for t in ticks:
+        y = sy(t)
+        parts.append(
+            f'<line x1="{frame.ml}" y1="{y:.1f}" x2="{frame.ml + frame.plot_w}"'
+            f' y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{frame.ml - 6}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end">{t:g}</text>'
+        )
+    n_cat = max(1, len(categories))
+    n_ser = max(1, len(series))
+    group_w = frame.plot_w / n_cat
+    bar_w = group_w * 0.8 / n_ser
+    for ci, cat in enumerate(categories):
+        gx = frame.ml + ci * group_w
+        for si, s in enumerate(series):
+            if ci >= len(s.values):
+                continue
+            v = s.values[ci]
+            color = s.color or _PALETTE[si % len(_PALETTE)]
+            x = gx + group_w * 0.1 + si * bar_w
+            parts.append(
+                f'<rect x="{x:.1f}" y="{sy(v):.1f}" width="{bar_w:.1f}" '
+                f'height="{frame.mt + frame.plot_h - sy(v):.1f}" '
+                f'fill="{color}"/>'
+            )
+        label_y = frame.mt + frame.plot_h + 12
+        cx = gx + group_w / 2
+        parts.append(
+            f'<text x="{cx:.1f}" y="{label_y}" font-size="10" '
+            f'text-anchor="end" transform="rotate(-30 {cx:.1f} {label_y})">'
+            f"{_esc(cat)}</text>"
+        )
+    parts.append(
+        f'<line x1="{frame.ml}" y1="{frame.mt + frame.plot_h}" '
+        f'x2="{frame.ml + frame.plot_w}" y2="{frame.mt + frame.plot_h}" '
+        f'stroke="#333"/>'
+    )
+    parts.extend(_legend(frame, series))
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path:
+        with open(path, "w") as f:
+            f.write(svg)
+    return svg
+
+
+def line_chart(
+    title: str,
+    x_values: list[float],
+    series: list[Series],
+    ylabel: str = "",
+    xlabel: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    width: int = 720,
+    height: int = 360,
+    path: str | None = None,
+) -> str:
+    """Line chart with optional log axes (for the scaling benches)."""
+    frame = _Frame(width, height)
+
+    def tx(v: float) -> float:
+        return math.log10(v) if log_x else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    xs = [tx(v) for v in x_values]
+    all_y = [ty(v) for s in series for v in s.values if v > 0 or not log_y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    def sx(v: float) -> float:
+        return frame.ml + frame.plot_w * (tx(v) - x_lo) / (x_hi - x_lo)
+
+    def sy(v: float) -> float:
+        return frame.mt + frame.plot_h * (1 - (ty(v) - y_lo) / (y_hi - y_lo))
+
+    parts = _chrome(frame, title, ylabel)
+    y_ticks = (
+        [10**e for e in range(math.floor(y_lo), math.ceil(y_hi) + 1)]
+        if log_y
+        else _nice_ticks(y_lo, y_hi)
+    )
+    for t in y_ticks:
+        raw = t if not log_y else t
+        y = sy(raw)
+        if not (frame.mt - 1 <= y <= frame.mt + frame.plot_h + 1):
+            continue
+        parts.append(
+            f'<line x1="{frame.ml}" y1="{y:.1f}" '
+            f'x2="{frame.ml + frame.plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{frame.ml - 6}" y="{y + 4:.1f}" font-size="10" '
+            f'text-anchor="end">{raw:g}</text>'
+        )
+    for v in x_values:
+        x = sx(v)
+        parts.append(
+            f'<text x="{x:.1f}" y="{frame.mt + frame.plot_h + 16}" '
+            f'font-size="10" text-anchor="middle">{v:g}</text>'
+        )
+    parts.append(
+        f'<text x="{frame.ml + frame.plot_w / 2}" '
+        f'y="{frame.mt + frame.plot_h + 34}" font-size="11" '
+        f'text-anchor="middle">{_esc(xlabel)}</text>'
+    )
+    for si, s in enumerate(series):
+        color = s.color or _PALETTE[si % len(_PALETTE)]
+        pts = " ".join(
+            f"{sx(xv):.1f},{sy(yv):.1f}"
+            for xv, yv in zip(x_values, s.values)
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for xv, yv in zip(x_values, s.values):
+            parts.append(
+                f'<circle cx="{sx(xv):.1f}" cy="{sy(yv):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+    parts.append(
+        f'<line x1="{frame.ml}" y1="{frame.mt + frame.plot_h}" '
+        f'x2="{frame.ml + frame.plot_w}" y2="{frame.mt + frame.plot_h}" '
+        f'stroke="#333"/>'
+    )
+    parts.extend(_legend(frame, series))
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path:
+        with open(path, "w") as f:
+            f.write(svg)
+    return svg
+
+
+def histogram_chart(
+    title: str,
+    bins: list[tuple[float, int]],
+    xlabel: str = "",
+    width: int = 720,
+    height: int = 320,
+    path: str | None = None,
+) -> str:
+    """Histogram from (bin lower edge, count) pairs."""
+    cats = [f"{edge:g}" for edge, _ in bins]
+    series = [Series(name="count", values=[float(c) for _, c in bins])]
+    svg = bar_chart(
+        title, cats, series, ylabel="calls", width=width, height=height
+    )
+    if path:
+        with open(path, "w") as f:
+            f.write(svg)
+    return svg

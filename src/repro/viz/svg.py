@@ -1,0 +1,149 @@
+"""SVG placement rendering.
+
+Produces a standalone SVG string (optionally written to a file):
+
+* rows as alternating light bands with their rail label,
+* blockages hatched gray,
+* cells colored by height (single = blue, double = orange, triple+ =
+  red), labeled when space permits,
+* optional GP "ghosts" (dashed outlines at the input positions) with
+  displacement whiskers, which makes legalization quality visible at a
+  glance.
+"""
+
+from __future__ import annotations
+
+from repro.db.design import Design
+from repro.geometry import Rect
+
+_HEIGHT_COLORS = {
+    1: "#4e79a7",
+    2: "#f28e2b",
+    3: "#e15759",
+}
+_TALL_COLOR = "#b07aa1"
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_svg(
+    design: Design,
+    window: Rect | None = None,
+    site_px: float = 8.0,
+    row_px: float = 24.0,
+    show_gp: bool = False,
+    show_labels: bool = True,
+    path: str | None = None,
+) -> str:
+    """Render the placement as an SVG string; write it when *path* given."""
+    fp = design.floorplan
+    if window is None:
+        window = Rect(0, 0, fp.row_width, fp.num_rows)
+    x0, y0 = window.x, window.y
+    w_px = window.w * site_px
+    h_px = window.h * row_px
+    margin = 30.0
+
+    def sx(x: float) -> float:
+        return margin + (x - x0) * site_px
+
+    def sy(y: float) -> float:
+        # Flip: row 0 at the bottom of the image.
+        return margin + (window.y1 - y) * row_px
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{w_px + 2 * margin:.0f}" height="{h_px + 2 * margin:.0f}" '
+        f'viewBox="0 0 {w_px + 2 * margin:.0f} {h_px + 2 * margin:.0f}">'
+    )
+    parts.append(
+        "<defs><pattern id='hatch' width='6' height='6' "
+        "patternUnits='userSpaceOnUse' patternTransform='rotate(45)'>"
+        "<rect width='6' height='6' fill='#ddd'/>"
+        "<line x1='0' y1='0' x2='0' y2='6' stroke='#999' stroke-width='2'/>"
+        "</pattern></defs>"
+    )
+    parts.append(
+        f'<rect x="0" y="0" width="{w_px + 2 * margin:.0f}" '
+        f'height="{h_px + 2 * margin:.0f}" fill="white"/>'
+    )
+
+    # Rows.
+    for row in fp.rows:
+        if row.index + 1 <= y0 or row.index >= window.y1:
+            continue
+        fill = "#f7f7f7" if row.index % 2 == 0 else "#efefef"
+        parts.append(
+            f'<rect x="{sx(max(row.x0, x0)):.1f}" y="{sy(row.index + 1):.1f}" '
+            f'width="{(min(row.x1, window.x1) - max(row.x0, x0)) * site_px:.1f}" '
+            f'height="{row_px:.1f}" fill="{fill}" stroke="#ccc" '
+            f'stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{margin - 4:.1f}" y="{sy(row.index) - row_px / 3:.1f}" '
+            f'font-size="9" text-anchor="end" fill="#888">'
+            f"{row.index}{row.bottom_rail.value[0]}</text>"
+        )
+
+    # Blockages.
+    for b in fp.blockages:
+        clip = Rect(
+            max(b.x, x0),
+            max(b.y, y0),
+            min(b.x1, window.x1) - max(b.x, x0),
+            min(b.y1, window.y1) - max(b.y, y0),
+        )
+        if clip.w <= 0 or clip.h <= 0:
+            continue
+        parts.append(
+            f'<rect x="{sx(clip.x):.1f}" y="{sy(clip.y1):.1f}" '
+            f'width="{clip.w * site_px:.1f}" height="{clip.h * row_px:.1f}" '
+            f'fill="url(#hatch)" stroke="#888"/>'
+        )
+
+    # Cells.
+    for cell in design.cells:
+        if not cell.is_placed:
+            continue
+        assert cell.x is not None and cell.y is not None
+        rect = cell.rect
+        if not rect.overlaps(window):
+            continue
+        color = _HEIGHT_COLORS.get(cell.height, _TALL_COLOR)
+        parts.append(
+            f'<rect x="{sx(rect.x):.1f}" y="{sy(rect.y1):.1f}" '
+            f'width="{rect.w * site_px:.1f}" height="{rect.h * row_px:.1f}" '
+            f'fill="{color}" fill-opacity="0.75" stroke="#333" '
+            f'stroke-width="0.8"/>'
+        )
+        if show_labels and rect.w * site_px > 18:
+            parts.append(
+                f'<text x="{sx(rect.center.x):.1f}" '
+                f'y="{sy(rect.center.y) + 3:.1f}" font-size="8" '
+                f'text-anchor="middle" fill="white">{_esc(cell.name)}</text>'
+            )
+        if show_gp:
+            gp = cell.gp_rect
+            parts.append(
+                f'<rect x="{sx(gp.x):.1f}" y="{sy(gp.y1):.1f}" '
+                f'width="{gp.w * site_px:.1f}" height="{gp.h * row_px:.1f}" '
+                f'fill="none" stroke="{color}" stroke-width="0.8" '
+                f'stroke-dasharray="3,2"/>'
+            )
+            parts.append(
+                f'<line x1="{sx(gp.center.x):.1f}" y1="{sy(gp.center.y):.1f}" '
+                f'x2="{sx(rect.center.x):.1f}" y2="{sy(rect.center.y):.1f}" '
+                f'stroke="#d62728" stroke-width="0.6"/>'
+            )
+
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w") as f:
+            f.write(svg)
+    return svg

@@ -1,0 +1,98 @@
+"""Unit tests for buffer insertion with local legalization."""
+
+import pytest
+
+from repro.apps import insert_buffer
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import verify_placement
+from repro.core import LegalizerConfig, legalize
+from repro.db import Net, Pin
+from tests.conftest import add_placed, make_design
+
+
+def linked_design():
+    d = make_design()
+    a = add_placed(d, 2, 1, 0, 0, name="drv")
+    b = add_placed(d, 2, 1, 30, 6, name="snk1")
+    c = add_placed(d, 2, 1, 30, 2, name="snk2")
+    net = Net("n0", (Pin(a, 1, 0.5), Pin(b, 0, 0.5), Pin(c, 0, 0.5)))
+    d.netlist.add(net)
+    return d, net
+
+
+class TestInsertBuffer:
+    def test_buffer_placed_and_net_split(self):
+        d, net = linked_design()
+        buf_master = d.library.get_or_create(1, 1)
+        result = insert_buffer(d, net, buf_master)
+        assert result.success
+        assert result.buffer is not None and result.buffer.is_placed
+        assert len(d.netlist) == 2
+        assert net not in d.netlist.nets
+        assert verify_placement(d) == []
+
+    def test_buffer_lands_near_sink_centroid(self):
+        d, net = linked_design()
+        buf_master = d.library.get_or_create(1, 1)
+        result = insert_buffer(d, net, buf_master)
+        assert result.buffer is not None
+        # Sinks are at x=30, rows 6 and 2: centroid is (30, 4)-ish.
+        assert abs(result.buffer.x - 30) <= 3
+        assert abs(result.buffer.y - 4) <= 2
+
+    def test_explicit_position(self):
+        d, net = linked_design()
+        buf_master = d.library.get_or_create(1, 1)
+        result = insert_buffer(d, net, buf_master, position=(12.0, 3.0))
+        assert result.success
+        assert abs(result.buffer.x - 12) <= 2
+
+    def test_nets_share_buffer_pin(self):
+        d, net = linked_design()
+        buf_master = d.library.get_or_create(1, 1)
+        result = insert_buffer(d, net, buf_master)
+        drv_cells = {p.cell.name for p in result.driver_net.pins}
+        snk_cells = {p.cell.name for p in result.sink_net.pins}
+        assert result.buffer.name in drv_cells
+        assert result.buffer.name in snk_cells
+        assert "drv" in drv_cells
+        assert {"snk1", "snk2"} <= snk_cells
+
+    def test_split_point_validation(self):
+        d, net = linked_design()
+        buf_master = d.library.get_or_create(1, 1)
+        with pytest.raises(ValueError):
+            insert_buffer(d, net, buf_master, split_at=0)
+        with pytest.raises(ValueError):
+            insert_buffer(d, net, buf_master, split_at=3)
+
+    def test_unknown_net_rejected(self):
+        d, _ = linked_design()
+        stray = Net("stray", ())
+        with pytest.raises(ValueError):
+            insert_buffer(d, stray, d.library.get_or_create(1, 1))
+
+    def test_failure_rolls_back_netlist_and_cells(self):
+        d, net = linked_design()
+        # Choke the buffer's target area: a full single row die region.
+        d2 = make_design(num_rows=1, row_width=10)
+        a = add_placed(d2, 5, 1, 0, 0, name="a")
+        b = add_placed(d2, 5, 1, 5, 0, name="b")
+        n = Net("n", (Pin(a), Pin(b)))
+        d2.netlist.add(n)
+        buf = d2.library.get_or_create(2, 1)
+        result = insert_buffer(d2, n, buf, config=LegalizerConfig(rx=4, ry=0))
+        assert not result.success
+        assert len(d2.netlist) == 1
+        assert len(d2.cells) == 2  # buffer discarded
+        assert verify_placement(d2) == []
+
+    def test_buffering_reduces_long_net_hpwl(self):
+        d = generate_design(GeneratorConfig(num_cells=150, seed=7))
+        legalize(d, LegalizerConfig(seed=7))
+        # Longest net by bbox.
+        net = max(d.netlist, key=lambda n: sum(n.hpwl_sites()))
+        buf_master = d.library.get_or_create(1, 1)
+        result = insert_buffer(d, net, buf_master)
+        assert result.success
+        assert verify_placement(d) == []

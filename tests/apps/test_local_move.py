@@ -1,0 +1,73 @@
+"""Unit tests for instant-legalization cell moves and the HPWL pass."""
+
+import pytest
+
+from repro.apps import improve_hpwl, move_cell
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, verify_placement
+from repro.core import LegalizerConfig, legalize
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestMoveCell:
+    def test_move_to_free_space(self):
+        d = make_design()
+        c = add_placed(d, 3, 1, 2, 1)
+        assert move_cell(d, c, 10.0, 4.0)
+        assert (c.x, c.y) == (10, 4)
+        assert verify_placement(d) == []
+
+    def test_move_into_crowd_pushes(self):
+        d = make_design(num_rows=1, row_width=14)
+        a = add_placed(d, 4, 1, 5, 0)
+        c = add_placed(d, 4, 1, 10, 0)
+        assert move_cell(d, c, 5.0, 0.0, LegalizerConfig(rx=8, ry=0))
+        assert verify_placement(d) == []
+        assert abs(c.x - 5) <= 4
+
+    def test_failed_move_restores_exactly(self):
+        d = make_design(num_rows=1, row_width=12)
+        add_placed(d, 5, 1, 0, 0)
+        add_placed(d, 5, 1, 5, 0)
+        c = add_placed(d, 2, 1, 10, 0)
+        snapshot = d.snapshot_positions()
+        # Target area is packed and the window too small to find room.
+        ok = move_cell(d, c, 2.0, 0.0, LegalizerConfig(rx=2, ry=0))
+        assert not ok
+        assert d.snapshot_positions() == snapshot
+        assert verify_placement(d) == []
+
+    def test_unplaced_cell_rejected(self):
+        d = make_design()
+        c = add_unplaced(d, 2, 1, 0, 0)
+        with pytest.raises(ValueError):
+            move_cell(d, c, 1.0, 1.0)
+
+    def test_every_intermediate_state_legal(self):
+        # The instant-legalization property (paper refs [11], [12]).
+        d = generate_design(GeneratorConfig(num_cells=60, seed=3))
+        legalize(d, LegalizerConfig(seed=3))
+        cells = [c for c in d.movable_cells()][:10]
+        for i, c in enumerate(cells):
+            move_cell(d, c, c.x + (i % 5) - 2, c.y + (i % 3) - 1)
+            assert verify_placement(d) == []
+
+
+class TestImproveHpwl:
+    def test_hpwl_never_increases(self):
+        d = generate_design(GeneratorConfig(num_cells=120, seed=4))
+        legalize(d, LegalizerConfig(seed=4))
+        before = d.hpwl_um()
+        stats = improve_hpwl(d, LegalizerConfig(seed=4), passes=1,
+                             max_moves_per_pass=60)
+        assert d.hpwl_um() <= before + 1e-6
+        assert stats.hpwl_after_um <= stats.hpwl_before_um + 1e-6
+        assert_legal(d)
+
+    def test_improvement_reported(self):
+        d = generate_design(GeneratorConfig(num_cells=120, seed=5))
+        legalize(d, LegalizerConfig(seed=5))
+        stats = improve_hpwl(d, LegalizerConfig(seed=5), passes=1,
+                             max_moves_per_pass=40)
+        assert stats.moves_tried >= stats.moves_kept
+        assert stats.improvement_pct >= 0

@@ -1,0 +1,73 @@
+"""Unit tests for gate sizing with local re-legalization."""
+
+from repro.apps import resize_cell
+from repro.apps.sizing import upsize_sweep
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, verify_placement
+from repro.core import LegalizerConfig, legalize
+from tests.conftest import add_placed, make_design
+
+
+class TestResize:
+    def test_upsize_in_free_space(self):
+        d = make_design()
+        c = add_placed(d, 2, 1, 5, 2)
+        bigger = d.library.get_or_create(4, 1)
+        assert resize_cell(d, c, bigger)
+        assert c.width == 4
+        assert verify_placement(d) == []
+
+    def test_upsize_pushes_neighbors(self):
+        d = make_design(num_rows=1, row_width=12)
+        c = add_placed(d, 2, 1, 4, 0)
+        right = add_placed(d, 2, 1, 6, 0)
+        bigger = d.library.get_or_create(4, 1)
+        assert resize_cell(d, c, bigger, LegalizerConfig(rx=6, ry=0))
+        assert verify_placement(d) == []
+
+    def test_downsize_always_fits(self):
+        d = make_design(num_rows=1, row_width=10)
+        add_placed(d, 3, 1, 0, 0)
+        c = add_placed(d, 4, 1, 3, 0)
+        add_placed(d, 3, 1, 7, 0)
+        smaller = d.library.get_or_create(2, 1)
+        assert resize_cell(d, c, smaller)
+        assert c.width == 2
+        assert verify_placement(d) == []
+
+    def test_failed_resize_restores_master_and_position(self):
+        d = make_design(num_rows=1, row_width=10)
+        add_placed(d, 4, 1, 0, 0)
+        c = add_placed(d, 2, 1, 4, 0)
+        add_placed(d, 4, 1, 6, 0)
+        huge = d.library.get_or_create(8, 1)
+        old_master = c.master
+        ok = resize_cell(d, c, huge, LegalizerConfig(rx=4, ry=0))
+        assert not ok
+        assert c.master is old_master
+        assert (c.x, c.y) == (4, 0)
+        assert verify_placement(d) == []
+
+    def test_height_change_allowed(self):
+        # Sizing to a double-height variant (the multi-row library trend
+        # the paper's introduction describes).
+        d = make_design()
+        c = add_placed(d, 4, 1, 5, 2)
+        tall = d.library.get_or_create(2, 2)
+        assert resize_cell(d, c, tall)
+        assert c.height == 2
+        assert verify_placement(d) == []
+
+
+class TestSweep:
+    def test_sweep_counts_successes(self):
+        d = generate_design(GeneratorConfig(num_cells=80, seed=6,
+                                            target_density=0.4))
+        legalize(d, LegalizerConfig(seed=6))
+        singles = [c for c in d.movable_cells() if c.height == 1][:10]
+        candidates = [
+            (c, d.library.get_or_create(c.width + 1, 1)) for c in singles
+        ]
+        done = upsize_sweep(d, candidates, LegalizerConfig(seed=6))
+        assert done >= 8  # low density: almost everything fits
+        assert_legal(d)

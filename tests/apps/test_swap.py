@@ -1,0 +1,103 @@
+"""Unit tests for global swap with instant legalization."""
+
+import pytest
+
+from repro.apps import swap_cells, swap_pass
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, verify_placement
+from repro.core import LegalizerConfig, legalize
+from tests.conftest import add_placed, make_design
+
+
+class TestSwapCells:
+    def test_equal_size_swap(self):
+        d = make_design()
+        a = add_placed(d, 3, 1, 2, 1, name="a")
+        b = add_placed(d, 3, 1, 20, 5, name="b")
+        assert swap_cells(d, a, b)
+        assert (a.x, a.y) == (20, 5)
+        assert (b.x, b.y) == (2, 1)
+        assert verify_placement(d) == []
+
+    def test_different_size_swap(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 2, 1, name="small")
+        b = add_placed(d, 5, 1, 20, 5, name="big")
+        assert swap_cells(d, a, b)
+        assert verify_placement(d) == []
+        # Each landed near the other's old spot.
+        assert abs(a.x - 20) <= 3 and abs(a.y - 5) <= 1
+        assert abs(b.x - 2) <= 3 and abs(b.y - 1) <= 1
+
+    def test_multi_row_with_single_row(self):
+        d = make_design()
+        a = add_placed(d, 2, 2, 2, 2, name="tall")
+        b = add_placed(d, 4, 1, 20, 4, name="wide")
+        assert swap_cells(d, a, b)
+        assert verify_placement(d) == []
+
+    def test_failed_swap_restores_everything(self):
+        d = make_design(num_rows=1, row_width=14)
+        # Packed row: a swap of mismatched widths cannot fit.
+        add_placed(d, 4, 1, 0, 0, fixed=True)
+        a = add_placed(d, 2, 1, 4, 0, name="a")
+        add_placed(d, 4, 1, 6, 0, fixed=True)
+        b = add_placed(d, 4, 1, 10, 0, name="b")
+        snapshot = d.snapshot_positions()
+        ok = swap_cells(d, a, b, LegalizerConfig(rx=3, ry=0))
+        if not ok:
+            assert d.snapshot_positions() == snapshot
+        assert verify_placement(d) == []
+
+    def test_unplaced_rejected(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        b = d.add_cell(d.library.get_or_create(2, 1))
+        with pytest.raises(ValueError):
+            swap_cells(d, a, b)
+
+    def test_self_swap_rejected(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        with pytest.raises(ValueError):
+            swap_cells(d, a, a)
+
+    def test_cross_fence_swap_refused(self):
+        from repro.db import Design, FenceRegion, Floorplan, Library
+        from repro.geometry import Rect
+
+        fp = Floorplan(
+            num_rows=4,
+            row_width=30,
+            fences=[FenceRegion(id=0, name="f", rects=(Rect(16, 0, 10, 4),))],
+        )
+        d = Design(fp, Library())
+        m = d.library.get_or_create(3, 1)
+        a = d.add_cell(m)
+        d.place(a, 2, 1)
+        b = d.add_cell(m, region=0)
+        d.place(b, 18, 1)
+        assert not swap_cells(d, a, b)
+        assert (a.x, b.x) == (2, 18)
+
+
+class TestSwapPass:
+    def test_pass_improves_or_preserves_hpwl(self):
+        d = generate_design(
+            GeneratorConfig(num_cells=150, target_density=0.45, seed=9)
+        )
+        legalize(d, LegalizerConfig(seed=9))
+        before = d.hpwl_um()
+        stats = swap_pass(d, LegalizerConfig(seed=9), max_pairs=40)
+        assert d.hpwl_um() <= before + 1e-6
+        assert stats.swaps_kept <= stats.pairs_tried
+        assert_legal(d)
+
+    def test_stats_consistent(self):
+        d = generate_design(
+            GeneratorConfig(num_cells=100, target_density=0.4, seed=10)
+        )
+        legalize(d, LegalizerConfig(seed=10))
+        stats = swap_pass(d, LegalizerConfig(seed=10), max_pairs=20)
+        assert stats.hpwl_after_um <= stats.hpwl_before_um + 1e-6
+        assert stats.improvement_pct >= 0

@@ -1,0 +1,84 @@
+"""Unit tests for the Abacus baseline."""
+
+import random
+
+from repro.baselines import abacus_legalize
+from repro.baselines.abacus import _add_and_collapse, _Cluster
+from repro.checker import verify_placement
+from tests.conftest import add_unplaced, make_design
+
+
+class TestClusterMath:
+    def test_single_cell_at_desired(self):
+        clusters = []
+        x = _add_and_collapse(clusters, 5.0, 3, 0, 20)
+        assert x == 5.0
+        assert len(clusters) == 1
+
+    def test_two_separate_cells_stay_apart(self):
+        clusters = []
+        _add_and_collapse(clusters, 2.0, 3, 0, 20)
+        x = _add_and_collapse(clusters, 10.0, 3, 0, 20)
+        assert x == 10.0
+        assert len(clusters) == 2
+
+    def test_overlapping_cells_merge_to_mean(self):
+        clusters = []
+        _add_and_collapse(clusters, 4.0, 3, 0, 20)
+        x = _add_and_collapse(clusters, 5.0, 3, 0, 20)
+        # Cluster of two: optimal left edge = mean(4, 5-3) = 3.
+        assert len(clusters) == 1
+        assert clusters[0].x == 3.0
+        assert x == 6.0  # second cell sits at cluster.x + 3
+
+    def test_boundary_clamping(self):
+        clusters = []
+        x = _add_and_collapse(clusters, -4.0, 3, 0, 20)
+        assert x == 0.0
+        clusters = []
+        x = _add_and_collapse(clusters, 25.0, 3, 0, 20)
+        assert x == 17.0
+
+    def test_chain_collapse(self):
+        clusters = []
+        for gx in (0.0, 1.0, 2.0):
+            _add_and_collapse(clusters, gx, 4, 0, 20)
+        assert len(clusters) == 1
+        assert clusters[0].x == 0.0  # clamped pile-up at the left edge
+        assert clusters[0].w == 12
+
+
+class TestFullRuns:
+    def overlapping(self, seed, n=40, rows=8, width=40, doubles=True):
+        rng = random.Random(seed)
+        d = make_design(num_rows=rows, row_width=width)
+        shapes = [(2, 1), (3, 1), (4, 1)]
+        if doubles:
+            shapes.append((2, 2))
+        for _ in range(n):
+            w, h = rng.choice(shapes)
+            add_unplaced(d, w, h, rng.uniform(0, width - w), rng.uniform(0, rows - h))
+        return d
+
+    def test_single_row_design_fully_legal(self):
+        d = self.overlapping(seed=1, doubles=False)
+        result = abacus_legalize(d)
+        assert result.failed_cells == []
+        assert verify_placement(d) == []
+
+    def test_mixed_height_design_fully_legal(self):
+        d = self.overlapping(seed=2)
+        result = abacus_legalize(d)
+        assert result.failed_cells == []
+        assert result.macro_placed > 0
+        assert verify_placement(d) == []
+
+    def test_relaxed_power_mode(self):
+        d = self.overlapping(seed=3)
+        abacus_legalize(d, power_aligned=False)
+        assert verify_placement(d, power_aligned=False) == []
+
+    def test_runtime_recorded(self):
+        d = self.overlapping(seed=4, n=10)
+        result = abacus_legalize(d)
+        assert result.runtime_s > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the MILP local solver — the ILP cross-validation."""
+
+import random
+
+import pytest
+
+from repro.baselines import milp_legalize, solve_local_milp
+from repro.checker import assert_legal, verify_placement
+from repro.core import (
+    EvaluationMode,
+    LegalizerConfig,
+    MultiRowLocalLegalizer,
+    extract_local_region,
+)
+from repro.db import Rail
+from tests.conftest import add_placed, add_unplaced, make_design, random_legal_design
+
+
+class TestSingleCalls:
+    def test_empty_region_places_at_desired(self):
+        d = make_design(num_rows=2, row_width=12)
+        t = add_unplaced(d, 3, 1, 4.0, 1.0)
+        region = extract_local_region(d, d.floorplan.die_rect)
+        sol = solve_local_milp(d, region, t, 4.0, 1.0)
+        assert sol is not None
+        assert sol.target_x == 4
+        assert sol.target_bottom_row == 1
+        assert sol.cost_um == pytest.approx(0.0)
+
+    def test_respects_power_alignment(self):
+        d = make_design(first_rail=Rail.GND)
+        t = add_unplaced(d, 2, 2, 0.0, 2.0, rail=Rail.VDD)
+        region = extract_local_region(d, d.floorplan.die_rect)
+        sol = solve_local_milp(d, region, t, 0.0, 2.0, power_aligned=True)
+        assert sol is not None
+        assert sol.target_bottom_row % 2 == 1
+
+    def test_pushes_cells_minimally(self):
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 4, 1, 3, 0)
+        t = add_unplaced(d, 4, 1, 3.0, 0.0)
+        region = extract_local_region(d, d.floorplan.die_rect)
+        sol = solve_local_milp(d, region, t, 3.0, 0.0)
+        assert sol is not None
+        # Slack is 2 sites and t wants a's exact spot: every arrangement
+        # costs 4 sites (e.g. t at 3, a pushed to 7).
+        sw = d.floorplan.site_width_um
+        assert sol.cost_um == pytest.approx(4 * sw)
+
+    def test_infeasible_region_returns_none(self):
+        d = make_design(num_rows=1, row_width=10)
+        add_placed(d, 5, 1, 0, 0)
+        add_placed(d, 5, 1, 5, 0)
+        t = add_unplaced(d, 3, 1, 2.0, 0.0)
+        region = extract_local_region(d, d.floorplan.die_rect)
+        assert solve_local_milp(d, region, t, 2.0, 0.0) is None
+
+
+class TestEquivalenceWithExactMll:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_milp_optimum_equals_exhaustive_optimum(self, trial):
+        rng = random.Random(trial)
+        d = random_legal_design(
+            rng, num_rows=6, row_width=20, n_cells=rng.randint(5, 14)
+        )
+        shapes = ((2, 1), (3, 1), (2, 2), (3, 2), (2, 3))
+        w, h = rng.choice(shapes)
+        rail = Rail.GND if h % 2 == 0 else None
+        t = add_unplaced(d, w, h, rng.uniform(0, 18), rng.uniform(0, 4), rail=rail)
+        cfg = LegalizerConfig(rx=8, ry=3, evaluation=EvaluationMode.EXACT)
+        mll = MultiRowLocalLegalizer(d, cfg)
+        candidates = mll.evaluate_candidates(t, t.gp_x, t.gp_y)
+        region = extract_local_region(d, mll.window_for(t, t.gp_x, t.gp_y))
+        sol = solve_local_milp(d, region, t, t.gp_x, t.gp_y)
+        if not candidates:
+            assert sol is None
+        else:
+            assert sol is not None
+            best = min(c.cost for c in candidates)
+            assert sol.cost_um == pytest.approx(best, abs=1e-6)
+
+
+class TestMilpDriver:
+    def test_full_legalization_small(self):
+        rng = random.Random(5)
+        d = make_design(num_rows=6, row_width=20)
+        for _ in range(14):
+            w, h = rng.choice(((2, 1), (3, 1), (2, 2)))
+            add_unplaced(d, w, h, rng.uniform(0, 17), rng.uniform(0, 5))
+        milp_legalize(d, LegalizerConfig(seed=5))
+        assert_legal(d)
+        assert verify_placement(d) == []

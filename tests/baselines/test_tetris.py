@@ -1,0 +1,56 @@
+"""Unit tests for the greedy (Tetris) baseline."""
+
+import random
+
+from repro.baselines import find_nearest_free, tetris_legalize
+from repro.checker import verify_placement
+from repro.db import Rail
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestNearestFree:
+    def test_empty_die_returns_rounded_target(self):
+        d = make_design()
+        c = add_unplaced(d, 3, 1, 5.4, 2.6)
+        assert find_nearest_free(d, c, 5.4, 2.6) == (5, 3)
+
+    def test_sidesteps_occupied_spot(self):
+        d = make_design(num_rows=1, row_width=20)
+        add_placed(d, 4, 1, 8, 0)
+        c = add_unplaced(d, 2, 1, 9.0, 0.0)
+        x, y = find_nearest_free(d, c, 9.0, 0.0)
+        assert y == 0
+        assert x in (6, 12)  # flush against the occupied span
+
+    def test_respects_parity_for_even_cells(self):
+        d = make_design(first_rail=Rail.GND)
+        c = add_unplaced(d, 2, 2, 4.0, 2.0, rail=Rail.VDD)
+        x, y = find_nearest_free(d, c, 4.0, 2.0)
+        assert y % 2 == 1
+
+    def test_none_when_die_full(self):
+        d = make_design(num_rows=1, row_width=8)
+        add_placed(d, 4, 1, 0, 0)
+        add_placed(d, 4, 1, 4, 0)
+        c = add_unplaced(d, 2, 1, 3.0, 0.0)
+        assert find_nearest_free(d, c, 3.0, 0.0) is None
+
+
+class TestFullRuns:
+    def test_moderate_density_fully_legal(self):
+        rng = random.Random(6)
+        d = make_design(num_rows=8, row_width=40)
+        for _ in range(40):
+            w, h = rng.choice(((2, 1), (3, 1), (4, 1), (2, 2)))
+            add_unplaced(d, w, h, rng.uniform(0, 40 - w), rng.uniform(0, 8 - h))
+        result = tetris_legalize(d)
+        assert result.failed_cells == []
+        assert verify_placement(d) == []
+
+    def test_never_moves_placed_cells(self):
+        d = make_design(num_rows=2, row_width=20)
+        pre = add_placed(d, 4, 1, 8, 0)
+        add_unplaced(d, 4, 1, 8.0, 0.0)
+        tetris_legalize(d)
+        assert (pre.x, pre.y) == (8, 0)
+        assert verify_placement(d) == []

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic design generator."""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import verify_placement
+from repro.db import Rail
+
+
+class TestConfigValidation:
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(target_density=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(target_density=1.0)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(double_row_fraction=0.8, triple_row_fraction=0.3)
+
+    def test_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(single_widths=(2, 3), single_width_weights=(1,))
+
+
+class TestGeneratedStructure:
+    def test_cell_count(self):
+        d = generate_design(GeneratorConfig(num_cells=300, seed=1))
+        assert len(d.cells) == 300
+
+    def test_double_row_fraction(self):
+        d = generate_design(
+            GeneratorConfig(num_cells=400, double_row_fraction=0.25, seed=2)
+        )
+        doubles = sum(1 for c in d.cells if c.height == 2)
+        assert doubles == 100
+        # Paper protocol: doubles have half width — narrower on average.
+        singles_w = [c.width for c in d.cells if c.height == 1]
+        doubles_w = [c.width for c in d.cells if c.height == 2]
+        assert sum(doubles_w) / len(doubles_w) < sum(singles_w) / len(singles_w)
+
+    def test_triple_row_cells(self):
+        d = generate_design(
+            GeneratorConfig(num_cells=200, triple_row_fraction=0.1, seed=3)
+        )
+        assert sum(1 for c in d.cells if c.height == 3) == 20
+
+    def test_density_close_to_target(self):
+        for target in (0.3, 0.6, 0.85):
+            d = generate_design(
+                GeneratorConfig(num_cells=500, target_density=target, seed=4)
+            )
+            assert d.density() == pytest.approx(target, rel=0.15)
+
+    def test_all_cells_unplaced_with_gp(self):
+        d = generate_design(GeneratorConfig(num_cells=100, seed=5))
+        fp = d.floorplan
+        for c in d.cells:
+            assert not c.is_placed
+            assert 0 <= c.gp_x <= fp.row_width - c.width
+            assert 0 <= c.gp_y <= fp.num_rows - c.height
+
+    def test_gp_has_overlaps(self):
+        # The perturbed GP must actually overlap somewhere — otherwise
+        # legalization would be trivial.
+        d = generate_design(GeneratorConfig(num_cells=300, target_density=0.6, seed=6))
+        boxes = [c.gp_rect for c in d.cells]
+        boxes.sort(key=lambda r: r.x)
+        overlaps = 0
+        for i, r in enumerate(boxes):
+            for other in boxes[i + 1 : i + 30]:
+                if other.x >= r.x1:
+                    break
+                if r.overlaps(other):
+                    overlaps += 1
+        assert overlaps > 0
+
+    def test_netlist_generated(self):
+        cfg = GeneratorConfig(num_cells=200, nets_per_cell=1.5, seed=7)
+        d = generate_design(cfg)
+        assert len(d.netlist) == 300
+        for net in d.netlist:
+            assert 2 <= len(net.pins) <= cfg.max_net_degree
+
+    def test_rails_used_by_double_cells(self):
+        d = generate_design(
+            GeneratorConfig(num_cells=300, double_row_fraction=0.3, seed=8)
+        )
+        rails = {
+            c.master.bottom_rail for c in d.cells if c.height == 2
+        }
+        assert rails == {Rail.VDD, Rail.GND}
+
+    def test_determinism(self):
+        a = generate_design(GeneratorConfig(num_cells=150, seed=9))
+        b = generate_design(GeneratorConfig(num_cells=150, seed=9))
+        assert [(c.name, c.gp_x, c.gp_y) for c in a.cells] == [
+            (c.name, c.gp_x, c.gp_y) for c in b.cells
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_design(GeneratorConfig(num_cells=150, seed=10))
+        b = generate_design(GeneratorConfig(num_cells=150, seed=11))
+        assert [(c.gp_x, c.gp_y) for c in a.cells] != [
+            (c.gp_x, c.gp_y) for c in b.cells
+        ]
+
+    def test_blockages(self):
+        d = generate_design(
+            GeneratorConfig(num_cells=300, blockage_fraction=0.15, seed=12)
+        )
+        assert len(d.floorplan.blockages) > 0
+        # Blockages must not strand GP positions outside segments... the
+        # legalizer handles that, but density must still be sane.
+        assert d.density() < 1.0
+
+    def test_seed_placement_was_legal(self):
+        # Re-derive: placing every cell at its rounded seed position can
+        # be checked indirectly — the design legalizes with zero retries
+        # at moderate density.
+        from repro.core import LegalizerConfig, legalize
+
+        d = generate_design(GeneratorConfig(num_cells=200, target_density=0.5, seed=13))
+        result = legalize(d, LegalizerConfig(seed=13))
+        assert result.rounds == 0
+        assert verify_placement(d) == []

@@ -1,0 +1,80 @@
+"""Unit tests for the named ISPD2015-style benchmark suite."""
+
+import pytest
+
+from repro.bench import (
+    ISPD2015_BENCHMARKS,
+    PAPER_TABLE1,
+    benchmark_names,
+    make_benchmark,
+)
+
+
+class TestSuiteDefinition:
+    def test_twenty_benchmarks(self):
+        assert len(benchmark_names()) == 20
+
+    def test_names_match_paper_table(self):
+        assert set(benchmark_names()) == set(PAPER_TABLE1)
+
+    def test_specs_mirror_paper_statistics(self):
+        for name, spec in ISPD2015_BENCHMARKS.items():
+            row = PAPER_TABLE1[name]
+            assert spec.num_single == row.num_single
+            assert spec.num_double == row.num_double
+            assert spec.density == row.density
+
+    def test_density_range_covered(self):
+        densities = [s.density for s in ISPD2015_BENCHMARKS.values()]
+        assert min(densities) <= 0.15
+        assert max(densities) >= 0.9
+
+
+class TestGeneration:
+    def test_scaled_cell_count(self):
+        spec = ISPD2015_BENCHMARKS["fft_1"]
+        d = make_benchmark("fft_1", scale=0.01)
+        expected = max(150, round((spec.num_single + spec.num_double) * 0.01))
+        assert len(d.cells) == expected
+
+    def test_double_fraction_preserved(self):
+        d = make_benchmark("pci_bridge32_a", scale=0.05)
+        spec = ISPD2015_BENCHMARKS["pci_bridge32_a"]
+        frac = spec.num_double / (spec.num_single + spec.num_double)
+        got = sum(1 for c in d.cells if c.height == 2) / len(d.cells)
+        assert got == pytest.approx(frac, abs=0.02)
+
+    def test_density_preserved(self):
+        d = make_benchmark("des_perf_1", scale=0.01)
+        assert d.density() == pytest.approx(0.91, rel=0.1)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_benchmark("nonexistent")
+
+    def test_stable_seed_reproducible(self):
+        a = make_benchmark("fft_a", scale=0.01)
+        b = make_benchmark("fft_a", scale=0.01)
+        assert [(c.gp_x, c.gp_y) for c in a.cells] == [
+            (c.gp_x, c.gp_y) for c in b.cells
+        ]
+
+
+class TestPaperData:
+    def test_all_rows_have_both_sides(self):
+        for row in PAPER_TABLE1.values():
+            assert row.aligned.ours_runtime_s > 0
+            assert row.relaxed.ours_runtime_s > 0
+
+    def test_ilp_slower_than_ours_everywhere(self):
+        # The shape claim behind "185x": ILP runtime dominates on every
+        # benchmark in the paper's table.
+        for row in PAPER_TABLE1.values():
+            assert row.aligned.ilp_runtime_s > row.aligned.ours_runtime_s
+
+    def test_relaxed_displacement_lower_in_paper(self):
+        # Section 6: relaxing power alignment lowers displacement for
+        # both methods on every benchmark.
+        for row in PAPER_TABLE1.values():
+            assert row.relaxed.ours_disp_sites <= row.aligned.ours_disp_sites
+            assert row.relaxed.ilp_disp_sites <= row.aligned.ilp_disp_sites

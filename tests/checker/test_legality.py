@@ -1,0 +1,123 @@
+"""Unit tests for the legality checker — each constraint violated in turn."""
+
+from repro.checker import ViolationKind, assert_legal, verify_placement
+from repro.db import Rail
+from repro.geometry import Rect
+from tests.conftest import add_placed, add_unplaced, make_design
+
+import pytest
+
+
+def kinds(violations):
+    return {v.kind for v in violations}
+
+
+class TestCleanPlacements:
+    def test_empty_design_is_legal(self):
+        d = make_design()
+        assert verify_placement(d) == []
+
+    def test_legal_mixed_heights(self):
+        d = make_design()
+        add_placed(d, 3, 1, 0, 0)
+        add_placed(d, 2, 2, 3, 0)
+        add_placed(d, 2, 3, 5, 1)
+        assert verify_placement(d) == []
+
+    def test_assert_legal_passes(self):
+        d = make_design()
+        add_placed(d, 2, 1, 0, 0)
+        assert_legal(d)
+
+
+class TestEachConstraint:
+    def test_unplaced_cells_flagged(self):
+        d = make_design()
+        add_unplaced(d, 2, 1, 0, 0)
+        violations = verify_placement(d)
+        assert kinds(violations) == {ViolationKind.UNPLACED}
+        assert verify_placement(d, require_all_placed=False) == []
+
+    def test_out_of_bounds(self):
+        d = make_design(num_rows=4)
+        c = add_placed(d, 2, 2, 0, 2)
+        c.y = 3  # manual corruption: top row now spills out
+        violations = verify_placement(d)
+        assert ViolationKind.OUT_OF_BOUNDS in kinds(violations)
+
+    def test_not_in_segment(self):
+        d = make_design(num_rows=2, row_width=20, blockages=[Rect(8, 0, 4, 1)])
+        c = add_placed(d, 2, 1, 0, 0)
+        c.x = 9  # manual corruption: inside the blockage
+        violations = verify_placement(d, check_registration=False)
+        assert ViolationKind.NOT_IN_SEGMENT in kinds(violations)
+
+    def test_rail_misalignment(self):
+        d = make_design(first_rail=Rail.GND)
+        c = add_placed(d, 2, 2, 0, 0, rail=Rail.GND)
+        d.unplace(c)
+        d.place(c, 0, 1, power_aligned=False)  # wrong-parity row
+        violations = verify_placement(d)
+        assert ViolationKind.RAIL_MISALIGNED in kinds(violations)
+        # ...and the relaxed checker accepts it (the paper's experiment 2).
+        assert verify_placement(d, power_aligned=False) == []
+
+    def test_overlap_same_row(self):
+        d = make_design()
+        a = add_placed(d, 4, 1, 0, 0)
+        b = add_placed(d, 4, 1, 10, 0)
+        b.x = 2  # manual corruption
+        violations = verify_placement(d, check_registration=False)
+        assert ViolationKind.OVERLAP in kinds(violations)
+        v = next(v for v in violations if v.kind is ViolationKind.OVERLAP)
+        assert set(v.cells) == {a.name, b.name}
+
+    def test_overlap_multi_row_reported_once(self):
+        d = make_design()
+        a = add_placed(d, 3, 3, 0, 0)
+        b = add_placed(d, 3, 3, 10, 0)
+        b.x = 1  # overlaps a in three rows
+        violations = [
+            v
+            for v in verify_placement(d, check_registration=False)
+            if v.kind is ViolationKind.OVERLAP
+        ]
+        assert len(violations) == 1
+
+    def test_registration_invariant(self):
+        d = make_design()
+        c = add_placed(d, 2, 2, 0, 0)
+        d.floorplan.segments_in_row(1)[0].remove_cell(c)  # corrupt DB
+        violations = verify_placement(d)
+        assert ViolationKind.BAD_REGISTRATION in kinds(violations)
+
+    def test_unsorted_segment_list_flagged(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 1, 6, 0)
+        seg = d.floorplan.segments_in_row(0)[0]
+        seg.cells.reverse()  # corrupt order
+        violations = verify_placement(d)
+        assert ViolationKind.BAD_REGISTRATION in kinds(violations)
+
+    def test_assert_legal_raises_with_message(self):
+        d = make_design()
+        add_unplaced(d, 2, 1, 0, 0, name="ghost")
+        with pytest.raises(AssertionError, match="ghost"):
+            assert_legal(d)
+
+
+class TestFixedCells:
+    def test_unplaced_fixed_cells_not_flagged(self):
+        d = make_design()
+        master = d.library.get_or_create(2, 1)
+        d.add_cell(master, fixed=True)
+        assert verify_placement(d) == []
+
+    def test_placed_fixed_cells_checked_for_overlap(self):
+        d = make_design()
+        add_placed(d, 4, 1, 0, 0, fixed=True)
+        b = add_placed(d, 4, 1, 10, 0)
+        b.x = 2
+        violations = verify_placement(d, check_registration=False)
+        assert ViolationKind.OVERLAP in kinds(violations)

@@ -1,0 +1,73 @@
+"""Unit tests for displacement and HPWL metrics."""
+
+import pytest
+
+from repro.checker import displacement_stats, hpwl_stats, make_report
+from repro.db import Net, Pin
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestDisplacement:
+    def test_zero_for_unmoved(self):
+        d = make_design()
+        add_placed(d, 2, 1, 3, 1)  # gp == position
+        stats = displacement_stats(d)
+        assert stats.total_um == 0
+        assert stats.avg_sites == 0
+        assert stats.num_cells == 1
+
+    def test_manhattan_mixed_axes(self):
+        d = make_design()
+        c = add_placed(d, 2, 1, 5, 2)
+        c.gp_x, c.gp_y = 3.0, 1.0  # moved +2 sites x, +1 row y
+        fp = d.floorplan
+        stats = displacement_stats(d)
+        expected_um = 2 * fp.site_width_um + 1 * fp.site_height_um
+        assert stats.total_um == pytest.approx(expected_um)
+        assert stats.avg_sites == pytest.approx(expected_um / fp.site_width_um)
+
+    def test_average_over_placed_movables_only(self):
+        d = make_design()
+        c1 = add_placed(d, 2, 1, 5, 2)
+        c1.gp_x = 4.0
+        add_unplaced(d, 2, 1, 0, 0)  # ignored
+        add_placed(d, 2, 1, 9, 3, fixed=True)  # ignored
+        stats = displacement_stats(d)
+        assert stats.num_cells == 1
+
+    def test_max_tracks_worst_cell(self):
+        d = make_design()
+        c1 = add_placed(d, 2, 1, 5, 2)
+        c1.gp_x = 4.0
+        c2 = add_placed(d, 2, 1, 20, 2)
+        c2.gp_x = 10.0
+        stats = displacement_stats(d)
+        assert stats.max_um == pytest.approx(10 * d.floorplan.site_width_um)
+
+
+class TestHpwl:
+    def test_delta_pct(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 1, 10, 0)
+        a.gp_x, b.gp_x = 0.0, 5.0  # GP net was half as long
+        d.netlist.add(Net("n", (Pin(a), Pin(b))))
+        stats = hpwl_stats(d)
+        assert stats.legal_um > stats.gp_um
+        assert stats.delta_pct == pytest.approx(100.0)
+
+    def test_zero_gp_hpwl_guard(self):
+        d = make_design()
+        stats = hpwl_stats(d)
+        assert stats.delta_pct == 0.0
+
+
+class TestReport:
+    def test_report_row_format(self):
+        d = make_design(name="demo")
+        add_placed(d, 2, 1, 0, 0)
+        report = make_report(d, runtime_s=1.5)
+        row = report.row()
+        assert "demo" in row
+        assert "t=" in row
+        assert report.runtime_s == 1.5

@@ -1,0 +1,105 @@
+"""Shared test fixtures and design builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import Design, Floorplan, Library, Rail
+from repro.db.cell import Cell
+
+
+def make_design(
+    num_rows: int = 8,
+    row_width: int = 40,
+    first_rail: Rail = Rail.GND,
+    blockages=None,
+    name: str = "test",
+) -> Design:
+    """A fresh empty design on a uniform floorplan."""
+    fp = Floorplan(
+        num_rows=num_rows,
+        row_width=row_width,
+        first_rail=first_rail,
+        blockages=blockages,
+    )
+    return Design(fp, Library(), name=name)
+
+
+def add_placed(
+    design: Design,
+    width: int,
+    height: int,
+    x: int,
+    y: int,
+    rail: Rail | None = None,
+    name: str | None = None,
+    fixed: bool = False,
+) -> Cell:
+    """Add a cell and place it at (x, y); GP is set to the same spot."""
+    if height % 2 == 0 and rail is None:
+        rail = design.floorplan.rows[y].bottom_rail
+    master = design.library.get_or_create(width, height, rail)
+    cell = design.add_cell(master, gp_x=float(x), gp_y=float(y), name=name, fixed=fixed)
+    design.place(cell, x, y)
+    return cell
+
+
+def add_unplaced(
+    design: Design,
+    width: int,
+    height: int,
+    gp_x: float,
+    gp_y: float,
+    rail: Rail | None = None,
+    name: str | None = None,
+) -> Cell:
+    """Add an unplaced cell with a GP position."""
+    if height % 2 == 0 and rail is None:
+        rail = Rail.VDD
+    master = design.library.get_or_create(width, height, rail)
+    return design.add_cell(master, gp_x=gp_x, gp_y=gp_y, name=name)
+
+
+def random_legal_design(
+    rng: random.Random,
+    num_rows: int = 8,
+    row_width: int = 30,
+    n_cells: int = 15,
+    max_height: int = 3,
+) -> Design:
+    """A design with cells placed legally at random (GP = position)."""
+    design = make_design(num_rows=num_rows, row_width=row_width)
+    shapes = [(2, 1), (3, 1), (4, 1), (1, 1)]
+    if max_height >= 2:
+        shapes += [(2, 2), (3, 2)]
+    if max_height >= 3:
+        shapes += [(2, 3)]
+    for _ in range(n_cells):
+        w, h = rng.choice(shapes)
+        rail = rng.choice((Rail.VDD, Rail.GND)) if h % 2 == 0 else None
+        master = design.library.get_or_create(w, h, rail)
+        cell = design.add_cell(master)
+        for _attempt in range(300):
+            x = rng.randint(0, row_width - w)
+            y = rng.randint(0, num_rows - h)
+            if design.can_place(cell, x, y):
+                design.place(cell, x, y)
+                cell.gp_x, cell.gp_y = float(x), float(y)
+                break
+        else:
+            design.cells.remove(cell)
+    return design
+
+
+@pytest.fixture
+def design() -> Design:
+    """Default empty 8x40 design."""
+    return make_design()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Seeded RNG for deterministic randomized tests."""
+    return random.Random(12345)

@@ -1,0 +1,33 @@
+"""Unit tests for legalizer configuration validation."""
+
+import pytest
+
+from repro.core import EvaluationMode, LegalizerConfig
+from repro.core.config import CellOrder
+
+
+def test_paper_defaults():
+    cfg = LegalizerConfig()
+    assert cfg.rx == 30  # paper Section 3
+    assert cfg.ry == 5
+    assert cfg.power_aligned is True
+    assert cfg.evaluation is EvaluationMode.APPROX  # paper Section 5.2
+    assert cfg.order is CellOrder.INPUT
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        LegalizerConfig(rx=0)
+    with pytest.raises(ValueError):
+        LegalizerConfig(ry=-1)
+
+
+def test_invalid_rounds_rejected():
+    with pytest.raises(ValueError):
+        LegalizerConfig(max_rounds=0)
+
+
+def test_config_is_immutable():
+    cfg = LegalizerConfig()
+    with pytest.raises(Exception):
+        cfg.rx = 10  # type: ignore[misc]

@@ -1,0 +1,74 @@
+"""Unit tests for the optional per-call target displacement cap
+(config.max_target_displacement_um, modelled on the paper's ref [11])."""
+
+from repro.core import LegalizerConfig, MultiRowLocalLegalizer
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+def um(design, sites_x: float, rows_y: float = 0.0) -> float:
+    return design.floorplan.displacement_um(sites_x, rows_y)
+
+
+class TestDisplacementCap:
+    def test_uncapped_accepts_distant_spot(self):
+        d = make_design(num_rows=1, row_width=30)
+        add_placed(d, 10, 1, 0, 0)
+        add_placed(d, 10, 1, 10, 0)
+        t = add_unplaced(d, 4, 1, 2.0, 0.0)
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=30, ry=0))
+        result = mll.try_place(t, 2.0, 0.0)
+        assert result.success  # lands far right, but lands
+
+    def test_cap_rejects_distant_spot(self):
+        d = make_design(num_rows=1, row_width=30)
+        add_placed(d, 10, 1, 0, 0, fixed=True)
+        add_placed(d, 10, 1, 10, 0, fixed=True)
+        t = add_unplaced(d, 4, 1, 2.0, 0.0)
+        # The fixed cells cannot be pushed; the only room is [20, 30),
+        # 18 sites away — far beyond a 3-site cap.
+        cap = um(d, 3.0)
+        mll = MultiRowLocalLegalizer(
+            d,
+            LegalizerConfig(rx=30, ry=0, max_target_displacement_um=cap),
+        )
+        result = mll.try_place(t, 2.0, 0.0)
+        assert not result.success
+        assert not t.is_placed
+
+    def test_cap_allows_near_spot(self):
+        d = make_design(num_rows=1, row_width=30)
+        add_placed(d, 4, 1, 0, 0)
+        t = add_unplaced(d, 4, 1, 4.4, 0.0)
+        cap = um(d, 1.0)
+        mll = MultiRowLocalLegalizer(
+            d,
+            LegalizerConfig(rx=10, ry=0, max_target_displacement_um=cap),
+        )
+        result = mll.try_place(t, 4.4, 0.0)
+        assert result.success
+        assert abs(t.x - 4.4) * d.floorplan.site_width_um <= cap
+
+    def test_cap_counts_row_jumps(self):
+        d = make_design(num_rows=4, row_width=12)
+        # Row 1 is fully packed; the nearest room is a row away.
+        add_placed(d, 6, 1, 0, 1)
+        add_placed(d, 6, 1, 6, 1)
+        t = add_unplaced(d, 4, 1, 4.0, 1.0)
+        tight = 0.9 * d.floorplan.site_height_um  # less than one row
+        mll = MultiRowLocalLegalizer(
+            d,
+            LegalizerConfig(rx=6, ry=2, max_target_displacement_um=tight),
+        )
+        assert not mll.try_place(t, 4.0, 1.0).success
+        loose = 2 * d.floorplan.site_height_um + 5 * d.floorplan.site_width_um
+        mll = MultiRowLocalLegalizer(
+            d,
+            LegalizerConfig(rx=6, ry=2, max_target_displacement_um=loose),
+        )
+        assert mll.try_place(t, 4.0, 1.0).success
+
+    def test_invalid_cap_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LegalizerConfig(max_target_displacement_um=-1.0)

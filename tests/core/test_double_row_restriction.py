@@ -1,0 +1,70 @@
+"""Unit tests for the Wu & Chu double-row restriction emulation
+(config.double_row_parity, paper ref [10])."""
+
+import random
+
+import pytest
+
+from repro.checker import verify_placement
+from repro.core import LegalizerConfig, legalize
+from repro.core.config import LegalizerConfig as _Cfg
+from tests.conftest import add_unplaced, make_design
+
+
+def mixed_design(seed=0, n=50):
+    rng = random.Random(seed)
+    d = make_design(num_rows=10, row_width=40)
+    for _ in range(n):
+        w, h = rng.choice(((2, 1), (3, 1), (4, 1), (2, 2), (3, 2)))
+        add_unplaced(d, w, h, rng.uniform(0, 40 - w), rng.uniform(0, 10 - h))
+    return d
+
+
+class TestRestriction:
+    def test_invalid_parity_rejected(self):
+        with pytest.raises(ValueError):
+            _Cfg(double_row_parity=2)
+
+    @pytest.mark.parametrize("parity", [0, 1])
+    def test_double_cells_on_one_parity_only(self, parity):
+        d = mixed_design(seed=parity)
+        # Relaxed power mode isolates the [10]-style restriction.
+        legalize(
+            d,
+            LegalizerConfig(
+                seed=1, power_aligned=False, double_row_parity=parity
+            ),
+        )
+        assert verify_placement(d, power_aligned=False) == []
+        for c in d.cells:
+            if c.height == 2:
+                assert c.y % 2 == parity
+
+    def test_single_and_triple_rows_unrestricted(self):
+        d = make_design(num_rows=6, row_width=30)
+        s = add_unplaced(d, 3, 1, 5.0, 1.0)
+        t = add_unplaced(d, 2, 3, 10.0, 1.0)
+        legalize(
+            d,
+            LegalizerConfig(
+                seed=1, power_aligned=False, double_row_parity=0
+            ),
+        )
+        assert s.y == 1  # odd row fine for single
+        assert t.y == 1  # and for triple
+
+    def test_restriction_costs_displacement(self):
+        # The paper's flexibility argument vs [10]: restricting double
+        # cells to one parity cannot help and usually hurts.
+        from repro.checker import displacement_stats
+
+        free = mixed_design(seed=5, n=60)
+        legalize(free, LegalizerConfig(seed=2, power_aligned=False))
+        restricted = mixed_design(seed=5, n=60)
+        legalize(
+            restricted,
+            LegalizerConfig(seed=2, power_aligned=False, double_row_parity=0),
+        )
+        d_free = displacement_stats(free).avg_sites
+        d_res = displacement_stats(restricted).avg_sites
+        assert d_free <= d_res + 1e-9

@@ -1,0 +1,142 @@
+"""Unit tests for insertion point enumeration (scanline vs brute force,
+paper Fig. 8 validity)."""
+
+import random
+
+from repro.core import (
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    enumerate_insertion_points_bruteforce,
+    extract_local_region,
+)
+from repro.geometry import Rect
+from tests.conftest import add_placed, make_design, random_legal_design
+
+
+def prepare(design, rect, target_width):
+    region = extract_local_region(design, rect)
+    bounds = compute_bounds(region)
+    feasible, discarded = build_insertion_intervals(region, bounds, target_width)
+    return region, feasible, discarded
+
+
+class TestSingleRowTarget:
+    def test_each_feasible_gap_is_a_point(self):
+        d = make_design(num_rows=1, row_width=20)
+        add_placed(d, 2, 1, 3, 0)
+        add_placed(d, 2, 1, 10, 0)
+        region, feasible, discarded = prepare(d, Rect(0, 0, 20, 1), 2)
+        points = enumerate_insertion_points(region, feasible, discarded, 1)
+        assert len(points) == len(feasible) == 3
+
+    def test_row_filter_applies(self):
+        d = make_design(num_rows=3, row_width=10)
+        region, feasible, discarded = prepare(d, Rect(0, 0, 10, 3), 2)
+        points = enumerate_insertion_points(
+            region, feasible, discarded, 1, row_ok=lambda r: r == 1
+        )
+        assert {p.bottom_row for p in points} == {1}
+
+
+class TestFigure8Validity:
+    def test_gaps_across_multirow_cell_do_not_combine(self):
+        # Fig. 8: segments 1-2 share multi-row cell a; gap (1, a, R) and
+        # gap (2, L, a) have a common cutline but are on opposite sides
+        # of a, so they must not form an insertion point.
+        d = make_design(num_rows=2, row_width=10)
+        a = add_placed(d, 2, 2, 4, 0)
+        region, feasible, discarded = prepare(d, Rect(0, 0, 10, 2), 2)
+        points = enumerate_insertion_points(region, feasible, discarded, 2)
+        keys = {p.key() for p in points}
+        # Only the both-left and both-right combinations are valid.
+        assert keys == {((0, 0), (1, 0)), ((0, 1), (1, 1))}
+        # Sanity: the cross combinations do share cutlines, so naive
+        # cutline intersection alone would have accepted them.
+        by = {(iv.row_index, iv.gap_index): iv for iv in feasible}
+        left_bottom, right_top = by[(0, 0)], by[(1, 1)]
+        assert max(left_bottom.x_lo, right_top.x_lo) <= min(
+            left_bottom.x_hi, right_top.x_hi
+        )
+
+    def test_two_stacked_multirow_cells(self):
+        d = make_design(num_rows=2, row_width=14)
+        a = add_placed(d, 2, 2, 3, 0)
+        b = add_placed(d, 2, 2, 8, 0)
+        region, feasible, discarded = prepare(d, Rect(0, 0, 14, 2), 2)
+        points = enumerate_insertion_points(region, feasible, discarded, 2)
+        keys = {p.key() for p in points}
+        # Valid: left of a, between a and b, right of b — never across.
+        assert keys == {
+            ((0, 0), (1, 0)),
+            ((0, 1), (1, 1)),
+            ((0, 2), (1, 2)),
+        }
+
+    def test_single_row_cells_combine_freely(self):
+        d = make_design(num_rows=2, row_width=12)
+        add_placed(d, 2, 1, 4, 0)
+        add_placed(d, 2, 1, 6, 1)
+        region, feasible, discarded = prepare(d, Rect(0, 0, 12, 2), 2)
+        points = enumerate_insertion_points(region, feasible, discarded, 2)
+        brute = enumerate_insertion_points_bruteforce(region, feasible, 2)
+        assert {p.key() for p in points} == {p.key() for p in brute}
+        # With only single-row cells, every cutline-compatible pair works.
+        assert len(points) == len(brute) > 2
+
+
+class TestScanlineMatchesBruteForce:
+    def test_randomized_equivalence(self):
+        for trial in range(60):
+            rng = random.Random(trial)
+            d = random_legal_design(
+                rng,
+                num_rows=rng.choice((3, 4, 6)),
+                row_width=rng.choice((14, 20)),
+                n_cells=rng.randint(4, 14),
+                max_height=3,
+            )
+            target_w = rng.randint(1, 4)
+            target_h = rng.randint(1, 3)
+            region, feasible, discarded = prepare(
+                d, Rect(0, 0, d.floorplan.row_width, d.floorplan.num_rows), target_w
+            )
+            scan = enumerate_insertion_points(
+                region, feasible, discarded, target_h
+            )
+            brute = enumerate_insertion_points_bruteforce(
+                region, feasible, target_h
+            )
+            scan_keys = sorted(p.key() for p in scan)
+            brute_keys = sorted(p.key() for p in brute)
+            assert scan_keys == brute_keys, f"trial {trial} diverged"
+            # No duplicates from the scanline.
+            assert len(scan_keys) == len(set(scan_keys))
+
+    def test_cut_ranges_match_bruteforce(self):
+        for trial in range(20):
+            rng = random.Random(1000 + trial)
+            d = random_legal_design(rng, num_rows=4, row_width=16, n_cells=8)
+            region, feasible, discarded = prepare(d, Rect(0, 0, 16, 4), 2)
+            scan = {
+                p.key(): (p.x_lo, p.x_hi)
+                for p in enumerate_insertion_points(region, feasible, discarded, 2)
+            }
+            brute = {
+                p.key(): (p.x_lo, p.x_hi)
+                for p in enumerate_insertion_points_bruteforce(region, feasible, 2)
+            }
+            assert scan == brute
+
+
+class TestWindowEdges:
+    def test_target_taller_than_region_yields_nothing(self):
+        d = make_design(num_rows=2, row_width=10)
+        region, feasible, discarded = prepare(d, Rect(0, 0, 10, 2), 2)
+        assert enumerate_insertion_points(region, feasible, discarded, 5) == []
+
+    def test_missing_row_breaks_vertical_windows(self):
+        d = make_design(num_rows=3, row_width=10, blockages=[Rect(0, 1, 10, 1)])
+        region, feasible, discarded = prepare(d, Rect(0, 0, 10, 3), 2)
+        points = enumerate_insertion_points(region, feasible, discarded, 2)
+        assert points == []  # rows 0 and 2 are not consecutive

@@ -1,0 +1,110 @@
+"""Unit tests for MLL telemetry."""
+
+import math
+
+from repro.core import LegalizerConfig, Legalizer, MultiRowLocalLegalizer
+from repro.core.instrumentation import MllTelemetry
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestRecording:
+    def test_no_telemetry_by_default(self):
+        d = make_design()
+        mll = MultiRowLocalLegalizer(d)
+        assert mll.telemetry is None
+
+    def test_successful_call_recorded(self):
+        d = make_design(num_rows=1, row_width=12)
+        a = add_placed(d, 4, 1, 4, 0)
+        t = add_unplaced(d, 4, 1, 4.0, 0.0)
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=6, ry=0))
+        mll.telemetry = MllTelemetry()
+        assert mll.try_place(t, 4.0, 0.0).success
+        assert len(mll.telemetry.records) == 1
+        rec = mll.telemetry.records[0]
+        assert rec.success
+        assert rec.local_cells == 1  # a
+        assert rec.insertion_points == 2  # left / right of a
+        assert rec.cells_pushed in (0, 1)
+        assert rec.runtime_s > 0
+        assert math.isfinite(rec.cost_um)
+
+    def test_failed_call_recorded_with_nan_cost(self):
+        d = make_design(num_rows=1, row_width=8)
+        add_placed(d, 4, 1, 0, 0, fixed=True)
+        add_placed(d, 4, 1, 4, 0, fixed=True)
+        t = add_unplaced(d, 2, 1, 2.0, 0.0)
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=6, ry=0))
+        mll.telemetry = MllTelemetry()
+        assert not mll.try_place(t, 2.0, 0.0).success
+        rec = mll.telemetry.records[0]
+        assert not rec.success
+        assert math.isnan(rec.cost_um)
+
+    def test_push_count(self):
+        d = make_design(num_rows=1, row_width=12)
+        add_placed(d, 3, 1, 1, 0)
+        add_placed(d, 3, 1, 4, 0)
+        t = add_unplaced(d, 3, 1, 5.0, 0.0)
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=8, ry=0))
+        mll.telemetry = MllTelemetry()
+        mll.try_place(t, 5.0, 0.0)
+        rec = mll.telemetry.records[0]
+        assert rec.cells_pushed >= 1  # inserting at x=5 pushes someone
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        tel = MllTelemetry()
+        s = tel.summary()
+        assert s.calls == 0
+        assert s.total_runtime_s == 0.0
+
+    def test_full_run_summary(self):
+        import random
+
+        rng = random.Random(3)
+        d = make_design(num_rows=8, row_width=30)
+        for _ in range(40):
+            w, h = rng.choice(((2, 1), (3, 1), (2, 2)))
+            add_unplaced(d, w, h, rng.uniform(0, 27), rng.uniform(0, 6))
+        lg = Legalizer(d, LegalizerConfig(seed=3))
+        tel = MllTelemetry()
+        lg.mll.telemetry = tel
+        result = lg.run()
+        assert len(tel.records) == result.mll_calls
+        s = tel.summary()
+        assert s.calls == result.mll_calls
+        assert s.successes == result.mll_successes
+        assert s.mean_insertion_points > 0
+        assert "MLL calls" in str(s)
+
+    def test_histogram(self):
+        tel = MllTelemetry()
+        from repro.core.instrumentation import MllCallRecord
+
+        for n in (1, 2, 2, 3, 10):
+            tel.record(
+                MllCallRecord(
+                    success=True,
+                    target_width=1,
+                    target_height=1,
+                    local_cells=n,
+                    insertion_points=n,
+                    cells_pushed=0,
+                    cost_um=0.0,
+                    runtime_s=0.0,
+                )
+            )
+        hist = tel.histogram("local_cells", bins=3)
+        assert len(hist) == 3
+        assert sum(c for _, c in hist) == 5
+
+    def test_histogram_single_value(self):
+        from repro.core.instrumentation import MllCallRecord
+
+        tel = MllTelemetry()
+        tel.record(
+            MllCallRecord(True, 1, 1, 5, 5, 0, 0.0, 0.0)
+        )
+        assert tel.histogram("local_cells") == [(5.0, 1)]

@@ -1,0 +1,101 @@
+"""Unit tests for insertion intervals (paper Fig. 7 cases)."""
+
+from repro.core import build_insertion_intervals, compute_bounds, extract_local_region
+from repro.geometry import Rect
+from tests.conftest import add_placed, make_design
+
+
+def setup_region(design, rect):
+    region = extract_local_region(design, rect)
+    bounds = compute_bounds(region)
+    return region, bounds
+
+
+class TestGapEnumeration:
+    def test_empty_segment_single_boundary_gap(self):
+        d = make_design(num_rows=1, row_width=10)
+        region, bounds = setup_region(d, Rect(0, 0, 10, 1))
+        feasible, discarded = build_insertion_intervals(region, bounds, target_width=3)
+        assert len(feasible) == 1 and not discarded
+        iv = feasible[0]
+        assert (iv.left, iv.right) == (None, None)
+        assert (iv.x_lo, iv.x_hi) == (0, 7)
+        assert iv.gap_index == 0
+
+    def test_gap_count_is_cells_plus_one_per_segment(self):
+        d = make_design(num_rows=2, row_width=20)
+        add_placed(d, 2, 1, 2, 0)
+        add_placed(d, 2, 1, 8, 0)
+        add_placed(d, 2, 1, 14, 1)
+        region, bounds = setup_region(d, Rect(0, 0, 20, 2))
+        feasible, discarded = build_insertion_intervals(region, bounds, target_width=1)
+        assert len(feasible) + len(discarded) == (2 + 1) + (1 + 1)
+
+    def test_between_cells_uses_bounds(self):
+        # Fig. 7(a): [xL_i + w_i, xR_j - w_t].
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 2, 1, 2, 0)
+        b = add_placed(d, 3, 1, 6, 0)
+        region, bounds = setup_region(d, Rect(0, 0, 10, 1))
+        feasible, _ = build_insertion_intervals(region, bounds, target_width=2)
+        mid = next(iv for iv in feasible if iv.left is a and iv.right is b)
+        assert mid.x_lo == bounds.x_left(a.id) + a.width  # = 2
+        assert mid.x_hi == bounds.x_right(b.id) - 2  # = 7 - 2
+        assert (mid.x_lo, mid.x_hi) == (2, 5)
+
+    def test_boundary_gaps(self):
+        # Fig. 7(b)/(c): segment boundary on one side.
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 2, 1, 4, 0)
+        region, bounds = setup_region(d, Rect(0, 0, 10, 1))
+        feasible, _ = build_insertion_intervals(region, bounds, target_width=3)
+        left_gap = next(iv for iv in feasible if iv.right is a)
+        right_gap = next(iv for iv in feasible if iv.left is a)
+        assert (left_gap.x_lo, left_gap.x_hi) == (0, bounds.x_right(a.id) - 3)
+        assert (right_gap.x_lo, right_gap.x_hi) == (
+            bounds.x_left(a.id) + a.width,
+            10 - 3,
+        )
+
+
+class TestIntervalLengths:
+    def test_positive_zero_negative(self):
+        # Fig. 7(d)/(e)/(f): a 10-wide segment with two 3-wide cells has
+        # 4 slack; targets of width 2 / 4 / 5 give length +2 / 0 / -1
+        # for the middle gap when the neighbors are compacted outward.
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 3, 1, 0, 0)
+        b = add_placed(d, 3, 1, 7, 0)
+        region, bounds = setup_region(d, Rect(0, 0, 10, 1))
+        for width, length in ((2, 2), (4, 0), (5, -1)):
+            feasible, discarded = build_insertion_intervals(
+                region, bounds, target_width=width
+            )
+            everything = feasible + discarded
+            mid = next(
+                iv for iv in everything if iv.left is a and iv.right is b
+            )
+            assert mid.length == length
+            assert mid.is_feasible == (length >= 0)
+            assert (mid in feasible) == (length >= 0)
+
+    def test_discarded_when_target_exceeds_segment(self):
+        d = make_design(num_rows=1, row_width=6)
+        region, bounds = setup_region(d, Rect(0, 0, 6, 1))
+        feasible, discarded = build_insertion_intervals(region, bounds, target_width=9)
+        assert feasible == []
+        assert len(discarded) == 1
+
+
+class TestGapIndex:
+    def test_gap_indices_sequential(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 2, 1, 2, 0)
+        b = add_placed(d, 2, 1, 9, 0)
+        region, bounds = setup_region(d, Rect(0, 0, 20, 1))
+        feasible, _ = build_insertion_intervals(region, bounds, target_width=1)
+        by_index = {iv.gap_index: iv for iv in feasible}
+        assert set(by_index) == {0, 1, 2}
+        assert by_index[0].right is a
+        assert by_index[1].left is a and by_index[1].right is b
+        assert by_index[2].left is b

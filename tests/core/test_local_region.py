@@ -1,0 +1,117 @@
+"""Unit tests for local region extraction (paper Fig. 3 semantics)."""
+
+from repro.core import extract_local_region
+from repro.geometry import Rect
+from tests.conftest import add_placed, make_design
+
+
+class TestBasicExtraction:
+    def test_empty_window(self):
+        d = make_design()
+        region = extract_local_region(d, Rect(5, 2, 10, 3))
+        assert region.rows() == [2, 3, 4]
+        for row in region.rows():
+            seg = region.segments[row]
+            assert (seg.x0, seg.x1) == (5, 15)
+            assert seg.cells == []
+        assert region.cells == []
+
+    def test_window_clipped_to_die(self):
+        d = make_design(num_rows=4, row_width=10)
+        region = extract_local_region(d, Rect(-5, -2, 12, 10))
+        assert region.rows() == [0, 1, 2, 3]
+        assert region.segments[0].x0 == 0
+        assert region.segments[0].x1 == 7
+
+    def test_fully_inside_cell_is_local(self):
+        d = make_design()
+        c = add_placed(d, 3, 1, 8, 3)
+        region = extract_local_region(d, Rect(5, 2, 10, 3))
+        assert region.cells == [c]
+        assert region.segments[3].cells == [c]
+
+    def test_multi_row_local_cell_in_every_row_list(self):
+        d = make_design()
+        c = add_placed(d, 2, 2, 8, 2)
+        region = extract_local_region(d, Rect(5, 2, 10, 3))
+        assert region.cells == [c]
+        assert region.segments[2].cells == [c]
+        assert region.segments[3].cells == [c]
+
+    def test_cells_ordered_by_x(self):
+        d = make_design()
+        b = add_placed(d, 2, 1, 11, 2)
+        a = add_placed(d, 2, 1, 6, 2)
+        region = extract_local_region(d, Rect(5, 2, 10, 3))
+        assert [c.name for c in region.segments[2].cells] == [a.name, b.name]
+
+
+class TestNonLocalBoundaries:
+    def test_straddling_cell_is_non_local_and_splits_row(self):
+        # Paper Fig. 3 cells a, d, j, k: not completely inside W.
+        d = make_design()
+        blocker = add_placed(d, 4, 1, 3, 2)  # sticks out of the window
+        region = extract_local_region(d, Rect(5, 2, 10, 3))
+        assert blocker not in region.cells
+        seg = region.segments[2]
+        # The local segment starts right of the blocker.
+        assert seg.x0 == 7
+        assert seg.x1 == 15
+
+    def test_fixed_cell_is_always_non_local(self):
+        d = make_design()
+        add_placed(d, 2, 1, 8, 2, fixed=True)
+        region = extract_local_region(d, Rect(5, 2, 10, 3))
+        assert region.cells == []
+        assert region.segments[2].x0 == 10  # center-side run chosen
+
+    def test_cell_in_non_chosen_run_is_non_local(self):
+        # Paper Fig. 3 cell i: completely inside W but in the run that
+        # was not selected as the local segment.
+        d = make_design(row_width=40)
+        splitter = add_placed(d, 2, 1, 11, 2, fixed=True)
+        lonely = add_placed(d, 2, 1, 6, 2)  # left run [5, 11)
+        region = extract_local_region(d, Rect(5, 2, 12, 3))
+        # Window is [5, 17), center 11: right run [13, 17) is width 4,
+        # left run [5, 11) is farther from the center? Both touch the
+        # center region; the run containing/closer to x=11 wins.
+        seg = region.segments[2]
+        assert lonely not in region.cells or seg.x0 <= 6
+        # Either way the chosen run must not contain the splitter.
+        assert not (seg.x0 <= 11 < seg.x1)
+
+    def test_multi_row_cell_with_incompatible_runs_rejected(self):
+        # Paper Fig. 3 cell c: inside W, but its rows select runs that do
+        # not both contain it -> it becomes non-local and splits its rows.
+        d = make_design(num_rows=4, row_width=20)
+        f0 = add_placed(d, 2, 1, 8, 0, fixed=True)  # row 0: runs [0,8),[10,20)
+        f1 = add_placed(d, 2, 1, 2, 1, fixed=True)  # row 1: runs [0,2),[4,20)
+        m = add_placed(d, 2, 2, 5, 0)  # inside row 1's run, not row 0's
+        region = extract_local_region(d, Rect(0, 0, 20, 2))
+        assert m not in region.cells
+        # Row 1's run was re-split around m (fixed point iteration).
+        seg1 = region.segments[1]
+        assert seg1.x0 >= 7  # right of m's span [5, 7)
+
+    def test_window_row_fully_blocked_has_no_segment(self):
+        d = make_design(num_rows=4, row_width=20, blockages=[Rect(0, 1, 20, 1)])
+        region = extract_local_region(d, Rect(2, 0, 10, 3))
+        assert 1 not in region.segments
+        assert set(region.rows()) == {0, 2}
+
+
+class TestRunSelection:
+    def test_run_containing_center_wins(self):
+        d = make_design(row_width=40)
+        add_placed(d, 2, 1, 18, 2, fixed=True)  # splits [10, 30) at 18
+        region = extract_local_region(d, Rect(10, 2, 20, 1))
+        seg = region.segments[2]
+        # Window center x = 20; the run [20, 30) contains it.
+        assert (seg.x0, seg.x1) == (20, 30)
+
+    def test_one_segment_per_row(self):
+        d = make_design(row_width=40)
+        add_placed(d, 2, 1, 18, 2, fixed=True)
+        add_placed(d, 2, 1, 24, 2, fixed=True)
+        region = extract_local_region(d, Rect(10, 2, 20, 1))
+        assert list(region.segments) == [2]  # exactly one local segment

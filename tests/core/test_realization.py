@@ -1,0 +1,153 @@
+"""Unit tests for legal placement realization (paper Algorithm 2)."""
+
+import pytest
+
+from repro.checker import verify_placement
+from repro.core import (
+    RealizationError,
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    extract_local_region,
+    realize_insertion,
+)
+from repro.geometry import Rect
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+def prepare(design, target_w, target_h):
+    fp = design.floorplan
+    region = extract_local_region(design, Rect(0, 0, fp.row_width, fp.num_rows))
+    bounds = compute_bounds(region)
+    feasible, discarded = build_insertion_intervals(region, bounds, target_w)
+    points = enumerate_insertion_points(region, feasible, discarded, target_h)
+    return region, points
+
+
+def point_at(points, bottom_row, left=None, right=None):
+    for p in points:
+        iv = p.intervals[0]
+        if p.bottom_row == bottom_row and iv.left is left and iv.right is right:
+            return p
+    raise AssertionError("no such insertion point")
+
+
+class TestPushes:
+    def test_no_push_when_gap_fits(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 3, 1, 2, 0)
+        t = add_unplaced(d, 2, 1, 0, 0)
+        region, points = prepare(d, 2, 1)
+        realize_insertion(d, region, point_at(points, 0, a, None), t, 10)
+        assert (t.x, t.y) == (10, 0)
+        assert a.x == 2  # untouched
+        assert verify_placement(d) == []
+
+    def test_push_left_chain(self):
+        d = make_design(num_rows=1, row_width=12)
+        a = add_placed(d, 3, 1, 1, 0)
+        b = add_placed(d, 3, 1, 4, 0)  # abuts a
+        t = add_unplaced(d, 3, 1, 0, 0)
+        region, points = prepare(d, 3, 1)
+        # Insert right of b at x=5: b must slide to 2, a to -? a at 1,
+        # b pushed to 5-3=2, a pushed to 2-3=-1 -> infeasible; choose x=6:
+        realize_insertion(d, region, point_at(points, 0, b, None), t, 6)
+        assert t.x == 6
+        assert b.x == 3
+        assert a.x == 0
+        assert verify_placement(d) == []
+
+    def test_push_right_chain(self):
+        d = make_design(num_rows=1, row_width=12)
+        a = add_placed(d, 3, 1, 5, 0)
+        b = add_placed(d, 3, 1, 8, 0)
+        t = add_unplaced(d, 3, 1, 0, 0)
+        region, points = prepare(d, 3, 1)
+        realize_insertion(d, region, point_at(points, 0, None, a), t, 3)
+        assert t.x == 3
+        assert a.x == 6
+        assert b.x == 9
+        assert verify_placement(d) == []
+
+    def test_push_both_sides(self):
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 3, 1, 2, 0)
+        b = add_placed(d, 3, 1, 5, 0)
+        t = add_unplaced(d, 3, 1, 0, 0)
+        region, points = prepare(d, 3, 1)
+        realize_insertion(d, region, point_at(points, 0, a, b), t, 3)
+        assert (a.x, t.x, b.x) == (0, 3, 6)
+        assert verify_placement(d) == []
+
+    def test_multi_row_push_propagates_to_other_rows(self):
+        # Pushing multi-row cell m from row 0 must also displace the
+        # row-1 cell that m collides with — the coupling single-row
+        # legalizers cannot express.
+        d = make_design(num_rows=2, row_width=14)
+        m = add_placed(d, 3, 2, 4, 0)
+        u = add_placed(d, 3, 1, 8, 1)  # upper row, right of m
+        t = add_unplaced(d, 4, 1, 0, 0)
+        region, points = prepare(d, 4, 1)
+        realize_insertion(d, region, point_at(points, 0, None, m), t, 2)
+        assert t.x == 2
+        assert m.x == 6  # pushed right by t
+        assert u.x == 9  # pushed right by m through row 1
+        assert verify_placement(d) == []
+
+    def test_target_multi_row_pushes_in_all_rows(self):
+        d = make_design(num_rows=2, row_width=12)
+        a = add_placed(d, 3, 1, 4, 0)
+        b = add_placed(d, 3, 1, 5, 1)
+        t = add_unplaced(d, 3, 2, 0, 0, rail=d.floorplan.rows[0].bottom_rail)
+        region, points = prepare(d, 3, 2)
+        p = next(
+            pt
+            for pt in points
+            if pt.bottom_row == 0
+            and pt.intervals[0].right is a
+            and pt.intervals[1].right is b
+        )
+        realize_insertion(d, region, p, t, 3)
+        assert t.x == 3 and t.y == 0
+        assert a.x == 6
+        assert b.x == 6
+        assert verify_placement(d) == []
+
+
+class TestDbConsistency:
+    def test_target_registered_in_segments(self):
+        d = make_design(num_rows=2, row_width=10)
+        t = add_unplaced(d, 2, 2, 0, 0, rail=d.floorplan.rows[0].bottom_rail)
+        region, points = prepare(d, 2, 2)
+        realize_insertion(d, region, points[0], t, 4)
+        assert len(d.segments_of(t)) == 2
+        assert verify_placement(d) == []
+
+    def test_segment_insert_index_respects_gap(self):
+        # Target overlapping its right neighbor's old position must still
+        # land *before* it in the cell list (bisection by x would not).
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 3, 1, 4, 0)
+        t = add_unplaced(d, 3, 1, 0, 0)
+        region, points = prepare(d, 3, 1)
+        realize_insertion(d, region, point_at(points, 0, None, a), t, 4)
+        seg = d.floorplan.segments_in_row(0)[0]
+        assert seg.cells == [t, a]
+        assert (t.x, a.x) == (4, 7)
+        assert verify_placement(d) == []
+
+
+class TestErrors:
+    def test_out_of_range_x_rejected(self):
+        d = make_design(num_rows=1, row_width=10)
+        t = add_unplaced(d, 2, 1, 0, 0)
+        region, points = prepare(d, 2, 1)
+        with pytest.raises(RealizationError):
+            realize_insertion(d, region, points[0], t, 99)
+
+    def test_placed_target_rejected(self):
+        d = make_design(num_rows=1, row_width=10)
+        t = add_placed(d, 2, 1, 0, 0)
+        region, points = prepare(d, 2, 1)
+        with pytest.raises(RealizationError):
+            realize_insertion(d, region, points[0], t, 2)

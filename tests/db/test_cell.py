@@ -1,0 +1,49 @@
+"""Unit tests for repro.db.cell."""
+
+import pytest
+
+from repro.db import Library, Rail
+from repro.db.cell import Cell
+from repro.geometry import Rect
+
+
+def _cell(w=3, h=2, rail=Rail.GND):
+    lib = Library()
+    return Cell(id=0, name="c", master=lib.get_or_create(w, h, rail))
+
+
+class TestState:
+    def test_unplaced_by_default(self):
+        c = _cell()
+        assert not c.is_placed
+        with pytest.raises(ValueError):
+            _ = c.rect
+        with pytest.raises(ValueError):
+            c.rows_spanned()
+        with pytest.raises(ValueError):
+            c.displacement_sites()
+
+    def test_placed_rect(self):
+        c = _cell(w=3, h=2)
+        c.x, c.y = 4, 2
+        assert c.rect == Rect(4, 2, 3, 2)
+        assert list(c.rows_spanned()) == [2, 3]
+
+    def test_gp_rect_uses_gp(self):
+        c = _cell(w=2, h=1, rail=None)
+        c.gp_x, c.gp_y = 1.5, 3.25
+        assert c.gp_rect == Rect(1.5, 3.25, 2, 1)
+
+
+class TestDisplacement:
+    def test_displacement_components(self):
+        c = _cell(w=2, h=1, rail=None)
+        c.gp_x, c.gp_y = 3.5, 1.25
+        c.x, c.y = 5, 1
+        dx, dy = c.displacement_sites()
+        assert dx == pytest.approx(1.5)
+        assert dy == pytest.approx(0.25)
+
+    def test_multi_row_flag(self):
+        assert _cell(h=2).is_multi_row
+        assert not _cell(h=1, rail=None).is_multi_row

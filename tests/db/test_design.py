@@ -1,0 +1,182 @@
+"""Unit tests for repro.db.design (placement database operations)."""
+
+import pytest
+
+from repro.db import PlacementError, Rail
+from repro.geometry import Rect
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestPlaceUnplace:
+    def test_place_registers_in_all_spanned_segments(self):
+        d = make_design()
+        c = add_placed(d, 2, 3, 5, 2)
+        segs = d.segments_of(c)
+        assert [s.row_index for s in segs] == [2, 3, 4]
+        for s in segs:
+            assert c in s.cells
+
+    def test_unplace_deregisters(self):
+        d = make_design()
+        c = add_placed(d, 2, 2, 5, 2)
+        d.unplace(c)
+        assert not c.is_placed
+        for seg in d.floorplan.segments:
+            assert c not in seg.cells
+
+    def test_double_place_rejected(self):
+        d = make_design()
+        c = add_placed(d, 2, 1, 0, 0)
+        with pytest.raises(PlacementError):
+            d.place(c, 5, 5)
+
+    def test_unplace_unplaced_rejected(self):
+        d = make_design()
+        c = add_unplaced(d, 2, 1, 0, 0)
+        with pytest.raises(PlacementError):
+            d.unplace(c)
+
+    def test_place_overlap_rejected(self):
+        d = make_design()
+        add_placed(d, 4, 1, 0, 0)
+        c = add_unplaced(d, 2, 1, 0, 0)
+        with pytest.raises(PlacementError):
+            d.place(c, 2, 0)
+        assert not c.is_placed
+
+
+class TestCanPlace:
+    def test_bounds(self):
+        d = make_design(num_rows=4, row_width=10)
+        c = add_unplaced(d, 3, 2, 0, 0, rail=Rail.GND)
+        assert not d.can_place(c, -1, 0)
+        assert not d.can_place(c, 8, 0)  # right edge spills
+        assert not d.can_place(c, 0, 3)  # top spills
+        assert not d.can_place(c, 0, -1)
+
+    def test_power_rail_parity(self):
+        d = make_design(first_rail=Rail.GND)
+        vdd_cell = add_unplaced(d, 2, 2, 0, 0, rail=Rail.VDD)
+        gnd_cell = add_unplaced(d, 2, 2, 0, 0, rail=Rail.GND)
+        # Rows 0,2,4.. are GND-bottom, rows 1,3,5.. are VDD-bottom.
+        assert d.can_place(gnd_cell, 0, 0)
+        assert not d.can_place(vdd_cell, 0, 0)
+        assert d.can_place(vdd_cell, 0, 1)
+        assert not d.can_place(gnd_cell, 0, 1)
+
+    def test_relaxed_mode_ignores_parity(self):
+        d = make_design()
+        vdd_cell = add_unplaced(d, 2, 2, 0, 0, rail=Rail.VDD)
+        assert d.can_place(vdd_cell, 0, 0, power_aligned=False)
+
+    def test_odd_height_any_row(self):
+        d = make_design()
+        c = add_unplaced(d, 2, 3, 0, 0)
+        assert d.can_place(c, 0, 0)
+        assert d.can_place(c, 0, 1)
+
+    def test_overlap_detection_cross_row(self):
+        d = make_design()
+        add_placed(d, 3, 2, 4, 2)
+        single = add_unplaced(d, 2, 1, 0, 0)
+        assert not d.can_place(single, 3, 3)  # overlaps upper row of tall
+        assert d.can_place(single, 1, 3)
+
+    def test_ignore_set(self):
+        d = make_design()
+        a = add_placed(d, 3, 1, 4, 0)
+        b = add_unplaced(d, 2, 1, 0, 0)
+        assert not d.can_place(b, 5, 0)
+        assert d.can_place(b, 5, 0, ignore=frozenset({a.id}))
+
+    def test_blockage_blocks(self):
+        d = make_design(blockages=[Rect(5, 0, 3, 2)])
+        c = add_unplaced(d, 2, 1, 0, 0)
+        assert not d.can_place(c, 5, 0)
+        assert not d.can_place(c, 4, 1)  # straddles blockage edge
+        assert d.can_place(c, 8, 0)
+
+
+class TestShiftX:
+    def test_shift_updates_position(self):
+        d = make_design()
+        c = add_placed(d, 2, 1, 5, 0)
+        d.shift_x(c, 7)
+        assert c.x == 7
+
+    def test_shift_unplaced_rejected(self):
+        d = make_design()
+        c = add_unplaced(d, 2, 1, 0, 0)
+        with pytest.raises(PlacementError):
+            d.shift_x(c, 3)
+
+
+class TestNearestPosition:
+    def test_snaps_to_round(self):
+        d = make_design()
+        c = add_unplaced(d, 2, 1, 0, 0)
+        assert d.nearest_position(c, 4.4, 2.6) == (4, 3)
+
+    def test_parity_respected_for_even_height(self):
+        d = make_design(first_rail=Rail.GND)
+        c = add_unplaced(d, 2, 2, 0, 0, rail=Rail.VDD)
+        x, y = d.nearest_position(c, 3.0, 2.0)
+        assert y in (1, 3)  # nearest VDD-bottom rows around 2.0
+
+    def test_clamps_into_die(self):
+        d = make_design(num_rows=4, row_width=10)
+        c = add_unplaced(d, 3, 1, 0, 0)
+        assert d.nearest_position(c, 50.0, 50.0) == (7, 3)
+        assert d.nearest_position(c, -5.0, -5.0) == (0, 0)
+
+    def test_avoids_blockage(self):
+        d = make_design(num_rows=2, row_width=20, blockages=[Rect(6, 0, 8, 1)])
+        c = add_unplaced(d, 4, 1, 0, 0)
+        x, y = d.nearest_position(c, 8.0, 0.0)
+        assert (y == 0 and (x + 4 <= 6 or x >= 14)) or y == 1
+
+    def test_none_when_nothing_fits(self):
+        d = make_design(num_rows=1, row_width=4)
+        c = add_unplaced(d, 6, 1, 0, 0)
+        assert d.nearest_position(c, 0, 0) is None
+
+
+class TestQueriesAndSnapshots:
+    def test_cells_overlapping_rect(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 2, 6, 2)
+        got = d.cells_overlapping_rect(Rect(0, 0, 8, 3))
+        assert {c.id for c in got} == {a.id, b.id}
+        got = d.cells_overlapping_rect(Rect(0, 1, 8, 1))
+        assert got == []
+
+    def test_multi_row_reported_once(self):
+        d = make_design()
+        b = add_placed(d, 2, 3, 3, 1)
+        got = d.cells_overlapping_rect(Rect(0, 0, 10, 8))
+        assert len(got) == 1 and got[0] is b
+
+    def test_snapshot_restore_roundtrip(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 2, 6, 2)
+        snap = d.snapshot_positions()
+        d.unplace(a)
+        d.shift_x(b, 8)
+        d.restore_positions(snap)
+        assert (a.x, a.y) == (0, 0)
+        assert (b.x, b.y) == (6, 2)
+        assert len(d.segments_of(b)) == 2
+
+    def test_reset_placement(self):
+        d = make_design()
+        add_placed(d, 2, 1, 0, 0)
+        d.reset_placement()
+        assert all(not c.is_placed for c in d.cells)
+        assert all(not s.cells for s in d.floorplan.segments)
+
+    def test_density(self):
+        d = make_design(num_rows=2, row_width=10)
+        add_placed(d, 5, 1, 0, 0)
+        assert d.density() == pytest.approx(0.25)

@@ -1,0 +1,132 @@
+"""Unit tests for fence regions (DEF FENCE semantics)."""
+
+import pytest
+
+from repro.db import Design, FenceRegion, Floorplan, Library
+from repro.db.fence import validate_fences
+from repro.geometry import Rect
+from tests.conftest import add_unplaced
+
+
+def fenced_design(num_rows=8, row_width=40, fence=Rect(10, 2, 12, 4)):
+    fp = Floorplan(
+        num_rows=num_rows,
+        row_width=row_width,
+        fences=[FenceRegion(id=0, name="f0", rects=(fence,))],
+    )
+    return Design(fp, Library())
+
+
+class TestFenceValidation:
+    def test_empty_fence_rejected(self):
+        with pytest.raises(ValueError):
+            FenceRegion(id=0, name="f", rects=())
+
+    def test_non_integer_rect_rejected(self):
+        with pytest.raises(ValueError):
+            FenceRegion(id=0, name="f", rects=(Rect(0.5, 0, 3, 2),))
+
+    def test_overlapping_fences_rejected(self):
+        a = FenceRegion(id=0, name="a", rects=(Rect(0, 0, 5, 2),))
+        b = FenceRegion(id=1, name="b", rects=(Rect(4, 0, 5, 2),))
+        with pytest.raises(ValueError):
+            validate_fences([a, b])
+
+    def test_duplicate_ids_rejected(self):
+        a = FenceRegion(id=0, name="a", rects=(Rect(0, 0, 2, 1),))
+        b = FenceRegion(id=0, name="b", rects=(Rect(5, 0, 2, 1),))
+        with pytest.raises(ValueError):
+            validate_fences([a, b])
+
+    def test_contains_point(self):
+        f = FenceRegion(id=0, name="f", rects=(Rect(2, 1, 4, 2),))
+        assert f.contains_point(2, 1)
+        assert f.contains_point(5.5, 2.5)
+        assert not f.contains_point(6, 1)
+        assert f.area() == 8
+
+
+class TestSegmentTagging:
+    def test_fence_splits_row_into_tagged_segments(self):
+        d = fenced_design()
+        segs = d.floorplan.segments_in_row(3)  # row inside the fence span
+        spans = [(s.x0, s.x1, s.region) for s in segs]
+        assert spans == [(0, 10, None), (10, 22, 0), (22, 40, None)]
+
+    def test_rows_outside_fence_untouched(self):
+        d = fenced_design()
+        segs = d.floorplan.segments_in_row(0)
+        assert [(s.x0, s.x1, s.region) for s in segs] == [(0, 40, None)]
+
+    def test_fence_and_blockage_compose(self):
+        fp = Floorplan(
+            num_rows=4,
+            row_width=30,
+            blockages=[Rect(12, 0, 4, 4)],
+            fences=[FenceRegion(id=0, name="f", rects=(Rect(4, 0, 6, 4),))],
+        )
+        segs = fp.segments_in_row(1)
+        assert [(s.x0, s.x1, s.region) for s in segs] == [
+            (0, 4, None),
+            (4, 10, 0),
+            (10, 12, None),
+            (16, 30, None),
+        ]
+
+
+class TestRegionPlacementRules:
+    def test_default_cell_cannot_enter_fence(self):
+        d = fenced_design()
+        c = add_unplaced(d, 3, 1, 0, 0)  # region None
+        assert d.can_place(c, 2, 3)
+        assert not d.can_place(c, 12, 3)  # inside the fence
+        assert not d.can_place(c, 8, 3)  # straddles the boundary
+
+    def test_fenced_cell_cannot_leave(self):
+        d = fenced_design()
+        m = d.library.get_or_create(3, 1)
+        c = d.add_cell(m, region=0)
+        assert d.can_place(c, 12, 3)
+        assert not d.can_place(c, 2, 3)
+        assert not d.can_place(c, 0, 0)
+
+    def test_nearest_position_respects_region(self):
+        d = fenced_design()
+        m = d.library.get_or_create(3, 1)
+        inside = d.add_cell(m, region=0)
+        outside = d.add_cell(m)
+        # Fenced cell asking for an outside spot is pulled into the fence.
+        x, y = d.nearest_position(inside, 0.0, 3.0)
+        assert d.floorplan.segment_at(y, x).region == 0
+        # Default cell asking for an inside spot is pushed out.
+        x, y = d.nearest_position(outside, 15.0, 3.0)
+        seg = d.floorplan.segment_at(y, x)
+        assert seg.region is None
+
+    def test_multi_row_fenced_cell(self):
+        d = fenced_design()
+        m = d.library.get_or_create(3, 2, None) if False else d.library.get_or_create(2, 2)
+        c = d.add_cell(m, region=0)
+        placed_somewhere = False
+        for y in (2, 3, 4):
+            if d.can_place(c, 12, y):
+                d.place(c, 12, y)
+                placed_somewhere = True
+                break
+        assert placed_somewhere
+
+
+class TestCheckerRegionRule:
+    def test_wrong_region_flagged(self):
+        from repro.checker import ViolationKind, verify_placement
+
+        d = fenced_design()
+        m = d.library.get_or_create(3, 1)
+        c = d.add_cell(m, region=0)
+        d.place(c, 12, 3)
+        c.x = 2  # corrupt: moved outside its fence
+        kinds = {
+            v.kind
+            for v in verify_placement(d, check_registration=False)
+        }
+        assert ViolationKind.WRONG_REGION in kinds

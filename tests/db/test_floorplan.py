@@ -1,0 +1,106 @@
+"""Unit tests for repro.db.floorplan."""
+
+import pytest
+
+from repro.db import Floorplan, Rail
+from repro.geometry import Rect
+
+
+class TestRows:
+    def test_rails_alternate(self):
+        fp = Floorplan(num_rows=4, row_width=10, first_rail=Rail.GND)
+        rails = [r.bottom_rail for r in fp.rows]
+        assert rails == [Rail.GND, Rail.VDD, Rail.GND, Rail.VDD]
+
+    def test_adjacent_rows_share_a_rail(self):
+        # Physical invariant behind constraint 4: row i's top rail is
+        # row i+1's bottom rail.
+        fp = Floorplan(num_rows=6, row_width=10)
+        for a, b in zip(fp.rows, fp.rows[1:]):
+            top_of_a = a.bottom_rail.other()
+            assert top_of_a is b.bottom_rail
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Floorplan(num_rows=0, row_width=10)
+        with pytest.raises(ValueError):
+            Floorplan(num_rows=3, row_width=0)
+
+
+class TestSegments:
+    def test_unblocked_row_is_one_segment(self):
+        fp = Floorplan(num_rows=3, row_width=25)
+        for row in range(3):
+            segs = fp.segments_in_row(row)
+            assert len(segs) == 1
+            assert (segs[0].x0, segs[0].x1) == (0, 25)
+
+    def test_blockage_splits_row(self):
+        fp = Floorplan(
+            num_rows=3, row_width=20, blockages=[Rect(8, 1, 4, 1)]
+        )
+        assert len(fp.segments_in_row(0)) == 1
+        mid = fp.segments_in_row(1)
+        assert [(s.x0, s.x1) for s in mid] == [(0, 8), (12, 20)]
+        assert len(fp.segments_in_row(2)) == 1
+
+    def test_blockage_covering_row_start(self):
+        fp = Floorplan(num_rows=2, row_width=10, blockages=[Rect(0, 0, 4, 1)])
+        segs = fp.segments_in_row(0)
+        assert [(s.x0, s.x1) for s in segs] == [(4, 10)]
+
+    def test_full_row_blockage_removes_segments(self):
+        fp = Floorplan(num_rows=2, row_width=10, blockages=[Rect(0, 0, 10, 1)])
+        assert fp.segments_in_row(0) == []
+        assert len(fp.segments_in_row(1)) == 1
+
+    def test_overlapping_blockages_merge(self):
+        fp = Floorplan(
+            num_rows=1,
+            row_width=20,
+            blockages=[Rect(2, 0, 5, 1), Rect(5, 0, 5, 1)],
+        )
+        segs = fp.segments_in_row(0)
+        assert [(s.x0, s.x1) for s in segs] == [(0, 2), (10, 20)]
+
+    def test_segment_ids_unique(self):
+        fp = Floorplan(
+            num_rows=4, row_width=20, blockages=[Rect(5, 0, 3, 4)]
+        )
+        ids = [s.id for s in fp.segments]
+        assert len(ids) == len(set(ids))
+
+
+class TestLookups:
+    def test_segment_at(self):
+        fp = Floorplan(num_rows=2, row_width=20, blockages=[Rect(8, 0, 4, 1)])
+        assert fp.segment_at(0, 0).x0 == 0
+        assert fp.segment_at(0, 7.5).x0 == 0
+        assert fp.segment_at(0, 9) is None  # inside blockage
+        assert fp.segment_at(0, 12).x0 == 12
+        assert fp.segment_at(0, 25) is None  # beyond the row
+        assert fp.segment_at(5, 0) is None  # no such row
+
+    def test_segment_containing_span(self):
+        fp = Floorplan(num_rows=1, row_width=20, blockages=[Rect(8, 0, 4, 1)])
+        assert fp.segment_containing_span(0, 0, 8) is not None
+        assert fp.segment_containing_span(0, 6, 4) is None  # crosses blockage
+        assert fp.segment_containing_span(0, 12, 8) is not None
+
+    def test_placeable_area_excludes_blockages(self):
+        fp = Floorplan(num_rows=2, row_width=10, blockages=[Rect(0, 0, 3, 1)])
+        assert fp.placeable_area() == 20 - 3
+
+
+class TestUnits:
+    def test_micron_conversion(self):
+        fp = Floorplan(
+            num_rows=2, row_width=10, site_width_um=0.2, site_height_um=1.71
+        )
+        assert fp.to_microns(10, 2) == (2.0, 3.42)
+
+    def test_displacement_um_is_manhattan(self):
+        fp = Floorplan(
+            num_rows=2, row_width=10, site_width_um=0.5, site_height_um=2.0
+        )
+        assert fp.displacement_um(3, -1) == 3 * 0.5 + 1 * 2.0

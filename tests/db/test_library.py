@@ -1,0 +1,75 @@
+"""Unit tests for repro.db.library."""
+
+import pytest
+
+from repro.db import CellMaster, Library, Rail
+
+
+class TestRail:
+    def test_other(self):
+        assert Rail.VDD.other() is Rail.GND
+        assert Rail.GND.other() is Rail.VDD
+
+
+class TestCellMaster:
+    def test_single_row_needs_no_rail(self):
+        m = CellMaster("INV", width=2, height=1)
+        assert not m.needs_rail_alignment
+        assert not m.is_multi_row
+
+    def test_even_height_needs_rail(self):
+        m = CellMaster("DFF", width=3, height=2, bottom_rail=Rail.VDD)
+        assert m.needs_rail_alignment
+        assert m.is_multi_row
+
+    def test_even_height_without_rail_rejected(self):
+        # Paper Fig. 1(a): even-height cells expose the same rail on both
+        # edges, so the library must say which.
+        with pytest.raises(ValueError):
+            CellMaster("BAD", width=2, height=2)
+
+    def test_odd_multi_row_flippable(self):
+        m = CellMaster("TALL", width=2, height=3)
+        assert m.is_multi_row
+        assert not m.needs_rail_alignment
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CellMaster("Z", width=0, height=1)
+        with pytest.raises(ValueError):
+            CellMaster("Z", width=1, height=0)
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library([CellMaster("A", 2)])
+        assert "A" in lib
+        assert lib["A"].width == 2
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self):
+        lib = Library([CellMaster("A", 2)])
+        with pytest.raises(ValueError):
+            lib.add(CellMaster("A", 3))
+
+    def test_get_or_create_is_idempotent(self):
+        lib = Library()
+        a = lib.get_or_create(3, 1)
+        b = lib.get_or_create(3, 1)
+        assert a is b
+        assert len(lib) == 1
+
+    def test_get_or_create_distinguishes_rails(self):
+        lib = Library()
+        a = lib.get_or_create(2, 2, Rail.VDD)
+        b = lib.get_or_create(2, 2, Rail.GND)
+        assert a is not b
+
+    def test_get_or_create_defaults_even_height_rail(self):
+        lib = Library()
+        m = lib.get_or_create(2, 2)
+        assert m.bottom_rail is Rail.VDD
+
+    def test_iteration(self):
+        lib = Library([CellMaster("A", 1), CellMaster("B", 2)])
+        assert sorted(m.name for m in lib) == ["A", "B"]

@@ -1,0 +1,64 @@
+"""Unit tests for repro.db.netlist."""
+
+import pytest
+
+from repro.db import Library, Net, Netlist, Pin
+from tests.conftest import add_placed, make_design
+
+
+def _two_cell_net(design, pos_a=(0, 0), pos_b=(10, 3)):
+    a = add_placed(design, 2, 1, *pos_a)
+    b = add_placed(design, 2, 1, *pos_b)
+    net = Net("n", (Pin(a, 0.5, 0.5), Pin(b, 1.0, 0.5)))
+    design.netlist.add(net)
+    return a, b, net
+
+
+class TestHpwl:
+    def test_two_pin_net(self):
+        d = make_design()
+        a, b, net = _two_cell_net(d)
+        dx, dy = net.hpwl_sites()
+        assert dx == pytest.approx((10 + 1.0) - (0 + 0.5))
+        assert dy == pytest.approx(3.0)
+
+    def test_single_pin_net_is_zero(self):
+        d = make_design()
+        a = add_placed(d, 2, 1, 0, 0)
+        net = Net("n1", (Pin(a),))
+        assert net.hpwl_sites() == (0.0, 0.0)
+
+    def test_use_gp_positions(self):
+        d = make_design()
+        a, b, net = _two_cell_net(d)
+        a.gp_x, a.gp_y = 5.0, 0.0
+        b.gp_x, b.gp_y = 5.0, 0.0
+        dx, dy = net.hpwl_sites(use_gp=True)
+        assert dx == pytest.approx(0.5)  # only pin offsets differ
+        assert dy == pytest.approx(0.0)
+
+    def test_unplaced_cell_falls_back_to_gp(self):
+        d = make_design()
+        lib = d.library
+        c = d.add_cell(lib.get_or_create(2, 1), gp_x=4.0, gp_y=1.0)
+        pin = Pin(c, 0.0, 0.0)
+        assert pin.position() == (4.0, 1.0)
+
+    def test_total_hpwl_um_scales_by_site(self):
+        d = make_design()
+        _two_cell_net(d)
+        nl = d.netlist
+        total = nl.hpwl_um(site_width_um=2.0, site_height_um=10.0)
+        dx, dy = nl.nets[0].hpwl_sites()
+        assert total == pytest.approx(dx * 2.0 + dy * 10.0)
+
+
+class TestNetlistContainer:
+    def test_add_iter_len(self):
+        nl = Netlist()
+        assert len(nl) == 0
+        lib = Library()
+        c = Net("n", ())
+        nl.add(c)
+        assert len(nl) == 1
+        assert list(nl) == [c]

@@ -1,0 +1,50 @@
+"""Unit tests for cell orientation (vertical flipping, paper Fig. 1(b))."""
+
+import pytest
+
+from repro.db import PlacementError, Rail
+from tests.conftest import add_placed, make_design
+
+
+class TestOrientation:
+    def test_odd_height_flips_on_mismatched_row(self):
+        # Single-row master with a natural GND bottom: natural on GND
+        # rows, flipped (FS) on VDD rows.
+        d = make_design(first_rail=Rail.GND)
+        master = d.library.get_or_create(2, 1)  # bottom_rail None -> GND
+        a = d.add_cell(master, name="a")
+        b = d.add_cell(master, name="b")
+        d.place(a, 0, 0)  # GND row
+        d.place(b, 0, 1)  # VDD row
+        assert d.orientation_of(a) == "N"
+        assert d.orientation_of(b) == "FS"
+
+    def test_triple_row_also_flips(self):
+        d = make_design(first_rail=Rail.GND)
+        master = d.library.get_or_create(2, 3)
+        a = d.add_cell(master, name="a")
+        d.place(a, 0, 1)  # starts on a VDD row
+        assert d.orientation_of(a) == "FS"
+
+    def test_even_height_always_natural(self):
+        # Even-height cells can only sit on matching rows -> never FS.
+        d = make_design(first_rail=Rail.GND)
+        c = add_placed(d, 2, 2, 0, 0, rail=Rail.GND)
+        assert d.orientation_of(c) == "N"
+
+    def test_unplaced_rejected(self):
+        d = make_design()
+        c = d.add_cell(d.library.get_or_create(2, 1))
+        with pytest.raises(PlacementError):
+            d.orientation_of(c)
+
+    def test_orientation_written_to_bookshelf(self, tmp_path):
+        from repro.io import write_bookshelf
+
+        d = make_design(first_rail=Rail.GND)
+        master = d.library.get_or_create(2, 1)
+        b = d.add_cell(master, name="flipme")
+        d.place(b, 0, 1)  # VDD row -> FS
+        write_bookshelf(d, str(tmp_path), "o")
+        pl = (tmp_path / "o.pl").read_text()
+        assert ": FS" in pl

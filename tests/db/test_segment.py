@@ -1,0 +1,89 @@
+"""Unit tests for repro.db.segment."""
+
+import pytest
+
+from repro.db import Segment
+from tests.conftest import add_placed, make_design
+
+
+class TestGeometry:
+    def test_span_containment(self):
+        seg = Segment(id=0, row_index=2, x0=5, width=10)
+        assert seg.contains_span(5, 10)
+        assert seg.contains_span(7, 3)
+        assert not seg.contains_span(4, 3)
+        assert not seg.contains_span(13, 3)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(id=0, row_index=0, x0=0, width=0)
+
+
+class TestCellList:
+    def test_insert_keeps_x_order(self):
+        d = make_design()
+        seg = d.floorplan.segments_in_row(0)[0]
+        add_placed(d, 2, 1, 10, 0)
+        add_placed(d, 2, 1, 2, 0)
+        add_placed(d, 2, 1, 6, 0)
+        assert [c.x for c in seg.cells] == [2, 6, 10]
+
+    def test_multi_row_cell_in_each_spanned_list(self):
+        # Paper 2.1.2: a placed height-h cell appears in h segment lists.
+        d = make_design()
+        cell = add_placed(d, 2, 3, 4, 1)
+        for row in (1, 2, 3):
+            seg = d.floorplan.segments_in_row(row)[0]
+            assert cell in seg.cells
+        assert cell not in d.floorplan.segments_in_row(0)[0].cells
+        assert cell not in d.floorplan.segments_in_row(4)[0].cells
+
+    def test_remove(self):
+        d = make_design()
+        seg = d.floorplan.segments_in_row(0)[0]
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 1, 5, 0)
+        seg.remove_cell(a)
+        assert seg.cells == [b]
+
+    def test_remove_missing_raises(self):
+        d = make_design()
+        seg = d.floorplan.segments_in_row(0)[0]
+        orphan = add_placed(d, 2, 1, 0, 1)
+        with pytest.raises(ValueError):
+            seg.remove_cell(orphan)
+
+    def test_index_of(self):
+        d = make_design()
+        seg = d.floorplan.segments_in_row(0)[0]
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 1, 5, 0)
+        assert seg.index_of(a) == 0
+        assert seg.index_of(b) == 1
+
+
+class TestOverlapQuery:
+    def test_finds_straddling_cell(self):
+        d = make_design()
+        seg = d.floorplan.segments_in_row(0)[0]
+        a = add_placed(d, 4, 1, 3, 0)  # occupies [3, 7)
+        assert list(seg.cells_overlapping(5, 6)) == [a]
+        assert list(seg.cells_overlapping(6.5, 20)) == [a]
+        assert list(seg.cells_overlapping(7, 20)) == []
+        assert list(seg.cells_overlapping(0, 3)) == []
+
+    def test_range_query_multiple(self):
+        d = make_design()
+        seg = d.floorplan.segments_in_row(0)[0]
+        a = add_placed(d, 2, 1, 0, 0)
+        b = add_placed(d, 2, 1, 4, 0)
+        c = add_placed(d, 2, 1, 8, 0)
+        assert list(seg.cells_overlapping(1, 9)) == [a, b, c]
+        assert list(seg.cells_overlapping(2, 8)) == [b]
+
+    def test_free_width(self):
+        d = make_design(row_width=20)
+        seg = d.floorplan.segments_in_row(0)[0]
+        assert seg.free_width() == 20
+        add_placed(d, 6, 1, 0, 0)
+        assert seg.free_width() == 14

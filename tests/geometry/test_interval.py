@@ -1,0 +1,70 @@
+"""Unit tests for repro.geometry.interval."""
+
+import pytest
+
+from repro.geometry import Interval
+
+
+class TestLength:
+    def test_positive_length(self):
+        assert Interval(2, 7).length == 5
+
+    def test_zero_length_single_point(self):
+        iv = Interval(4, 4)
+        assert iv.length == 0
+        assert not iv.is_empty
+        assert iv.contains(4)
+
+    def test_negative_length_is_empty(self):
+        iv = Interval(5, 3)
+        assert iv.length == -2
+        assert iv.is_empty
+
+
+class TestContains:
+    def test_endpoints_included(self):
+        iv = Interval(1, 9)
+        assert iv.contains(1)
+        assert iv.contains(9)
+
+    def test_outside(self):
+        iv = Interval(1, 9)
+        assert not iv.contains(0.999)
+        assert not iv.contains(9.001)
+
+    def test_empty_contains_nothing(self):
+        assert not Interval(5, 3).contains(4)
+
+
+class TestOverlapIntersect:
+    def test_touching_intervals_overlap(self):
+        # Closed intervals sharing one point share a cutline (paper 5.1.2).
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_disjoint(self):
+        assert not Interval(0, 4).overlaps(Interval(5, 9))
+
+    def test_nested(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_intersect_produces_common_range(self):
+        got = Interval(0, 6).intersect(Interval(4, 9))
+        assert (got.lo, got.hi) == (4, 6)
+
+    def test_intersect_of_disjoint_is_empty(self):
+        assert Interval(0, 2).intersect(Interval(5, 8)).is_empty
+
+
+class TestClamp:
+    def test_clamp_inside_is_identity(self):
+        assert Interval(2, 8).clamp(5) == 5
+
+    def test_clamp_below(self):
+        assert Interval(2, 8).clamp(-3) == 2
+
+    def test_clamp_above(self):
+        assert Interval(2, 8).clamp(99) == 8
+
+    def test_clamp_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval(8, 2).clamp(5)

@@ -1,0 +1,20 @@
+"""Unit tests for repro.geometry.point."""
+
+from repro.geometry import Point
+
+
+def test_manhattan_distance():
+    assert Point(0, 0).manhattan_to(Point(3, 4)) == 7
+
+
+def test_manhattan_is_symmetric():
+    a, b = Point(1.5, -2.0), Point(-3.0, 4.25)
+    assert a.manhattan_to(b) == b.manhattan_to(a)
+
+
+def test_translated():
+    assert Point(1, 2).translated(0.5, -1) == Point(1.5, 1)
+
+
+def test_as_int_rounds():
+    assert Point(1.4, 2.6).as_int() == Point(1, 3)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.geometry.rect."""
+
+from repro.geometry import Point, Rect
+
+
+class TestEdgesAndArea:
+    def test_edges(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.x1 == 6
+        assert r.y1 == 8
+
+    def test_area(self):
+        assert Rect(0, 0, 4, 5).area == 20
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+
+class TestOverlap:
+    def test_abutting_rects_do_not_overlap(self):
+        # Half-open boxes: edge-to-edge cells are legal (constraint 1).
+        assert not Rect(0, 0, 3, 1).overlaps(Rect(3, 0, 3, 1))
+
+    def test_vertically_abutting_do_not_overlap(self):
+        assert not Rect(0, 0, 3, 1).overlaps(Rect(0, 1, 3, 1))
+
+    def test_one_site_overlap(self):
+        assert Rect(0, 0, 3, 1).overlaps(Rect(2, 0, 3, 1))
+
+    def test_containment_overlaps(self):
+        assert Rect(0, 0, 10, 10).overlaps(Rect(4, 4, 1, 1))
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 4, 4).intersection_area(Rect(2, 2, 4, 4)) == 4
+        assert Rect(0, 0, 2, 2).intersection_area(Rect(5, 5, 1, 1)) == 0
+
+
+class TestContainment:
+    def test_contains_rect_inclusive_of_edges(self):
+        outer = Rect(0, 0, 10, 4)
+        assert outer.contains_rect(Rect(0, 0, 10, 4))
+        assert outer.contains_rect(Rect(7, 3, 3, 1))
+        assert not outer.contains_rect(Rect(8, 3, 3, 1))
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 5, 5)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(5, 5))
+
+    def test_translated(self):
+        assert Rect(1, 2, 3, 4).translated(2, -1) == Rect(3, 1, 3, 4)

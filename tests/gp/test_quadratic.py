@@ -1,0 +1,126 @@
+"""Unit tests for the quadratic global placer."""
+
+import random
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, displacement_stats
+from repro.core import LegalizerConfig, legalize
+from repro.gp import GlobalPlacerConfig, global_place
+
+
+def fresh_design(seed=5, n=400, **kwargs):
+    d = generate_design(
+        GeneratorConfig(num_cells=n, target_density=0.45, seed=seed, **kwargs)
+    )
+    for c in d.cells:  # wipe the generator's synthetic GP
+        c.gp_x = c.gp_y = 0.0
+    return d
+
+
+class TestBasicProperties:
+    def test_positions_inside_die(self):
+        d = fresh_design()
+        global_place(d, GlobalPlacerConfig(seed=1))
+        fp = d.floorplan
+        for c in d.cells:
+            assert 0 <= c.gp_x <= fp.row_width - c.width
+            assert 0 <= c.gp_y <= fp.num_rows - c.height
+
+    def test_deterministic(self):
+        a = fresh_design()
+        b = fresh_design()
+        global_place(a, GlobalPlacerConfig(seed=2))
+        global_place(b, GlobalPlacerConfig(seed=2))
+        assert [(c.gp_x, c.gp_y) for c in a.cells] == [
+            (c.gp_x, c.gp_y) for c in b.cells
+        ]
+
+    def test_spreading_covers_the_die(self):
+        d = fresh_design()
+        global_place(d, GlobalPlacerConfig(seed=3))
+        fp = d.floorplan
+        xs = [c.gp_x for c in d.cells]
+        ys = [c.gp_y for c in d.cells]
+        assert max(xs) - min(xs) > 0.6 * fp.row_width
+        assert max(ys) - min(ys) > 0.6 * fp.num_rows
+        # Quadrant occupancy: every quadrant hosts a fair share.
+        for qx in (0, 1):
+            for qy in (0, 1):
+                count = sum(
+                    1
+                    for c in d.cells
+                    if (c.gp_x >= fp.row_width / 2) == bool(qx)
+                    and (c.gp_y >= fp.num_rows / 2) == bool(qy)
+                )
+                assert count > len(d.cells) * 0.1
+
+    def test_netlist_locality_beats_random(self):
+        d = fresh_design()
+        global_place(d, GlobalPlacerConfig(seed=4))
+        hpwl_gp = d.hpwl_um(use_gp=True)
+        rng = random.Random(0)
+        d2 = fresh_design()
+        fp = d2.floorplan
+        for c in d2.cells:
+            c.gp_x = rng.uniform(0, fp.row_width - c.width)
+            c.gp_y = rng.uniform(0, fp.num_rows - c.height)
+        hpwl_rand = d2.hpwl_um(use_gp=True)
+        assert hpwl_gp < 0.75 * hpwl_rand
+
+    def test_empty_design(self):
+        from repro.db import Design, Floorplan, Library
+
+        d = Design(Floorplan(num_rows=4, row_width=10), Library())
+        global_place(d)  # must not crash
+
+
+class TestFullFlow:
+    def test_gp_then_legalize(self):
+        d = fresh_design(seed=6)
+        global_place(d, GlobalPlacerConfig(seed=6))
+        result = legalize(d, LegalizerConfig(seed=6))
+        assert result.placed == len(d.cells)
+        assert_legal(d)
+        # A well-spread GP legalizes with small displacement.
+        assert displacement_stats(d).avg_sites < 8
+
+    def test_legal_hpwl_close_to_gp_hpwl(self):
+        d = fresh_design(seed=7)
+        global_place(d, GlobalPlacerConfig(seed=7))
+        hpwl_gp = d.hpwl_um(use_gp=True)
+        legalize(d, LegalizerConfig(seed=7))
+        # Legalization perturbs a good GP only slightly (the paper's
+        # "<0.5% average" claim — generous band for a small instance).
+        assert abs(d.hpwl_um() - hpwl_gp) / hpwl_gp < 0.10
+
+    def test_fenced_cells_spread_into_their_fences(self):
+        d = fresh_design(seed=8, fence_count=1, fence_area_fraction=0.2)
+        global_place(d, GlobalPlacerConfig(seed=8))
+        fence = d.floorplan.fences[0]
+        x_lo = min(r.x for r in fence.rects)
+        x_hi = max(r.x1 for r in fence.rects)
+        y_lo = min(r.y for r in fence.rects)
+        y_hi = max(r.y1 for r in fence.rects)
+        for c in d.cells:
+            if c.region is not None:
+                assert x_lo - 1 <= c.gp_x <= x_hi
+                assert y_lo - 1 <= c.gp_y <= y_hi
+        # ... and the whole flow still legalizes.
+        legalize(d, LegalizerConfig(seed=8))
+        assert_legal(d)
+
+    def test_fixed_cells_untouched_and_attract(self):
+        from repro.db import Net, Pin
+
+        d = fresh_design(seed=9, n=60)
+        anchor = d.add_cell(d.library.get_or_create(2, 1), name="pad",
+                            fixed=True)
+        d.place(anchor, 2, 1)
+        friend = d.cells[0]
+        d.netlist.add(
+            Net("tie", (Pin(anchor, 0, 0), Pin(friend, 0, 0)))
+        )
+        global_place(d, GlobalPlacerConfig(seed=9))
+        assert (anchor.x, anchor.y) == (2, 1)

@@ -1,0 +1,112 @@
+"""Integration tests: full flows across modules at benchmark scale."""
+
+import pytest
+
+from repro.baselines import abacus_legalize, optimal_legalize, tetris_legalize
+from repro.bench import GeneratorConfig, generate_design, make_benchmark
+from repro.checker import (
+    assert_legal,
+    displacement_stats,
+    hpwl_stats,
+    make_report,
+    verify_placement,
+)
+from repro.core import LegalizerConfig, legalize
+
+
+class TestBenchmarkFlows:
+    @pytest.mark.parametrize("name", ["fft_a", "fft_2", "pci_bridge32_b"])
+    def test_named_benchmark_legalizes(self, name):
+        design = make_benchmark(name, scale=0.02)
+        result = legalize(design, LegalizerConfig(seed=1))
+        assert result.placed == len(design.cells)
+        assert_legal(design)
+        report = make_report(design, result.runtime_s)
+        assert report.displacement.avg_sites < 20  # sanity band
+        assert abs(report.hpwl.delta_pct) < 20
+
+    def test_high_density_benchmark(self):
+        design = make_benchmark("des_perf_1", scale=0.01)
+        result = legalize(design, LegalizerConfig(seed=2))
+        assert result.placed == len(design.cells)
+        assert_legal(design)
+
+    def test_power_relaxation_reduces_displacement(self):
+        # The Section 6 claim, on one mid-size design with enough double
+        # cells to matter.
+        cfg_gen = GeneratorConfig(
+            num_cells=600, target_density=0.6, double_row_fraction=0.25, seed=42
+        )
+        a = generate_design(cfg_gen)
+        b = generate_design(cfg_gen)
+        legalize(a, LegalizerConfig(seed=9, power_aligned=True))
+        legalize(b, LegalizerConfig(seed=9, power_aligned=False))
+        da = displacement_stats(a).avg_sites
+        db = displacement_stats(b).avg_sites
+        assert db < da  # relaxed strictly cheaper with 25% double cells
+
+    def test_hpwl_change_is_small(self):
+        # Table 1: ΔHPWL < 0.5% on average; allow slack on small designs.
+        design = generate_design(
+            GeneratorConfig(num_cells=800, target_density=0.4, seed=3)
+        )
+        legalize(design, LegalizerConfig(seed=3))
+        stats = hpwl_stats(design)
+        assert abs(stats.delta_pct) < 5.0
+
+
+class TestCrossLegalizers:
+    def test_all_legalizers_agree_on_legality(self):
+        cfg = GeneratorConfig(num_cells=250, target_density=0.5, seed=11)
+        for runner, kwargs in (
+            (legalize, {"config": LegalizerConfig(seed=1)}),
+            (optimal_legalize, {"config": LegalizerConfig(seed=1)}),
+            (abacus_legalize, {}),
+            (tetris_legalize, {}),
+        ):
+            design = generate_design(cfg)
+            runner(design, **kwargs)
+            assert verify_placement(design, require_all_placed=False) == []
+
+    def test_mll_beats_greedy_at_high_density(self):
+        # The paper's motivation for give-and-take legalization: at high
+        # density, never-move-placed-cells greedy strands cells or pays
+        # much more displacement.
+        cfg = GeneratorConfig(
+            num_cells=400, target_density=0.85, double_row_fraction=0.15, seed=21
+        )
+        ours = generate_design(cfg)
+        greedy = generate_design(cfg)
+        result = legalize(ours, LegalizerConfig(seed=2))
+        assert result.placed == 400
+        g = tetris_legalize(greedy)
+        if not g.failed_cells:
+            ours_d = displacement_stats(ours).avg_sites
+            greedy_d = displacement_stats(greedy).avg_sites
+            assert ours_d <= greedy_d
+        # else: greedy stranded cells, which is itself the claim.
+
+
+class TestIncrementalFlow:
+    def test_legalize_then_improve_then_edit(self):
+        from repro.apps import improve_hpwl, insert_buffer, resize_cell
+
+        design = generate_design(
+            GeneratorConfig(num_cells=200, target_density=0.45, seed=13)
+        )
+        legalize(design, LegalizerConfig(seed=13))
+        assert_legal(design)
+
+        stats = improve_hpwl(
+            design, LegalizerConfig(seed=13), passes=1, max_moves_per_pass=40
+        )
+        assert stats.hpwl_after_um <= stats.hpwl_before_um + 1e-9
+        assert_legal(design)
+
+        cell = next(c for c in design.movable_cells() if c.height == 1)
+        resize_cell(design, cell, design.library.get_or_create(cell.width + 1, 1))
+        assert_legal(design)
+
+        net = max(design.netlist, key=lambda n: sum(n.hpwl_sites()))
+        insert_buffer(design, net, design.library.get_or_create(1, 1))
+        assert_legal(design)

@@ -1,0 +1,128 @@
+"""Integration tests: fence regions through the whole legalization stack."""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.baselines import abacus_legalize, optimal_legalize, tetris_legalize
+from repro.checker import assert_legal, verify_placement
+from repro.core import LegalizerConfig, MultiRowLocalLegalizer, legalize
+from repro.db import Design, FenceRegion, Floorplan, Library
+from repro.geometry import Rect
+from tests.conftest import add_unplaced
+
+
+def fenced_generated(seed=1, n=400, fences=2):
+    return generate_design(
+        GeneratorConfig(
+            num_cells=n,
+            target_density=0.45,
+            fence_count=fences,
+            fence_area_fraction=0.2,
+            seed=seed,
+            name="fenced",
+        )
+    )
+
+
+class TestGeneratorFences:
+    def test_fences_created_and_cells_assigned(self):
+        d = fenced_generated()
+        assert len(d.floorplan.fences) == 2
+        assigned = [c for c in d.cells if c.region is not None]
+        assert assigned  # some cells live in fences
+        assert len(assigned) < len(d.cells)  # most do not
+
+    def test_fence_assignment_deterministic(self):
+        a = fenced_generated(seed=9)
+        b = fenced_generated(seed=9)
+        assert [c.region for c in a.cells] == [c.region for c in b.cells]
+
+
+class TestLegalizationWithFences:
+    def test_mll_legalizes_fenced_design(self):
+        d = fenced_generated(seed=2)
+        result = legalize(d, LegalizerConfig(seed=2))
+        assert result.placed == len(d.cells)
+        assert_legal(d)  # includes the WRONG_REGION check
+
+    def test_every_fenced_cell_inside_its_fence(self):
+        d = fenced_generated(seed=3)
+        legalize(d, LegalizerConfig(seed=3))
+        fences = {f.id: f for f in d.floorplan.fences}
+        for cell in d.cells:
+            if cell.region is None:
+                continue
+            fence = fences[cell.region]
+            assert fence.contains_point(cell.x, cell.y)
+            assert fence.contains_point(
+                cell.x + cell.width - 1, cell.y + cell.height - 1
+            )
+
+    def test_optimal_handles_fences(self):
+        d = fenced_generated(seed=4, n=250)
+        optimal_legalize(d, LegalizerConfig(seed=4))
+        assert_legal(d)
+
+    def test_greedy_baselines_handle_fences(self):
+        for runner in (abacus_legalize, tetris_legalize):
+            d = fenced_generated(seed=5, n=250)
+            runner(d)
+            assert (
+                verify_placement(d, require_all_placed=False) == []
+            ), runner.__name__
+
+
+class TestMllFenceBehaviour:
+    def build(self):
+        fp = Floorplan(
+            num_rows=6,
+            row_width=30,
+            fences=[FenceRegion(id=0, name="f", rects=(Rect(10, 1, 10, 3),))],
+        )
+        return Design(fp, Library())
+
+    def test_fenced_target_pulled_inside(self):
+        d = self.build()
+        m = d.library.get_or_create(3, 1)
+        t = d.add_cell(m, gp_x=2.0, gp_y=2.0, region=0)  # GP outside fence
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=20, ry=3))
+        assert mll.try_place(t, 2.0, 2.0).success
+        assert d.floorplan.fences[0].contains_point(t.x, t.y)
+
+    def test_default_target_kept_outside(self):
+        d = self.build()
+        t = add_unplaced(d, 3, 1, 14.0, 2.0)  # GP inside the fence
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=20, ry=3))
+        assert mll.try_place(t, 14.0, 2.0).success
+        assert not d.floorplan.fences[0].contains_point(t.x, t.y)
+
+    def test_fenced_cells_never_pushed_out(self):
+        # A fenced neighbor may be pushed around inside the fence but the
+        # segment boundary (= fence edge) is a hard wall.
+        d = self.build()
+        m = d.library.get_or_create(8, 1)
+        a = d.add_cell(m, gp_x=10.0, gp_y=2.0, region=0)
+        d.place(a, 10, 2)
+        t = d.add_cell(m, gp_x=10.0, gp_y=2.0, region=0)
+        # Row 2 cannot hold both 8-wide cells (the fence row is 10 sites);
+        # the target must take another fence row, never spill outside.
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=20, ry=2))
+        result = mll.try_place(t, 10.0, 2.0)
+        assert result.success
+        assert verify_placement(d, require_all_placed=False) == []
+        fence = d.floorplan.fences[0]
+        for c in (a, t):
+            assert fence.contains_point(c.x, c.y)
+
+
+class TestFenceBookshelf:
+    def test_roundtrip(self, tmp_path):
+        from repro.io import read_bookshelf, write_bookshelf
+
+        d = fenced_generated(seed=6, n=200)
+        legalize(d, LegalizerConfig(seed=6))
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        assert len(d2.floorplan.fences) == len(d.floorplan.fences)
+        assert [c.region for c in d2.cells] == [c.region for c in d.cells]
+        assert_legal(d2)

@@ -1,0 +1,97 @@
+"""Unit tests for Bookshelf I/O."""
+
+import os
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, verify_placement
+from repro.core import LegalizerConfig, legalize
+from repro.db import Rail
+from repro.io import read_bookshelf, write_bookshelf
+from repro.geometry import Rect
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestRoundTrip:
+    def test_placed_design_roundtrips(self, tmp_path):
+        d = generate_design(GeneratorConfig(num_cells=80, seed=1, name="rt"))
+        legalize(d, LegalizerConfig(seed=1))
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        assert d2.name == "rt"
+        assert len(d2.cells) == len(d.cells)
+        by_name = {c.name: c for c in d2.cells}
+        for c in d.cells:
+            c2 = by_name[c.name]
+            assert (c2.x, c2.y) == (c.x, c.y)
+            assert (c2.width, c2.height) == (c.width, c.height)
+            assert c2.gp_x == pytest.approx(c.gp_x)
+            assert c2.gp_y == pytest.approx(c.gp_y)
+        assert_legal(d2)
+
+    def test_hpwl_survives_roundtrip(self, tmp_path):
+        d = generate_design(GeneratorConfig(num_cells=60, seed=2))
+        legalize(d, LegalizerConfig(seed=2))
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        assert d2.hpwl_um() == pytest.approx(d.hpwl_um())
+        assert d2.hpwl_um(use_gp=True) == pytest.approx(d.hpwl_um(use_gp=True))
+
+    def test_rail_parity_survives(self, tmp_path):
+        d = make_design()
+        add_placed(d, 2, 2, 0, 0, rail=Rail.GND, name="dff0")
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        c = d2.cells[0]
+        assert c.master.bottom_rail is Rail.GND
+        assert verify_placement(d2) == []
+
+    def test_rows_and_rails_survive(self, tmp_path):
+        d = make_design(num_rows=6, first_rail=Rail.VDD)
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        fp, fp2 = d.floorplan, d2.floorplan
+        assert fp2.num_rows == fp.num_rows
+        assert fp2.row_width == fp.row_width
+        for r, r2 in zip(fp.rows, fp2.rows):
+            assert r2.bottom_rail is r.bottom_rail
+
+    def test_blockages_survive(self, tmp_path):
+        d = make_design(blockages=[Rect(5, 2, 4, 3)])
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        assert d2.floorplan.blockages == [Rect(5, 2, 4, 3)]
+        assert len(d2.floorplan.segments) == len(d.floorplan.segments)
+
+    def test_unplaced_cells_keep_gp(self, tmp_path):
+        d = make_design()
+        add_unplaced(d, 3, 1, 4.25, 2.75, name="float")
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        c = d2.cells[0]
+        assert c.gp_x == pytest.approx(4.25)
+        assert c.gp_y == pytest.approx(2.75)
+        assert not c.is_placed
+
+    def test_fixed_cells_marked_terminal(self, tmp_path):
+        d = make_design()
+        add_placed(d, 2, 1, 3, 1, fixed=True, name="pad")
+        aux = write_bookshelf(d, str(tmp_path))
+        d2 = read_bookshelf(aux)
+        assert d2.cells[0].fixed
+
+
+class TestFiles:
+    def test_all_files_written(self, tmp_path):
+        d = make_design(name="files")
+        write_bookshelf(d, str(tmp_path))
+        for ext in ("aux", "nodes", "nets", "pl", "scl"):
+            assert os.path.exists(tmp_path / f"files.{ext}")
+
+    def test_aux_references_all(self, tmp_path):
+        d = make_design(name="x")
+        aux = write_bookshelf(d, str(tmp_path))
+        content = open(aux).read()
+        for ext in ("nodes", "nets", "pl", "scl"):
+            assert f"x.{ext}" in content

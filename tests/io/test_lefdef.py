@@ -1,0 +1,125 @@
+"""Unit tests for the LEF/DEF-lite reader/writer."""
+
+import os
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import assert_legal, verify_placement
+from repro.core import LegalizerConfig, legalize
+from repro.db import Rail
+from repro.io import read_lefdef, write_lefdef
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+def roundtrip(design, tmp_path):
+    lef, def_ = write_lefdef(design, str(tmp_path))
+    return read_lefdef(lef, def_)
+
+
+class TestRoundTrip:
+    def test_positions_and_sizes(self, tmp_path):
+        d = generate_design(GeneratorConfig(num_cells=100, seed=1, name="x"))
+        legalize(d, LegalizerConfig(seed=1))
+        d2 = roundtrip(d, tmp_path)
+        assert d2.name == "x"
+        by = {c.name: c for c in d2.cells}
+        for c in d.cells:
+            c2 = by[c.name]
+            assert (c2.x, c2.y) == (c.x, c.y)
+            assert (c2.width, c2.height) == (c.width, c.height)
+            assert c2.master.name == c.master.name
+        assert_legal(d2)
+
+    def test_hpwl_preserved(self, tmp_path):
+        d = generate_design(GeneratorConfig(num_cells=80, seed=2))
+        legalize(d, LegalizerConfig(seed=2))
+        d2 = roundtrip(d, tmp_path)
+        assert d2.hpwl_um() == pytest.approx(d.hpwl_um(), abs=1e-5)
+
+    def test_gp_positions_survive(self, tmp_path):
+        d = make_design()
+        add_unplaced(d, 3, 1, 4.27, 2.93, name="float")
+        d2 = roundtrip(d, tmp_path)
+        c = d2.cells[0]
+        assert not c.is_placed
+        assert c.gp_x == pytest.approx(4.27)
+        assert c.gp_y == pytest.approx(2.93)
+
+    def test_rail_property_survives(self, tmp_path):
+        d = make_design()
+        add_placed(d, 2, 2, 0, 0, rail=Rail.GND, name="dff")
+        d2 = roundtrip(d, tmp_path)
+        assert d2.cells[0].master.bottom_rail is Rail.GND
+        assert verify_placement(d2) == []
+
+    def test_rows_and_rails(self, tmp_path):
+        d = make_design(num_rows=6, first_rail=Rail.VDD)
+        d2 = roundtrip(d, tmp_path)
+        assert d2.floorplan.num_rows == 6
+        for r, r2 in zip(d.floorplan.rows, d2.floorplan.rows):
+            assert r2.bottom_rail is r.bottom_rail
+
+    def test_blockages_and_fences(self, tmp_path):
+        d = generate_design(
+            GeneratorConfig(
+                num_cells=150,
+                seed=3,
+                blockage_fraction=0.08,
+                fence_count=2,
+                fence_area_fraction=0.2,
+            )
+        )
+        legalize(d, LegalizerConfig(seed=3))
+        d2 = roundtrip(d, tmp_path)
+        assert d2.floorplan.blockages == d.floorplan.blockages
+        assert len(d2.floorplan.fences) == len(d.floorplan.fences)
+        assert [c.region for c in d2.cells] == [c.region for c in d.cells]
+        assert_legal(d2)
+
+    def test_fixed_cells(self, tmp_path):
+        d = make_design()
+        add_placed(d, 3, 1, 5, 2, fixed=True, name="pad")
+        d2 = roundtrip(d, tmp_path)
+        assert d2.cells[0].fixed
+        assert (d2.cells[0].x, d2.cells[0].y) == (5, 2)
+
+    def test_orientation_written(self, tmp_path):
+        d = make_design(first_rail=Rail.GND)
+        m = d.library.get_or_create(2, 1)
+        c = d.add_cell(m, name="flip")
+        d.place(c, 0, 1)  # VDD row -> FS
+        write_lefdef(d, str(tmp_path), "o")
+        def_text = (tmp_path / "o.def").read_text()
+        assert ") FS" in def_text
+
+    def test_pin_names_in_nets(self, tmp_path):
+        d = generate_design(GeneratorConfig(num_cells=60, seed=4))
+        d2 = roundtrip(d, tmp_path)
+        for net, net2 in zip(d.netlist, d2.netlist):
+            assert [p.name for p in net.pins] == [p.name for p in net2.pins]
+
+
+class TestFiles:
+    def test_both_files_written(self, tmp_path):
+        d = make_design(name="pair")
+        lef, def_ = write_lefdef(d, str(tmp_path))
+        assert os.path.exists(lef) and lef.endswith("pair.lef")
+        assert os.path.exists(def_) and def_.endswith("pair.def")
+
+    def test_lef_declares_site_and_macros(self, tmp_path):
+        d = make_design()
+        add_placed(d, 3, 2, 0, 0)
+        lef, _ = write_lefdef(d, str(tmp_path))
+        text = open(lef).read()
+        assert "SITE core" in text
+        assert "MACRO" in text
+        assert "SIZE 0.2 BY 1.71" in text
+
+    def test_def_units_exact(self, tmp_path):
+        # 1000 DBU/um with 0.2x1.71 sites: site = 200 x 1710 DBU exactly.
+        d = make_design()
+        add_placed(d, 2, 1, 3, 2)
+        _, def_ = write_lefdef(d, str(tmp_path))
+        text = open(def_).read()
+        assert "( 600 3420 )" in text  # x=3 sites, y=2 rows

@@ -1,0 +1,96 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import read_bookshelf
+
+
+@pytest.fixture
+def generated(tmp_path):
+    out = tmp_path / "gen"
+    rc = main(
+        [
+            "generate",
+            "--cells", "120",
+            "--density", "0.4",
+            "--seed", "7",
+            "--name", "clitest",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    return out / "clitest.aux"
+
+
+class TestGenerate:
+    def test_generates_bundle(self, generated):
+        design = read_bookshelf(str(generated))
+        assert len(design.cells) == 120
+        assert all(not c.is_placed for c in design.cells)
+
+
+class TestLegalize:
+    def test_mll_legalize_roundtrip(self, generated, tmp_path, capsys):
+        out = tmp_path / "legal"
+        rc = main(["legalize", str(generated), "--out", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "violations 0" in captured
+        design = read_bookshelf(str(out / "clitest.aux"))
+        assert all(c.is_placed for c in design.cells)
+
+    @pytest.mark.parametrize("algo", ["optimal", "abacus", "tetris"])
+    def test_other_algorithms(self, generated, algo):
+        assert main(["legalize", str(generated), "--algorithm", algo]) == 0
+
+    def test_relaxed_flag(self, generated):
+        assert main(["legalize", str(generated), "--relaxed"]) == 0
+
+
+class TestCheck:
+    def test_illegal_input_reported(self, generated, capsys):
+        rc = main(["check", str(generated)])
+        assert rc == 1  # unplaced cells are violations
+        assert "violations" in capsys.readouterr().out
+
+    def test_legal_after_legalization(self, generated, tmp_path, capsys):
+        out = tmp_path / "legal"
+        main(["legalize", str(generated), "--out", str(out)])
+        rc = main(["check", str(out / "clitest.aux")])
+        assert rc == 0
+        assert "legal" in capsys.readouterr().out
+
+
+class TestGp:
+    def test_gp_then_legalize(self, generated, tmp_path, capsys):
+        placed = tmp_path / "gp"
+        rc = main(["gp", str(generated), "--out", str(placed),
+                   "--iterations", "6"])
+        assert rc == 0
+        assert "HPWL" in capsys.readouterr().out
+        rc = main(["legalize", str(placed / "clitest.aux")])
+        assert rc == 0
+
+
+class TestShowAndStats:
+    def test_ascii_show(self, generated, tmp_path, capsys):
+        out = tmp_path / "legal"
+        main(["legalize", str(generated), "--out", str(out)])
+        rc = main(["show", str(out / "clitest.aux"), "--window", "0", "0", "20", "4"])
+        assert rc == 0
+        art = capsys.readouterr().out
+        assert "|" in art
+
+    def test_svg_show(self, generated, tmp_path):
+        svg = tmp_path / "p.svg"
+        rc = main(["show", str(generated), "--gp", "--svg", str(svg)])
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_stats(self, generated, capsys):
+        rc = main(["stats", str(generated)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells:     120" in out
+        assert "density" in out

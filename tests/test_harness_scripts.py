@@ -1,0 +1,58 @@
+"""Smoke tests for the standalone harness scripts.
+
+The Table 1 runner and the report generator are entry points users run
+directly; these tests execute them end-to-end at miniature scale so the
+scripts cannot silently rot.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+
+class TestRunTable1:
+    def test_quick_suite_miniature(self, capsys, monkeypatch):
+        from benchmarks.run_table1 import main
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.002")
+        rc = main(["--scale", "0.002"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1 reproduction" in out
+        assert "fft_a" in out
+        assert "AVG" in out
+        assert "runtime ratio" in out
+
+    def test_milp_column_miniature(self, capsys):
+        from benchmarks.run_table1 import main
+
+        # One tiny design through the literal MILP to keep it fast: use
+        # the smallest scale and let the quick suite's first rows run.
+        rc = main(["--scale", "0.001", "--milp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ILP column = MILP" in out
+
+
+class TestMakeReport:
+    def test_report_generated(self, tmp_path, capsys):
+        from benchmarks.make_report import main
+
+        rc = main(["--out", str(tmp_path), "--scale", "0.002"])
+        assert rc == 0
+        index = tmp_path / "index.md"
+        assert index.exists()
+        content = index.read_text()
+        for figure in (
+            "table1_displacement.svg",
+            "relaxation.svg",
+            "scaling.svg",
+            "window_ablation.svg",
+            "placement.svg",
+        ):
+            assert figure in content
+            assert (tmp_path / figure).exists()
+            assert (tmp_path / figure).read_text().startswith("<svg")

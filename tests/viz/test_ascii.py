@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII placement renderer."""
+
+from repro.geometry import Rect
+from repro.viz import render_ascii
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestRendering:
+    def test_empty_design_is_dots(self):
+        d = make_design(num_rows=2, row_width=6)
+        art = render_ascii(d, legend=False)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("|......|")
+        assert lines[1].endswith("|......|")
+
+    def test_rows_drawn_top_first(self):
+        d = make_design(num_rows=3, row_width=4)
+        lines = render_ascii(d, legend=False).splitlines()
+        assert lines[0].startswith("  2")
+        assert lines[2].startswith("  0")
+
+    def test_rail_labels_alternate(self):
+        d = make_design(num_rows=2, row_width=4)
+        lines = render_ascii(d, legend=False).splitlines()
+        assert lines[1][3] == "G"  # row 0 bottom rail
+        assert lines[0][3] == "V"  # row 1
+
+    def test_cell_glyph_spans_footprint(self):
+        d = make_design(num_rows=2, row_width=8)
+        add_placed(d, 3, 2, 2, 0, name="m")
+        lines = render_ascii(d, legend=False).splitlines()
+        for line in lines:
+            assert line[8:11] == "aaa"  # x=2 after the "  1V |" prefix
+
+    def test_blockage_hash(self):
+        from repro.geometry import Rect as R
+
+        d = make_design(num_rows=1, row_width=8, blockages=[R(2, 0, 3, 1)])
+        line = render_ascii(d, legend=False).splitlines()[0]
+        assert "###" in line
+
+    def test_overlap_marked(self):
+        d = make_design(num_rows=1, row_width=8)
+        a = add_placed(d, 3, 1, 0, 0)
+        b = add_placed(d, 3, 1, 4, 0)
+        b.x = 2  # corrupt: overlap at sites 2-4
+        art = render_ascii(d, legend=False)
+        assert "?" in art
+
+    def test_window_clips(self):
+        d = make_design(num_rows=4, row_width=20)
+        add_placed(d, 2, 1, 15, 3)
+        art = render_ascii(d, window=Rect(0, 0, 10, 2), legend=False)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert all("a" not in line for line in lines)
+
+    def test_gp_mode_shows_unplaced(self):
+        d = make_design(num_rows=1, row_width=8)
+        add_unplaced(d, 2, 1, 3.2, 0.0)
+        placed_view = render_ascii(d, legend=False)
+        gp_view = render_ascii(d, show_gp=True, legend=False)
+        assert "a" not in placed_view
+        assert "a" in gp_view
+
+    def test_legend_names_cells(self):
+        d = make_design(num_rows=1, row_width=8)
+        add_placed(d, 2, 1, 0, 0, name="hello")
+        art = render_ascii(d)
+        assert "a=hello" in art

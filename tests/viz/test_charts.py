@@ -1,0 +1,87 @@
+"""Unit tests for the SVG chart module."""
+
+import math
+
+import pytest
+
+from repro.viz import Series, bar_chart, histogram_chart, line_chart
+from repro.viz.charts import _nice_ticks
+
+
+class TestTicks:
+    def test_ticks_cover_range(self):
+        ticks = _nice_ticks(0, 9.3)
+        assert ticks[0] <= 0
+        assert ticks[-1] >= 9.3
+
+    def test_ticks_are_round(self):
+        for t in _nice_ticks(0, 87):
+            assert t == round(t, 6)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5, 5)
+        assert len(ticks) >= 2
+
+
+class TestBarChart:
+    def test_valid_svg(self):
+        svg = bar_chart(
+            "t", ["a", "b"], [Series("s1", [1.0, 2.0]), Series("s2", [2.0, 1.0])]
+        )
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= 5  # background + grid + 4 bars
+
+    def test_categories_labelled(self):
+        svg = bar_chart("t", ["fft_a", "fft_b"], [Series("s", [1.0, 2.0])])
+        assert "fft_a" in svg
+        assert "fft_b" in svg
+
+    def test_title_escaped(self):
+        svg = bar_chart("a<b", ["c"], [Series("s", [1.0])])
+        assert "a&lt;b" in svg
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "c.svg"
+        bar_chart("t", ["a"], [Series("s", [1.0])], path=str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestLineChart:
+    def test_valid_svg_with_points(self):
+        svg = line_chart(
+            "t", [1.0, 2.0, 4.0], [Series("s", [0.5, 1.0, 2.0])]
+        )
+        assert "<polyline" in svg
+        assert svg.count("<circle") == 3
+
+    def test_log_axes(self):
+        svg = line_chart(
+            "t",
+            [10.0, 100.0, 1000.0],
+            [Series("s", [0.01, 0.1, 1.0])],
+            log_x=True,
+            log_y=True,
+        )
+        assert "<polyline" in svg
+
+    def test_two_series_two_colors(self):
+        svg = line_chart(
+            "t",
+            [1.0, 2.0],
+            [Series("a", [1.0, 2.0]), Series("b", [2.0, 3.0])],
+        )
+        assert "#4e79a7" in svg
+        assert "#f28e2b" in svg
+
+
+class TestHistogram:
+    def test_from_bins(self):
+        svg = histogram_chart("h", [(0.0, 3), (1.0, 5), (2.0, 1)])
+        assert svg.startswith("<svg")
+        assert "count" in svg
+
+    def test_empty_series_guard(self):
+        # bar_chart with all-empty values must not crash.
+        svg = bar_chart("t", [], [Series("s", [])])
+        assert svg.startswith("<svg")

@@ -1,0 +1,54 @@
+"""Unit tests for the SVG placement renderer."""
+
+from repro.viz import render_svg
+from tests.conftest import add_placed, make_design
+
+
+class TestSvg:
+    def test_valid_svg_skeleton(self):
+        d = make_design(num_rows=2, row_width=10)
+        svg = render_svg(d)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_cells_rendered_with_height_colors(self):
+        d = make_design(num_rows=3, row_width=12)
+        add_placed(d, 3, 1, 0, 0)
+        add_placed(d, 2, 2, 4, 0)
+        add_placed(d, 2, 3, 7, 0)
+        svg = render_svg(d)
+        assert "#4e79a7" in svg  # single-row blue
+        assert "#f28e2b" in svg  # double-row orange
+        assert "#e15759" in svg  # triple-row red
+
+    def test_gp_ghosts_and_whiskers(self):
+        d = make_design(num_rows=1, row_width=12)
+        c = add_placed(d, 3, 1, 6, 0)
+        c.gp_x = 2.0
+        with_gp = render_svg(d, show_gp=True)
+        without = render_svg(d, show_gp=False)
+        assert with_gp.count("stroke-dasharray") > without.count(
+            "stroke-dasharray"
+        )
+        assert "<line" in with_gp
+
+    def test_blockage_hatched(self):
+        from repro.geometry import Rect
+
+        d = make_design(num_rows=2, row_width=10, blockages=[Rect(3, 0, 2, 1)])
+        svg = render_svg(d)
+        assert "url(#hatch)" in svg
+
+    def test_file_written(self, tmp_path):
+        d = make_design(num_rows=1, row_width=6)
+        path = tmp_path / "out.svg"
+        render_svg(d, path=str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_label_escaping(self):
+        d = make_design(num_rows=1, row_width=30)
+        add_placed(d, 10, 1, 0, 0, name="a<b&c")
+        svg = render_svg(d, show_labels=True)
+        assert "a<b&c" not in svg
+        assert "a&lt;b&amp;c" in svg
