@@ -1,0 +1,111 @@
+"""Parallel-engine scaling bench: wall-time and quality vs worker count.
+
+Runs the sharded engine (:mod:`repro.engine`) on one generated 20k-cell
+design for ``workers ∈ {1, 2, 4, 8}`` (``workers=1`` is the plain
+sequential path — the baseline every speedup is measured against) and
+records, per configuration, the engine wall-clock, average displacement,
+seam-conflict counts and the speedup over sequential in
+``benchmark.extra_info`` — the same pytest-benchmark JSON payload shape
+as the other ``bench_*`` scripts.
+
+Quality gate: ``workers=4`` must match the sequential average
+displacement within ±1% (the engine's parity contract).  The speedup
+gate only arms on hosts with ≥4 usable CPUs; on smaller hosts the
+speedup is recorded but not asserted (a 1-CPU container cannot speed
+anything up with processes).
+
+``REPRO_BENCH_SCALE`` scales the cell count like the Table 1 benches
+(default keeps the full 20k cells).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import displacement_stats, verify_placement
+from repro.core import LegalizerConfig
+from repro.engine import EngineConfig, legalize_sharded
+
+WORKER_COUNTS = [1, 2, 4, 8]
+DISPLACEMENT_PARITY_PCT = 1.0
+
+#: Shared across the parametrized runs of one pytest session.
+_RUNS: dict[int, dict[str, float]] = {}
+
+
+def _num_cells() -> int:
+    # bench_scale defaults to 0.02; the ISSUE pins this bench at 20k
+    # cells, so the default scale maps to exactly 20_000.
+    from benchmarks.conftest import bench_scale
+
+    return max(1000, round(20_000 * bench_scale() / 0.02))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def design_config() -> GeneratorConfig:
+    return GeneratorConfig(
+        num_cells=_num_cells(), target_density=0.5, seed=3, name="par20k"
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_scaling(benchmark, design_config, workers):
+    design = generate_design(design_config)
+    config = LegalizerConfig(seed=1)
+    engine = EngineConfig(
+        workers=workers,
+        shards=workers,          # one stripe per worker
+        serial_threshold=0 if workers > 1 else 10**9,
+    )
+
+    def run():
+        design.reset_placement()
+        return legalize_sharded(design, config, engine)
+
+    engine_result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert verify_placement(design) == []
+    disp = displacement_stats(design).avg_sites
+    _RUNS[workers] = {"wall_s": engine_result.wall_time_s, "disp": disp}
+
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["num_shards"] = engine_result.num_shards
+    benchmark.extra_info["num_cells"] = len(design.cells)
+    benchmark.extra_info["wall_s"] = round(engine_result.wall_time_s, 3)
+    benchmark.extra_info["avg_disp_sites"] = round(disp, 4)
+    benchmark.extra_info["violations"] = 0
+    benchmark.extra_info["seam_cells"] = engine_result.seam.seam_cells
+    benchmark.extra_info["seam_conflicts"] = engine_result.seam.conflicts
+    benchmark.extra_info["halo_sites"] = engine_result.halo_sites
+    benchmark.extra_info["usable_cpus"] = _usable_cpus()
+    if 1 in _RUNS:
+        benchmark.extra_info["speedup_vs_serial"] = round(
+            _RUNS[1]["wall_s"] / max(engine_result.wall_time_s, 1e-9), 3
+        )
+
+    # Displacement parity contract: workers=4 within ±1% of sequential.
+    if workers == 4 and 1 in _RUNS:
+        base = _RUNS[1]["disp"]
+        drift_pct = abs(disp - base) / max(base, 1e-9) * 100.0
+        benchmark.extra_info["disp_drift_pct_vs_serial"] = round(drift_pct, 4)
+        assert drift_pct <= DISPLACEMENT_PARITY_PCT, (
+            f"workers=4 displacement {disp:.4f} drifts {drift_pct:.2f}% "
+            f"from sequential {base:.4f} (limit ±{DISPLACEMENT_PARITY_PCT}%)"
+        )
+        # Speedup gate only where the hardware can actually deliver one.
+        if _usable_cpus() >= 4:
+            assert engine_result.wall_time_s < _RUNS[1]["wall_s"], (
+                f"workers=4 ({engine_result.wall_time_s:.2f}s) not faster "
+                f"than sequential ({_RUNS[1]['wall_s']:.2f}s) on a "
+                f"{_usable_cpus()}-CPU host"
+            )

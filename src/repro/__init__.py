@@ -44,6 +44,12 @@ from repro.db import (
     Row,
     Segment,
 )
+from repro.engine import (
+    EngineConfig,
+    EngineResult,
+    ShardedLegalizer,
+    legalize_sharded,
+)
 
 __version__ = "1.0.0"
 
@@ -51,6 +57,8 @@ __all__ = [
     "Cell",
     "CellMaster",
     "Design",
+    "EngineConfig",
+    "EngineResult",
     "EvaluationMode",
     "Floorplan",
     "LegalizationError",
@@ -66,8 +74,10 @@ __all__ = [
     "Rail",
     "Row",
     "Segment",
+    "ShardedLegalizer",
     "assert_legal",
     "legalize",
+    "legalize_sharded",
     "make_report",
     "verify_placement",
     "__version__",

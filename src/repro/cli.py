@@ -5,6 +5,7 @@ Subcommands::
     repro generate  --cells 2000 --density 0.5 --out DIR     # make a design
     repro legalize  DIR/design.aux --out DIR2 [--algorithm mll|optimal|
                     milp|abacus|tetris] [--relaxed] [--exact]
+                    [--workers N] [--shards M] [--halo SITES]
     repro check     DIR/design.aux [--relaxed]                # verify only
     repro show      DIR/design.aux [--svg out.svg] [--window X Y W H]
     repro stats     DIR/design.aux                            # metrics
@@ -79,7 +80,32 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
     design.reset_placement()
     config = _make_config(args)
     t0 = time.perf_counter()
-    if args.algorithm == "mll":
+    if args.algorithm == "mll" and (args.workers != 1 or args.shards):
+        from repro.engine import EngineConfig, legalize_sharded
+
+        engine_result = legalize_sharded(
+            design,
+            config,
+            EngineConfig(
+                workers=args.workers,
+                shards=args.shards,
+                halo_sites=args.halo,
+                serial_threshold=args.serial_threshold,
+            ),
+        )
+        if engine_result.parallel:
+            seam = engine_result.seam
+            print(
+                f"engine: shards={engine_result.num_shards} "
+                f"workers={engine_result.workers} "
+                f"halo={engine_result.halo_sites} "
+                f"seam_cells={seam.seam_cells} "
+                f"(conflicts {seam.conflicts}, shard_failures "
+                f"{seam.shard_failures}, deferred {seam.deferred})"
+            )
+        else:
+            print("engine: sequential fallback (below serial threshold)")
+    elif args.algorithm == "mll":
         Legalizer(design, config).run()
     elif args.algorithm == "optimal":
         OptimalLegalizer(design, config).run()
@@ -211,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rx", type=int, default=30)
     p.add_argument("--ry", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sharded engine "
+                        "(mll only; 0 = one per CPU)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="vertical-stripe shard count (default: = workers)")
+    p.add_argument("--halo", type=int, default=None,
+                   help="shard halo width in sites (default: derived "
+                        "from rx and the max cell width)")
+    p.add_argument("--serial-threshold", type=int, default=2048,
+                   help="below this many movable cells the engine runs "
+                        "the plain sequential legalizer")
     p.add_argument("--out", help="directory for the legalized bundle")
     p.add_argument("--format", choices=["bookshelf", "lefdef"],
                    default="bookshelf")

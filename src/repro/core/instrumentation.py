@@ -72,6 +72,25 @@ class MllTelemetry:
         """Drop all records."""
         self.records.clear()
 
+    def merge(self, other: "MllTelemetry") -> "MllTelemetry":
+        """Fold *other*'s records into this telemetry (returns ``self``).
+
+        This is the process-safe aggregation path of the parallel engine
+        (:mod:`repro.engine`): each worker records into its own
+        :class:`MllTelemetry` (records are immutable value objects, so
+        they pickle across process boundaries), and the parent merges the
+        worker telemetries.  Merging is order-insensitive for every
+        :meth:`summary` aggregate.
+        """
+        self.records.extend(other.records)
+        return self
+
+    def __iadd__(self, other: "MllTelemetry") -> "MllTelemetry":
+        """``telemetry += other`` is :meth:`merge`."""
+        if not isinstance(other, MllTelemetry):
+            return NotImplemented
+        return self.merge(other)
+
     def histogram(self, attr: str, bins: int = 10) -> list[tuple[float, int]]:
         """(bin lower edge, count) pairs for one numeric record field."""
         values = [float(getattr(r, attr)) for r in self.records]

@@ -43,6 +43,33 @@ class LegalizationResult:
         """Total MLL invocations."""
         return self.mll_successes + self.mll_failures
 
+    def merge(self, other: "LegalizationResult") -> "LegalizationResult":
+        """Fold *other* into this result in place (and return ``self``).
+
+        Used to combine per-shard results of the parallel engine
+        (:mod:`repro.engine`) and multi-run statistics.  Counters add up;
+        ``rounds`` takes the maximum (shards run their retry rounds
+        concurrently, so the slowest shard defines the round count);
+        ``runtime_s`` accumulates *CPU* time — for a parallel run the
+        wall-clock lives in :class:`repro.engine.EngineResult`;
+        ``failed_cells`` concatenates.
+        """
+        self.placed += other.placed
+        self.direct_placements += other.direct_placements
+        self.mll_successes += other.mll_successes
+        self.mll_failures += other.mll_failures
+        self.rounds = max(self.rounds, other.rounds)
+        self.runtime_s += other.runtime_s
+        self.insertion_points_evaluated += other.insertion_points_evaluated
+        self.failed_cells.extend(other.failed_cells)
+        return self
+
+    def __iadd__(self, other: "LegalizationResult") -> "LegalizationResult":
+        """``result += other`` is :meth:`merge`."""
+        if not isinstance(other, LegalizationResult):
+            return NotImplemented
+        return self.merge(other)
+
 
 class Legalizer:
     """Algorithm 1 bound to one design and configuration."""

@@ -1,0 +1,106 @@
+"""Configuration of the sharded parallel legalization engine.
+
+:class:`EngineConfig` complements :class:`~repro.core.config.LegalizerConfig`:
+the legalizer config describes *what* Algorithm 1 / MLL do, the engine
+config describes *how the work is split and executed* — shard count,
+worker pool size, halo width, and when to fall back to the plain
+sequential path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LegalizerConfig
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """Knobs of the sharded parallel engine (:mod:`repro.engine`)."""
+
+    workers: int = 1
+    """Worker processes.  ``1`` executes shards serially in-process (the
+    sharded code path is still exercised when ``shards > 1``); ``0``
+    means "one per available CPU"."""
+
+    shards: int | None = None
+    """Vertical-stripe shard count.  ``None`` derives it from
+    ``workers`` (one shard per worker).  The partitioner may lower the
+    effective count on narrow floorplans — see
+    :func:`repro.engine.partition.partition_design`."""
+
+    halo_sites: int | None = None
+    """Halo width in sites added on both sides of each shard's interior.
+    ``None`` derives it from the legalizer config, see
+    :func:`derive_halo_sites`.  The halo is placeable overflow room: a
+    shard may place cells up to ``halo_sites`` beyond its interior, so
+    cross-shard conflicts are confined to seam bands of width
+    ``2 * halo_sites``."""
+
+    halo_retry_rounds: int = 3
+    """Retry rounds of Algorithm 1 the derived halo budgets for: the
+    round-``k`` perturbation amplitude is ``Rx * (k - 1)``, so the
+    derived halo covers targets perturbed up to
+    ``Rx * halo_retry_rounds`` sites sideways.  Retry targets beyond the
+    shard slice simply snap back to the slice edge (the shard floorplan
+    has no segments outside it), so this is a quality knob, not a
+    correctness one."""
+
+    serial_threshold: int = 2048
+    """Designs with fewer movable cells than this run the plain
+    sequential :class:`~repro.core.legalizer.Legalizer` — below this
+    size, process fan-out costs more than it saves."""
+
+    balance_by_cells: bool = True
+    """Place stripe boundaries at cell-count quantiles of the GP x
+    distribution (balanced work per shard) instead of equal-width
+    stripes."""
+
+    validate: bool = True
+    """Run the independent checker on the merged placement and raise
+    :class:`~repro.engine.reconcile.ReconcileError` on any violation, so
+    the engine's contract is *exactly* the sequential path's."""
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU)")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.halo_sites is not None and self.halo_sites < 0:
+            raise ValueError("halo_sites must be >= 0")
+        if self.halo_retry_rounds < 0:
+            raise ValueError("halo_retry_rounds must be >= 0")
+        if self.serial_threshold < 0:
+            raise ValueError("serial_threshold must be >= 0")
+
+    def resolved_workers(self) -> int:
+        """Worker count with ``0`` resolved to the available CPUs."""
+        if self.workers > 0:
+            return self.workers
+        import os
+
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+
+
+def derive_halo_sites(
+    config: LegalizerConfig, max_cell_width: int, retry_rounds: int = 3
+) -> int:
+    """Halo width guaranteeing full MLL feasibility for interior targets.
+
+    An MLL window for a target position ``tx`` spans ``[tx - Rx,
+    tx + Rx + w_t)`` (paper Section 3), and Algorithm 1 perturbs retry
+    targets by up to ``Rx * (k - 1)`` sites in round ``k``.  A halo of::
+
+        2*Rx + max_cell_width + Rx * min(max_rounds - 1, retry_rounds)
+
+    therefore keeps the *entire* window of any interior cell — including
+    its first ``retry_rounds`` retry perturbations — inside the shard
+    slice, so no MLL window is clipped by the shard boundary and no MLL
+    window reaches past the neighbor's halo into *its* interior's far
+    side.  See ``docs/parallel_engine.md`` for the full argument.
+    """
+    rounds = min(max(config.max_rounds - 1, 0), retry_rounds)
+    return 2 * config.rx + max(0, max_cell_width) + config.rx * rounds

@@ -1,0 +1,216 @@
+"""The shard executor: fan shards out to a worker pool and merge back.
+
+``ShardedLegalizer`` is the parallel counterpart of
+:class:`~repro.core.legalizer.Legalizer`:
+
+1. partition the floorplan into halo shards
+   (:mod:`repro.engine.partition`);
+2. legalize every shard with the unmodified sequential legalizer —
+   in worker processes (``workers > 1``) or in-process (``workers=1``,
+   still exercising the sharded path when ``shards > 1``);
+3. reconcile the seams (:mod:`repro.engine.reconcile`) so the merged
+   placement passes the independent checker exactly like a sequential
+   run.
+
+Determinism: the partition is a pure function of the design and the
+configs; every shard runs with a seed derived from ``config.seed`` and
+its shard id; deltas are applied in shard-id order.  Worker scheduling
+therefore cannot influence the final coordinates — ``workers=N`` is
+bit-reproducible for fixed seed and fixed shard count.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.config import LegalizerConfig
+from repro.core.instrumentation import MllTelemetry
+from repro.core.legalizer import LegalizationResult, Legalizer
+from repro.db.design import Design
+from repro.engine.config import EngineConfig
+from repro.engine.partition import Partition, Shard, partition_design
+from repro.engine.reconcile import SeamReport, reconcile
+from repro.engine.shard_worker import (
+    ShardCellSpec,
+    ShardOutcome,
+    ShardTask,
+    run_shard,
+    shard_seed,
+)
+
+
+@dataclass(slots=True)
+class EngineResult:
+    """Outcome of one engine run."""
+
+    result: LegalizationResult
+    """Merged run statistics (shards + seam pass); ``rounds`` is the
+    max across shards, ``runtime_s`` their summed CPU time."""
+
+    workers: int = 1
+    num_shards: int = 1
+    halo_sites: int = 0
+    parallel: bool = False
+    """False when the run fell back to the plain sequential path."""
+
+    seam: SeamReport = field(default_factory=SeamReport)
+    shard_stats: list[LegalizationResult] = field(default_factory=list)
+    """Per-shard statistics in shard-id order (empty on fallback)."""
+
+    wall_time_s: float = 0.0
+    """End-to-end wall-clock of the engine run (partition + workers +
+    reconcile), the number scaling benchmarks should compare."""
+
+
+class ShardedLegalizer:
+    """Sharded parallel Algorithm 1 bound to one design.
+
+    ``telemetry`` (optional, like the sequential legalizer's) receives
+    merged per-call records from every worker and from the seam pass.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        config: LegalizerConfig | None = None,
+        engine: EngineConfig | None = None,
+    ) -> None:
+        self.design = design
+        self.config = config if config is not None else LegalizerConfig()
+        self.engine = engine if engine is not None else EngineConfig()
+        self.telemetry: MllTelemetry | None = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> EngineResult:
+        """Legalize all unplaced movable cells of the design."""
+        t0 = time.perf_counter()
+        todo = [c for c in self.design.movable_cells() if not c.is_placed]
+        if len(todo) < self.engine.serial_threshold:
+            return self._run_sequential(t0)
+        partition = partition_design(self.design, self.config, self.engine)
+        if len(partition.shards) <= 1:
+            return self._run_sequential(t0)
+        return self._run_sharded(partition, t0)
+
+    # ------------------------------------------------------------------
+    def _run_sequential(self, t0: float) -> EngineResult:
+        """The serial in-process fallback: plain Algorithm 1."""
+        legalizer = Legalizer(self.design, self.config)
+        if self.telemetry is not None:
+            legalizer.mll.telemetry = self.telemetry
+        result = legalizer.run()
+        return EngineResult(
+            result=result,
+            workers=1,
+            num_shards=1,
+            parallel=False,
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    def _run_sharded(self, partition: Partition, t0: float) -> EngineResult:
+        design = self.design
+        by_id = {c.id: c for c in design.cells}
+        tasks = [
+            self._make_task(shard, partition, by_id)
+            for shard in partition.shards
+            if shard.cell_ids
+        ]
+        workers = min(self.engine.resolved_workers(), max(1, len(tasks)))
+
+        if workers <= 1:
+            outcomes = [run_shard(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run_shard, tasks))
+        outcomes.sort(key=lambda o: o.shard_id)
+
+        if self.telemetry is not None:
+            for outcome in outcomes:
+                self.telemetry.merge(
+                    MllTelemetry(records=list(outcome.telemetry_records))
+                )
+
+        deferred = [by_id[cid] for cid in partition.deferred_cell_ids]
+        report = reconcile(
+            design,
+            outcomes,
+            config=self.config,
+            deferred_cells=deferred,
+            telemetry=self.telemetry,
+            validate=self.engine.validate,
+        )
+
+        total = LegalizationResult()
+        for outcome in outcomes:
+            total.merge(outcome.stats)
+        # Deltas rejected at the seams were placed by their shard but
+        # not on the master design; the seam pass re-placed (and
+        # re-counted) them, so drop the shard-side counts first.
+        total.placed -= report.conflicts
+        total.failed_cells = []
+        total.merge(report.seam_stats)
+
+        return EngineResult(
+            result=total,
+            workers=workers,
+            num_shards=len(partition.shards),
+            halo_sites=partition.halo_sites,
+            parallel=True,
+            seam=report,
+            shard_stats=[o.stats for o in outcomes],
+            wall_time_s=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_task(
+        self, shard: Shard, partition: Partition, by_id: dict
+    ) -> ShardTask:
+        fp = self.design.floorplan
+        specs = tuple(
+            ShardCellSpec(
+                cell_id=cid,
+                name=by_id[cid].name,
+                width=by_id[cid].width,
+                height=by_id[cid].height,
+                bottom_rail=by_id[cid].master.bottom_rail,
+                gp_x=by_id[cid].gp_x,
+                gp_y=by_id[cid].gp_y,
+            )
+            for cid in shard.cell_ids
+        )
+        frozen = tuple(
+            c.rect
+            for c in self.design.placed_cells()
+            if c.x + c.width > shard.slice_x0 and c.x < shard.slice_x1
+        )
+        return ShardTask(
+            shard_id=shard.id,
+            seed=shard_seed(self.config.seed, shard.id),
+            config=self.config,
+            num_rows=fp.num_rows,
+            row_width=fp.row_width,
+            site_width_um=fp.site_width_um,
+            site_height_um=fp.site_height_um,
+            first_rail=fp.rows[0].bottom_rail,
+            slice_x0=shard.slice_x0,
+            slice_x1=shard.slice_x1,
+            blockages=tuple(fp.blockages),
+            fences=tuple(fp.fences),
+            frozen_rects=frozen,
+            cells=specs,
+            collect_telemetry=self.telemetry is not None,
+        )
+
+
+def legalize_sharded(
+    design: Design,
+    config: LegalizerConfig | None = None,
+    engine: EngineConfig | None = None,
+    telemetry: MllTelemetry | None = None,
+) -> EngineResult:
+    """One-call convenience wrapper around :class:`ShardedLegalizer`."""
+    sharded = ShardedLegalizer(design, config, engine)
+    sharded.telemetry = telemetry
+    return sharded.run()

@@ -1,0 +1,78 @@
+"""LegalizationResult aggregation (merge / __iadd__)."""
+
+from repro.core import LegalizationResult
+
+
+def sample(**overrides) -> LegalizationResult:
+    base = dict(
+        placed=10,
+        direct_placements=6,
+        mll_successes=4,
+        mll_failures=2,
+        rounds=3,
+        runtime_s=1.5,
+        insertion_points_evaluated=40,
+        failed_cells=["a"],
+    )
+    base.update(overrides)
+    return LegalizationResult(**base)
+
+
+class TestMerge:
+    def test_counters_add_up(self):
+        total = sample().merge(sample(placed=5, direct_placements=1,
+                                      mll_successes=3, mll_failures=1,
+                                      insertion_points_evaluated=7))
+        assert total.placed == 15
+        assert total.direct_placements == 7
+        assert total.mll_successes == 7
+        assert total.mll_failures == 3
+        assert total.insertion_points_evaluated == 47
+        assert total.mll_calls == 10
+
+    def test_rounds_take_the_maximum(self):
+        assert sample(rounds=3).merge(sample(rounds=7)).rounds == 7
+        assert sample(rounds=9).merge(sample(rounds=2)).rounds == 9
+
+    def test_runtime_accumulates(self):
+        total = sample(runtime_s=1.0).merge(sample(runtime_s=2.5))
+        assert total.runtime_s == 3.5
+
+    def test_failed_cells_concatenate_in_order(self):
+        total = sample(failed_cells=["a", "b"]).merge(
+            sample(failed_cells=["c"])
+        )
+        assert total.failed_cells == ["a", "b", "c"]
+
+    def test_merge_into_empty_is_identity(self):
+        total = LegalizationResult()
+        total.merge(sample())
+        assert total == sample()
+
+    def test_merge_returns_self_in_place(self):
+        total = sample()
+        assert total.merge(sample()) is total
+
+
+class TestIAdd:
+    def test_iadd_is_merge(self):
+        a = sample()
+        b = sample(placed=1, rounds=9, failed_cells=["z"])
+        a += b
+        assert a.placed == 11
+        assert a.rounds == 9
+        assert a.failed_cells == ["a", "z"]
+
+    def test_iadd_does_not_mutate_rhs(self):
+        a, b = sample(), sample()
+        a += b
+        assert b == sample()
+
+    def test_iadd_rejects_foreign_types(self):
+        a = sample()
+        try:
+            a += 3  # type: ignore[operator]
+        except TypeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected TypeError")

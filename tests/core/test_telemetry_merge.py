@@ -1,0 +1,65 @@
+"""Process-safe telemetry aggregation (MllTelemetry.merge)."""
+
+import pickle
+import random
+
+from repro.core import MllTelemetry
+from repro.core.instrumentation import MllCallRecord
+
+
+def make_records(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        MllCallRecord(
+            success=rng.random() < 0.8,
+            target_width=rng.randint(1, 8),
+            target_height=rng.randint(1, 3),
+            local_cells=rng.randint(0, 40),
+            insertion_points=rng.randint(0, 60),
+            cells_pushed=rng.randint(0, 10),
+            cost_um=rng.uniform(0.0, 5.0),
+            runtime_s=rng.uniform(0.0, 1e-3),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestMerge:
+    def test_merged_aggregates_equal_single_process_aggregates(self):
+        """Splitting a record stream across workers and merging back must
+        reproduce the single-process summary exactly (the workers=1
+        equivalence the engine relies on)."""
+        records = make_records(60, seed=3)
+        whole = MllTelemetry(records=list(records))
+
+        part_a = MllTelemetry(records=list(records[:25]))
+        part_b = MllTelemetry(records=list(records[25:]))
+        merged = MllTelemetry()
+        merged.merge(part_a).merge(part_b)
+
+        assert merged.summary() == whole.summary()
+        assert merged.histogram("local_cells") == whole.histogram("local_cells")
+
+    def test_merge_returns_self_and_iadd_works(self):
+        a = MllTelemetry(records=make_records(3))
+        b = MllTelemetry(records=make_records(2, seed=9))
+        assert a.merge(b) is a
+        assert len(a.records) == 5
+        a += MllTelemetry(records=make_records(1, seed=5))
+        assert len(a.records) == 6
+
+    def test_merge_empty_is_noop(self):
+        a = MllTelemetry(records=make_records(4))
+        before = a.summary()
+        a.merge(MllTelemetry())
+        assert a.summary() == before
+
+    def test_records_round_trip_through_pickle(self):
+        """Worker-side records cross the process boundary via pickle."""
+        telemetry = MllTelemetry(records=make_records(10, seed=7))
+        clone = pickle.loads(pickle.dumps(telemetry))
+        assert clone.summary() == telemetry.summary()
+
+        merged = MllTelemetry()
+        merged.merge(clone)
+        assert merged.summary() == telemetry.summary()

@@ -1,0 +1,128 @@
+"""End-to-end engine runs (repro.engine.executor)."""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.checker import displacement_stats, verify_placement
+from repro.core import Legalizer, LegalizerConfig, MllTelemetry
+from repro.engine import EngineConfig, ShardedLegalizer, legalize_sharded
+
+GEN = GeneratorConfig(num_cells=1200, target_density=0.5, seed=4)
+CFG = LegalizerConfig(seed=1)
+
+
+def fresh_design():
+    return generate_design(GEN)
+
+
+def coords(design):
+    return [(c.name, c.x, c.y) for c in design.cells]
+
+
+class TestEndToEnd:
+    def test_workers2_passes_checker_and_matches_sequential(self):
+        seq = fresh_design()
+        seq_result = Legalizer(seq, CFG).run()
+        seq_disp = displacement_stats(seq).avg_sites
+
+        par = fresh_design()
+        engine_result = legalize_sharded(
+            par, CFG, EngineConfig(workers=2, shards=2, serial_threshold=0)
+        )
+
+        assert engine_result.parallel
+        assert engine_result.workers == 2
+        assert verify_placement(par) == []
+        assert engine_result.result.placed == seq_result.placed
+        assert engine_result.result.failed_cells == []
+        par_disp = displacement_stats(par).avg_sites
+        assert par_disp == pytest.approx(seq_disp, rel=0.05)
+
+    def test_workers2_is_bit_reproducible(self):
+        runs = []
+        for _ in range(2):
+            design = fresh_design()
+            legalize_sharded(
+                design, CFG, EngineConfig(workers=2, shards=2, serial_threshold=0)
+            )
+            runs.append(coords(design))
+        assert runs[0] == runs[1]
+
+    def test_worker_count_does_not_change_coordinates(self):
+        """Only the shard count shapes the result; worker scheduling
+        must not (workers=1 runs the same shards in-process)."""
+        serial = fresh_design()
+        legalize_sharded(
+            serial, CFG, EngineConfig(workers=1, shards=3, serial_threshold=0)
+        )
+        parallel = fresh_design()
+        legalize_sharded(
+            parallel, CFG, EngineConfig(workers=2, shards=3, serial_threshold=0)
+        )
+        assert coords(serial) == coords(parallel)
+
+    def test_fenced_design_end_to_end(self):
+        design = generate_design(
+            GeneratorConfig(
+                num_cells=900, target_density=0.5, seed=6, fence_count=2
+            )
+        )
+        engine_result = legalize_sharded(
+            design, CFG, EngineConfig(workers=1, shards=3, serial_threshold=0)
+        )
+        assert engine_result.seam.deferred > 0
+        assert verify_placement(design) == []
+
+
+class TestFallbacks:
+    def test_small_designs_fall_back_to_sequential(self):
+        design = fresh_design()
+        engine_result = legalize_sharded(
+            design, CFG, EngineConfig(workers=4, serial_threshold=10_000)
+        )
+        assert not engine_result.parallel
+        assert engine_result.num_shards == 1
+        assert verify_placement(design) == []
+
+    def test_fallback_matches_plain_sequential_exactly(self):
+        ref = fresh_design()
+        Legalizer(ref, CFG).run()
+        via_engine = fresh_design()
+        engine_result = legalize_sharded(
+            via_engine, CFG, EngineConfig(workers=1, shards=1)
+        )
+        assert not engine_result.parallel
+        assert coords(ref) == coords(via_engine)
+
+    def test_single_shard_request_falls_back(self):
+        design = fresh_design()
+        engine_result = legalize_sharded(
+            design, CFG, EngineConfig(workers=1, shards=1, serial_threshold=0)
+        )
+        assert not engine_result.parallel
+
+
+class TestAccounting:
+    def test_placed_count_is_exact_not_double_counted(self):
+        design = fresh_design()
+        engine_result = legalize_sharded(
+            design, CFG, EngineConfig(workers=1, shards=4, serial_threshold=0)
+        )
+        movable = sum(1 for _ in design.movable_cells())
+        actually_placed = sum(1 for c in design.movable_cells() if c.is_placed)
+        assert engine_result.result.placed == actually_placed == movable
+        assert engine_result.seam.applied + engine_result.seam.conflicts == sum(
+            s.placed for s in engine_result.shard_stats
+        )
+
+    def test_merged_telemetry_matches_merged_result(self):
+        design = fresh_design()
+        telemetry = MllTelemetry()
+        sharded = ShardedLegalizer(
+            design, CFG, EngineConfig(workers=1, shards=3, serial_threshold=0)
+        )
+        sharded.telemetry = telemetry
+        engine_result = sharded.run()
+        summary = telemetry.summary()
+        assert summary.calls == engine_result.result.mll_calls
+        assert summary.successes == engine_result.result.mll_successes

@@ -47,6 +47,35 @@ class TestLegalize:
     def test_relaxed_flag(self, generated):
         assert main(["legalize", str(generated), "--relaxed"]) == 0
 
+    def test_workers_flag_small_design_falls_back(self, generated, capsys):
+        """120 cells sit below the serial threshold: the engine must
+        report the sequential fallback and still legalize."""
+        rc = main(["legalize", str(generated), "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sequential fallback" in out
+        assert "violations 0" in out
+
+    def test_workers_and_shards_flags_parallel_path(
+        self, generated, tmp_path, capsys
+    ):
+        out = tmp_path / "par"
+        rc = main(
+            [
+                "legalize", str(generated),
+                "--workers", "2",
+                "--shards", "2",
+                "--serial-threshold", "0",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "engine: shards=2 workers=2" in captured
+        assert "violations 0" in captured
+        assert main(["check", str(out / "clitest.aux")]) == 0
+        capsys.readouterr()
+
 
 class TestCheck:
     def test_illegal_input_reported(self, generated, capsys):
