@@ -22,6 +22,7 @@ Quickstart::
 
 from repro.checker import assert_legal, make_report, verify_placement
 from repro.core import (
+    AuditError,
     EvaluationMode,
     LegalizationError,
     LegalizationResult,
@@ -35,6 +36,7 @@ from repro.db import (
     CellMaster,
     Design,
     Floorplan,
+    Journal,
     Library,
     Net,
     Netlist,
@@ -43,6 +45,7 @@ from repro.db import (
     Rail,
     Row,
     Segment,
+    Transaction,
 )
 from repro.engine import (
     EngineConfig,
@@ -54,6 +57,7 @@ from repro.engine import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditError",
     "Cell",
     "CellMaster",
     "Design",
@@ -61,6 +65,7 @@ __all__ = [
     "EngineResult",
     "EvaluationMode",
     "Floorplan",
+    "Journal",
     "LegalizationError",
     "LegalizationResult",
     "Legalizer",
@@ -75,6 +80,7 @@ __all__ = [
     "Row",
     "Segment",
     "ShardedLegalizer",
+    "Transaction",
     "assert_legal",
     "legalize",
     "legalize_sharded",

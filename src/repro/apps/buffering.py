@@ -15,6 +15,7 @@ from repro.core.config import LegalizerConfig
 from repro.core.mll import MultiRowLocalLegalizer
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.journal import Transaction
 from repro.db.library import CellMaster
 from repro.db.netlist import Net, Pin
 
@@ -54,16 +55,17 @@ def insert_buffer(
         py = sum(p.position()[1] for p in sink_pins) / len(sink_pins)
         position = (px - buffer_master.width / 2, py - buffer_master.height / 2)
 
-    buffer = design.add_cell(
-        buffer_master,
-        gp_x=position[0],
-        gp_y=position[1],
-        name=f"buf_{net.name}",
-    )
     mll = MultiRowLocalLegalizer(design, config)
-    if not mll.try_place(buffer, position[0], position[1]).success:
-        design.cells.remove(buffer)
-        return BufferResult(success=False)
+    with Transaction(design) as txn:
+        buffer = design.add_cell(
+            buffer_master,
+            gp_x=position[0],
+            gp_y=position[1],
+            name=f"buf_{net.name}",
+        )
+        if not mll.try_place(buffer, position[0], position[1]).success:
+            txn.rollback()  # removes the buffer cell and its id again
+            return BufferResult(success=False)
 
     buf_pin_out = Pin(
         cell=buffer, dx=buffer.width / 2, dy=buffer.height / 2

@@ -19,6 +19,7 @@ from repro.core.config import LegalizerConfig
 from repro.core.mll import MultiRowLocalLegalizer
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.journal import Transaction
 
 
 def move_cell(
@@ -31,24 +32,20 @@ def move_cell(
     """Move *cell* near ``(x, y)``, keeping the placement legal.
 
     The cell is unplaced, then re-inserted through MLL at the desired
-    position.  On failure the original position is restored exactly and
-    False is returned.
+    position — all inside one :class:`~repro.db.journal.Transaction`: on
+    failure (or any exception) the journal restores the original state
+    exactly, including the cell's prior segment-list slots, and False is
+    returned.
     """
     if not cell.is_placed:
         raise ValueError(f"cell {cell.name!r} must be placed to be moved")
-    old_x, old_y = cell.x, cell.y
-    assert old_x is not None and old_y is not None
-    design.unplace(cell)
     mll = MultiRowLocalLegalizer(design, config)
-    if mll.try_place(cell, x, y).success:
-        return True
-    design.place(
-        cell,
-        old_x,
-        old_y,
-        power_aligned=False,  # restoring a previously legal position
-    )
-    return False
+    with Transaction(design) as txn:
+        design.unplace(cell)
+        if mll.try_place(cell, x, y).success:
+            return True
+        txn.rollback()
+        return False
 
 
 @dataclass(frozen=True, slots=True)

@@ -13,6 +13,7 @@ from repro.core.config import LegalizerConfig
 from repro.core.mll import MultiRowLocalLegalizer
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.journal import Transaction
 from repro.db.library import CellMaster
 
 
@@ -24,24 +25,29 @@ def resize_cell(
 ) -> bool:
     """Swap *cell*'s master and re-legalize it near its old position.
 
-    Returns True on success.  On failure the design is unchanged (old
-    master, old position).  The cell may legally shift or change rows —
-    whatever the cheapest insertion point dictates.
+    Returns True on success.  On failure the enclosing
+    :class:`~repro.db.journal.Transaction` restores the design exactly
+    (old master, old position, old segment-list slots).  The cell may
+    legally shift or change rows — whatever the cheapest insertion point
+    dictates.
     """
     if not cell.is_placed:
         raise ValueError(f"cell {cell.name!r} must be placed to be resized")
-    old_master = cell.master
     old_x, old_y = cell.x, cell.y
     assert old_x is not None and old_y is not None
 
-    design.unplace(cell)
-    cell.master = new_master
     mll = MultiRowLocalLegalizer(design, config)
-    if mll.try_place(cell, old_x, old_y).success:
-        return True
-    cell.master = old_master
-    design.place(cell, old_x, old_y, power_aligned=False)
-    return False
+    with Transaction(design) as txn:
+        design.unplace(cell)
+        old_master = cell.master
+        cell.master = new_master
+        txn.journal.note_master_swap(
+            cell, old_master, site="sizing.master_swap"
+        )
+        if mll.try_place(cell, old_x, old_y).success:
+            return True
+        txn.rollback()
+        return False
 
 
 def upsize_sweep(

@@ -17,6 +17,7 @@ from repro.core.config import LegalizerConfig
 from repro.core.mll import MultiRowLocalLegalizer
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.journal import Transaction
 
 
 def swap_cells(
@@ -28,7 +29,10 @@ def swap_cells(
     """Swap the neighborhoods of placed cells *a* and *b*.
 
     Returns True when both cells were re-placed near each other's old
-    positions; on any failure the design is restored exactly.
+    positions; on any failure the enclosing
+    :class:`~repro.db.journal.Transaction` restores the design exactly
+    (no full-design snapshot needed — the journal undoes only what the
+    swap touched).
     """
     if not a.is_placed or not b.is_placed:
         raise ValueError("both cells must be placed to swap")
@@ -36,16 +40,16 @@ def swap_cells(
         raise ValueError("cannot swap a cell with itself")
     if a.region != b.region:
         return False  # fence membership cannot change in a swap
-    snapshot = design.snapshot_positions()
     ax, ay = float(a.x), float(a.y)  # type: ignore[arg-type]
     bx, by = float(b.x), float(b.y)  # type: ignore[arg-type]
     mll = MultiRowLocalLegalizer(design, config)
-    design.unplace(a)
-    design.unplace(b)
-    if mll.try_place(a, bx, by).success and mll.try_place(b, ax, ay).success:
-        return True
-    design.restore_positions(snapshot)
-    return False
+    with Transaction(design) as txn:
+        design.unplace(a)
+        design.unplace(b)
+        if mll.try_place(a, bx, by).success and mll.try_place(b, ax, ay).success:
+            return True
+        txn.rollback()
+        return False
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,15 +141,15 @@ def swap_pass(
             + abs(c.y + c.height / 2 - target[1]),
         )
         tried += 1
-        snapshot = design.snapshot_positions()
-        if not swap_cells(design, cell, partner, config):
-            continue
-        hpwl_new = design.hpwl_um()
-        if hpwl_new < hpwl_now:
-            hpwl_now = hpwl_new
-            kept += 1
-        else:
-            design.restore_positions(snapshot)
+        with Transaction(design) as txn:
+            if not swap_cells(design, cell, partner, config):
+                continue
+            hpwl_new = design.hpwl_um()
+            if hpwl_new < hpwl_now:
+                hpwl_now = hpwl_new
+                kept += 1
+            else:
+                txn.rollback()  # legal but not an improvement: undo
     return SwapStats(
         pairs_tried=tried,
         swaps_kept=kept,

@@ -10,6 +10,7 @@ from repro.checker.legality import (
     Violation,
     ViolationKind,
     assert_legal,
+    verify_cells,
     verify_placement,
 )
 from repro.checker.metrics import (
@@ -31,5 +32,6 @@ __all__ = [
     "displacement_stats",
     "hpwl_stats",
     "make_report",
+    "verify_cells",
     "verify_placement",
 ]

@@ -190,6 +190,143 @@ def _check_registration(design: Design, placed: list[Cell]) -> list[Violation]:
     return violations
 
 
+def verify_cells(
+    design: Design,
+    cells: list[Cell],
+    power_aligned: bool = True,
+) -> list[Violation]:
+    """Legality audit restricted to *cells* and their segment neighborhood.
+
+    The local counterpart of :func:`verify_placement`, used by the MLL
+    post-realization audit (``LegalizerConfig.audit``): it re-checks, for
+    every given cell, constraints 2-4 (containment, fence region, rail
+    alignment) and, for every segment such a cell spans, that the ordered
+    cell list is x-sorted, overlap-free and consistent with the cells'
+    coordinates — which covers every neighbor a ripple push may have
+    moved.  Cost is proportional to the touched segments' cell lists, not
+    the design.
+    """
+    violations: list[Violation] = []
+    fp = design.floorplan
+    involved: dict[int, object] = {}
+    audited: list[Cell] = []
+    seen_ids: set[int] = set()
+    for cell in cells:
+        if cell.id in seen_ids:
+            continue
+        seen_ids.add(cell.id)
+        if not cell.is_placed:
+            violations.append(
+                Violation(
+                    ViolationKind.UNPLACED,
+                    (cell.name,),
+                    f"cell {cell.name!r} has no position",
+                )
+            )
+            continue
+        audited.append(cell)
+        assert cell.x is not None and cell.y is not None
+        if cell.y < 0 or cell.y + cell.height > fp.num_rows:
+            violations.append(
+                Violation(
+                    ViolationKind.OUT_OF_BOUNDS,
+                    (cell.name,),
+                    f"cell {cell.name!r} rows [{cell.y},{cell.y + cell.height})"
+                    f" outside [0,{fp.num_rows})",
+                )
+            )
+            continue
+        for row in cell.rows_spanned():
+            seg = fp.segment_containing_span(row, cell.x, cell.width)
+            if seg is None:
+                violations.append(
+                    Violation(
+                        ViolationKind.NOT_IN_SEGMENT,
+                        (cell.name,),
+                        f"cell {cell.name!r} span [{cell.x},{cell.x + cell.width})"
+                        f" not inside a segment of row {row}",
+                    )
+                )
+                continue
+            if seg.region != cell.region:
+                violations.append(
+                    Violation(
+                        ViolationKind.WRONG_REGION,
+                        (cell.name,),
+                        f"cell {cell.name!r} (region {cell.region}) occupies "
+                        f"a region-{seg.region} segment in row {row}",
+                    )
+                )
+            involved[seg.id] = seg
+        if power_aligned and not design.row_compatible(cell, cell.y):
+            violations.append(
+                Violation(
+                    ViolationKind.RAIL_MISALIGNED,
+                    (cell.name,),
+                    f"even-height cell {cell.name!r} starts on row {cell.y} "
+                    f"with mismatched bottom rail",
+                )
+            )
+
+    # Segment-list invariants over every touched segment: x-sorted,
+    # pairwise non-overlapping, and each audited cell registered exactly
+    # once per row it spans.
+    counts: dict[int, int] = {c.id: 0 for c in audited}
+    reported: set[tuple[int, int]] = set()
+    for seg in involved.values():
+        prev = None
+        for c in seg.cells:
+            if c.id in counts:
+                counts[c.id] += 1
+            if c.x is None:
+                violations.append(
+                    Violation(
+                        ViolationKind.BAD_REGISTRATION,
+                        (c.name,),
+                        f"unplaced cell {c.name!r} registered in segment "
+                        f"{seg.id}",
+                    )
+                )
+                prev = None
+                continue
+            if prev is not None:
+                assert prev.x is not None
+                if c.x < prev.x:
+                    violations.append(
+                        Violation(
+                            ViolationKind.BAD_REGISTRATION,
+                            (c.name,),
+                            f"segment {seg.id} cell list is not x-sorted at "
+                            f"{c.name!r}",
+                        )
+                    )
+                elif prev.x + prev.width > c.x:
+                    key = (min(prev.id, c.id), max(prev.id, c.id))
+                    if key not in reported:
+                        reported.add(key)
+                        violations.append(
+                            Violation(
+                                ViolationKind.OVERLAP,
+                                (prev.name, c.name),
+                                f"cells {prev.name!r} and {c.name!r} overlap "
+                                f"in row {seg.row_index}",
+                            )
+                        )
+            prev = c
+    for cell in audited:
+        if counts.get(cell.id, 0) != cell.height and cell.y is not None \
+                and 0 <= cell.y and cell.y + cell.height <= fp.num_rows:
+            violations.append(
+                Violation(
+                    ViolationKind.BAD_REGISTRATION,
+                    (cell.name,),
+                    f"cell {cell.name!r} registered {counts.get(cell.id, 0)} "
+                    f"times, expected {cell.height}",
+                )
+            )
+    return violations
+
+
 def assert_legal(
     design: Design, power_aligned: bool = True, require_all_placed: bool = True
 ) -> None:

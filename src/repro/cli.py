@@ -27,7 +27,12 @@ from repro.baselines import (
 )
 from repro.bench import GeneratorConfig, generate_design
 from repro.checker import displacement_stats, hpwl_stats, verify_placement
-from repro.core import EvaluationMode, Legalizer, LegalizerConfig
+from repro.core import (
+    EvaluationMode,
+    LegalizationError,
+    Legalizer,
+    LegalizerConfig,
+)
 from repro.io import read_bookshelf, read_lefdef, write_bookshelf, write_lefdef
 
 
@@ -66,12 +71,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _make_config(args: argparse.Namespace) -> LegalizerConfig:
+    kwargs = {}
+    if getattr(args, "audit", False):
+        # Only force the flag when requested; otherwise keep the
+        # REPRO_AUDIT environment default.
+        kwargs["audit"] = True
     return LegalizerConfig(
         rx=args.rx,
         ry=args.ry,
         seed=args.seed,
         power_aligned=not args.relaxed,
         evaluation=EvaluationMode.EXACT if args.exact else EvaluationMode.APPROX,
+        **kwargs,
     )
 
 
@@ -80,41 +91,62 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
     design.reset_placement()
     config = _make_config(args)
     t0 = time.perf_counter()
-    if args.algorithm == "mll" and (args.workers != 1 or args.shards):
-        from repro.engine import EngineConfig, legalize_sharded
+    try:
+        if args.algorithm == "mll" and (args.workers != 1 or args.shards):
+            from repro.engine import EngineConfig, legalize_sharded
 
-        engine_result = legalize_sharded(
-            design,
-            config,
-            EngineConfig(
-                workers=args.workers,
-                shards=args.shards,
-                halo_sites=args.halo,
-                serial_threshold=args.serial_threshold,
-            ),
-        )
-        if engine_result.parallel:
-            seam = engine_result.seam
-            print(
-                f"engine: shards={engine_result.num_shards} "
-                f"workers={engine_result.workers} "
-                f"halo={engine_result.halo_sites} "
-                f"seam_cells={seam.seam_cells} "
-                f"(conflicts {seam.conflicts}, shard_failures "
-                f"{seam.shard_failures}, deferred {seam.deferred})"
+            engine_result = legalize_sharded(
+                design,
+                config,
+                EngineConfig(
+                    workers=args.workers,
+                    shards=args.shards,
+                    halo_sites=args.halo,
+                    serial_threshold=args.serial_threshold,
+                ),
             )
+            if engine_result.parallel:
+                seam = engine_result.seam
+                print(
+                    f"engine: shards={engine_result.num_shards} "
+                    f"workers={engine_result.workers} "
+                    f"halo={engine_result.halo_sites} "
+                    f"seam_cells={seam.seam_cells} "
+                    f"(conflicts {seam.conflicts}, shard_failures "
+                    f"{seam.shard_failures}, deferred {seam.deferred})"
+                )
+            else:
+                print("engine: sequential fallback (below serial threshold)")
+        elif args.algorithm == "mll":
+            Legalizer(design, config).run()
+        elif args.algorithm == "optimal":
+            OptimalLegalizer(design, config).run()
+        elif args.algorithm == "milp":
+            MilpLegalizer(design, config).run()
+        elif args.algorithm == "abacus":
+            abacus_legalize(design, power_aligned=not args.relaxed)
         else:
-            print("engine: sequential fallback (below serial threshold)")
-    elif args.algorithm == "mll":
-        Legalizer(design, config).run()
-    elif args.algorithm == "optimal":
-        OptimalLegalizer(design, config).run()
-    elif args.algorithm == "milp":
-        MilpLegalizer(design, config).run()
-    elif args.algorithm == "abacus":
-        abacus_legalize(design, power_aligned=not args.relaxed)
-    else:
-        tetris_legalize(design, power_aligned=not args.relaxed)
+            tetris_legalize(design, power_aligned=not args.relaxed)
+    except LegalizationError as exc:
+        # The exception carries the partial result of the failed run:
+        # report what *was* achieved instead of dying with a traceback.
+        partial = exc.result
+        if partial is not None:
+            names = ", ".join(partial.failed_cells[:5])
+            more = (
+                f" (+{len(partial.failed_cells) - 5} more)"
+                if len(partial.failed_cells) > 5
+                else ""
+            )
+            print(
+                f"legalization FAILED after {partial.rounds} rounds: "
+                f"{partial.placed} placed "
+                f"({partial.direct_placements} direct, "
+                f"{partial.mll_successes} mll), "
+                f"{len(partial.failed_cells)} stuck: {names}{more}"
+            )
+        else:  # pragma: no cover - foreign raiser without a result
+            print(f"legalization FAILED: {exc}")
     runtime = time.perf_counter() - t0
 
     violations = verify_placement(
@@ -234,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop the power-rail alignment constraint")
     p.add_argument("--exact", action="store_true",
                    help="exact insertion point evaluation")
+    p.add_argument("--audit", action="store_true",
+                   help="re-check every MLL insertion with the "
+                        "independent legality checker (rolls back and "
+                        "aborts on a violation)")
     p.add_argument("--rx", type=int, default=30)
     p.add_argument("--ry", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)

@@ -30,10 +30,11 @@ from repro.core.legalizer import (
     legalize,
 )
 from repro.core.local_region import LocalRegion, LocalSegment, extract_local_region
-from repro.core.mll import MllResult, MultiRowLocalLegalizer
+from repro.core.mll import AuditError, MllResult, MultiRowLocalLegalizer
 from repro.core.realization import RealizationError, realize_insertion
 
 __all__ = [
+    "AuditError",
     "EvaluatedPoint",
     "EvaluationMode",
     "InsertionInterval",

@@ -9,8 +9,43 @@ off).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from enum import Enum
+
+
+def _audit_default() -> bool:
+    """Default of :attr:`LegalizerConfig.audit`.
+
+    Reads the ``REPRO_AUDIT`` environment variable so test harnesses can
+    switch the post-realization legality audit on globally (the repo's
+    ``tests/conftest.py`` does) while production runs default to off.
+    """
+    return os.environ.get("REPRO_AUDIT", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def _coerce_site_count(name: str, value) -> int:
+    """Normalize a window half-size to an ``int`` number of sites.
+
+    ``random.Random.randint`` (used for the retry amplitudes of
+    Algorithm 1, ``Rand_x(k) ∈ [-Rx·(k-1), Rx·(k-1)]``) requires integer
+    bounds, so a float config like ``rx=30.5`` would crash in retry round
+    k >= 2.  Integral floats (``30.0``) and other integral numbers are
+    coerced; anything fractional is a configuration error reported at
+    construction time instead.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer number of sites")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise ValueError(
+        f"{name} must be an integral number of sites (got {value!r}); "
+        f"retry amplitudes Rx·(k-1)/Ry·(k-1) feed random integer draws"
+    )
 
 
 class CellOrder(Enum):
@@ -78,7 +113,20 @@ class LegalizerConfig:
     the target farther than this are rejected; MLL fails when none
     remain.  ``None`` (default) disables the cap, matching the paper."""
 
+    audit: bool = field(default_factory=_audit_default)
+    """Run the independent legality checker over the realized region
+    after every successful MLL insertion (:func:`repro.checker.
+    verify_cells`).  A violation raises :class:`~repro.core.mll.
+    AuditError` *after* the journal has rolled the insertion back, so a
+    realization bug can never corrupt the design silently.  Defaults to
+    the ``REPRO_AUDIT`` environment variable (the test suite switches it
+    on); production runs default to off."""
+
     def __post_init__(self) -> None:
+        # Normalize rx/ry first (frozen dataclass: go through the
+        # descriptor machinery explicitly).
+        object.__setattr__(self, "rx", _coerce_site_count("rx", self.rx))
+        object.__setattr__(self, "ry", _coerce_site_count("ry", self.ry))
         if self.rx < 1 or self.ry < 0:
             raise ValueError("rx must be >= 1 and ry >= 0")
         if self.max_rounds < 1:

@@ -19,10 +19,23 @@ from repro.core.config import CellOrder, LegalizerConfig
 from repro.core.mll import MultiRowLocalLegalizer
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.journal import Transaction
 
 
 class LegalizationError(Exception):
-    """The driver exhausted its retry budget without placing every cell."""
+    """The driver exhausted its retry budget without placing every cell.
+
+    Carries the partial :class:`LegalizationResult` in ``result`` so
+    callers (the CLI, engine shard workers) can report placed counts and
+    telemetry from the failed round instead of losing them; its
+    ``failed_cells`` names the cells still unplaced.
+    """
+
+    def __init__(
+        self, message: str, result: "LegalizationResult | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.result = result
 
 
 @dataclass(slots=True)
@@ -113,14 +126,17 @@ class Legalizer:
                 result.runtime_s = time.perf_counter() - t0
                 raise LegalizationError(
                     f"{len(unplaced)} cells unplaced after {cfg.max_rounds} "
-                    f"retry rounds on {self.design.name!r}"
+                    f"retry rounds on {self.design.name!r}",
+                    result=result,
                 )
             # Amplitudes follow the paper (Rx·(k-1), Ry·(k-1)) but are
             # capped at the die size: on small dies an unbounded amplitude
             # would concentrate every clamped retry position on the die
-            # edges and never sample the interior.
-            amp_x = min(cfg.rx * (k - 1), self.design.floorplan.row_width)
-            amp_y = min(cfg.ry * (k - 1), self.design.floorplan.num_rows)
+            # edges and never sample the interior.  LegalizerConfig
+            # coerces rx/ry to ints, and int() guards against monkeypatched
+            # configs — rng.randint rejects float bounds.
+            amp_x = int(min(cfg.rx * (k - 1), self.design.floorplan.row_width))
+            amp_y = int(min(cfg.ry * (k - 1), self.design.floorplan.num_rows))
             still: list[Cell] = []
             for cell in unplaced:
                 tx = cell.gp_x + (rng.randint(-amp_x, amp_x) if amp_x else 0)
@@ -137,7 +153,14 @@ class Legalizer:
     def _try_cell(
         self, cell: Cell, tx: float, ty: float, result: LegalizationResult
     ) -> bool:
-        """Direct placement at the nearest aligned free spot, else MLL."""
+        """Direct placement at the nearest aligned free spot, else MLL.
+
+        Both paths are transactional: the direct placement is journaled
+        inside a :class:`~repro.db.journal.Transaction` (so an exception
+        — e.g. an injected fault — restores the pre-call state), and
+        :meth:`MultiRowLocalLegalizer.try_place` opens its own
+        transaction around realization.
+        """
         cfg = self.config
         pos = self.design.nearest_position(
             cell, tx, ty, power_aligned=cfg.power_aligned
@@ -152,9 +175,10 @@ class Legalizer:
         if pos is not None and self.design.can_place(
             cell, pos[0], pos[1], power_aligned=cfg.power_aligned
         ):
-            self.design.place(
-                cell, pos[0], pos[1], power_aligned=cfg.power_aligned
-            )
+            with Transaction(self.design):
+                self.design.place(
+                    cell, pos[0], pos[1], power_aligned=cfg.power_aligned
+                )
             result.direct_placements += 1
             result.placed += 1
             return True

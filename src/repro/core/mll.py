@@ -5,6 +5,13 @@ target cell near a desired position: it extracts a local region around
 the position, enumerates every valid insertion point, evaluates them, and
 realizes the cheapest one.  On failure (no feasible insertion point) the
 design is left untouched — the abort semantics Algorithm 1 relies on.
+The realization step runs inside a :class:`~repro.db.journal.Transaction`,
+so the guarantee also holds under *exceptions*: a mid-flight
+:class:`~repro.core.realization.RealizationError` (or any injected
+fault) rolls back to the exact pre-call state before propagating.  With
+``config.audit`` enabled the realized region is additionally re-checked
+by the independent checker and rolled back on any violation
+(:class:`AuditError`).
 
 The same primitive powers the incremental use cases the paper motivates
 (cell moves with instant legalization, gate sizing, buffer insertion);
@@ -25,7 +32,21 @@ from repro.core.local_region import extract_local_region
 from repro.core.realization import realize_insertion
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.journal import Transaction
 from repro.geometry import Rect
+
+
+class AuditError(Exception):
+    """The post-realization legality audit found a violation.
+
+    Raised only after the transactional journal has already rolled the
+    offending insertion back: the design is in its pre-call state when
+    this propagates.  Carries the checker's findings in ``violations``.
+    """
+
+    def __init__(self, message: str, violations: list | None = None) -> None:
+        super().__init__(message)
+        self.violations = violations if violations is not None else []
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,10 +172,39 @@ class MultiRowLocalLegalizer:
                 best = ev
         if best is None:
             return MllResult(success=False, num_insertion_points=len(points))
-        realize_insertion(design, region, best.point, target, best.target_x)
+        # Transactional realization: any exception below (a
+        # RealizationError, an audit violation, an injected fault, even a
+        # KeyboardInterrupt) rolls the design back to the exact pre-call
+        # state before propagating.
+        with Transaction(design):
+            realize_insertion(design, region, best.point, target, best.target_x)
+            if cfg.audit:
+                self._audit(region, target)
         return MllResult(
             success=True, num_insertion_points=len(points), chosen=best
         )
+
+    def _audit(self, region, target: Cell) -> None:
+        """Re-check the realized region with the independent checker.
+
+        Runs inside the realization transaction so a violation raises
+        :class:`AuditError` *after* rollback restored the pre-call state.
+        """
+        from repro.checker.legality import verify_cells
+
+        cells = [target]
+        cells.extend(c for c in region.cells if c is not target)
+        violations = verify_cells(
+            self.design, cells, power_aligned=self.config.power_aligned
+        )
+        if violations:
+            head = "; ".join(str(v) for v in violations[:5])
+            raise AuditError(
+                f"post-realization audit of {target.name!r} found "
+                f"{len(violations)} violations (insertion rolled back): "
+                f"{head}",
+                violations,
+            )
 
     def _row_predicate(self, target: Cell):
         """Bottom-row filter combining power alignment and the optional
@@ -186,12 +236,22 @@ class MultiRowLocalLegalizer:
         return own > cap
 
     def evaluate_candidates(
-        self, target: Cell, x: float, y: float, mode: EvaluationMode | None = None
+        self,
+        target: Cell,
+        x: float,
+        y: float,
+        mode: EvaluationMode | None = None,
+        apply_displacement_cap: bool = True,
     ) -> list[EvaluatedPoint]:
         """All evaluated insertion points near ``(x, y)``, without placing.
 
         A read-only variant of :meth:`try_place` used by analyses and the
-        figure benchmarks.
+        figure benchmarks.  By default the optional per-call displacement
+        cap (``config.max_target_displacement_um``) filters the candidate
+        list exactly like :meth:`try_place` rejects points — so the two
+        methods agree on feasibility.  Pass
+        ``apply_displacement_cap=False`` to see the uncapped candidate
+        set (the figure benchmarks sweep cost over *all* points).
         """
         if target.is_placed:
             raise ValueError(f"target {target.name!r} is already placed")
@@ -208,7 +268,7 @@ class MultiRowLocalLegalizer:
             region, feasible, discarded, target.height, self._row_predicate(target)
         )
         fp = design.floorplan
-        return [
+        evaluated = [
             evaluate_insertion_point(
                 region,
                 point,
@@ -221,3 +281,10 @@ class MultiRowLocalLegalizer:
             )
             for point in points
         ]
+        if apply_displacement_cap:
+            evaluated = [
+                ev
+                for ev in evaluated
+                if not self._exceeds_displacement_cap(ev, x, y)
+            ]
+        return evaluated

@@ -11,6 +11,14 @@ The insertion interval bounds (built from the leftmost/rightmost
 placements) guarantee every push stays inside the local segments and never
 touches a non-local cell; a violation raises :class:`RealizationError`
 and indicates a bug upstream, not a recoverable condition.
+
+Every mutation performed here (the target's position assignment, each
+segment cell-list insert, each ripple shift) is journaled when the design
+has an active :class:`~repro.db.journal.Transaction`, so a mid-flight
+exception rolls back to the exact pre-call state instead of corrupting
+the design.  :meth:`MultiRowLocalLegalizer.try_place
+<repro.core.mll.MultiRowLocalLegalizer.try_place>` always opens such a
+transaction around this function.
 """
 
 from __future__ import annotations
@@ -48,18 +56,37 @@ def realize_insertion(
             f"[{point.x_lo},{point.x_hi}]"
         )
 
+    journal = design.journal
+    old_x, old_y = target.x, target.y
     target.x = target_x
     target.y = point.bottom_row
+    if journal is not None:
+        journal.note_set_pos(target, old_x, old_y, site="realize.target_pos")
     # Register the target in each row's DB segment at its gap slot and in
     # the local segment lists, so neighbor lookups below see it.
     for iv in point.intervals:
         local_seg = region.segments[iv.row_index]
         db_seg = local_seg.db_segment
         left_outside = sum(1 for c in db_seg.cells if c.x < local_seg.x0)  # type: ignore[operator]
-        db_seg.cells.insert(left_outside + iv.gap_index, target)
+        db_index = left_outside + iv.gap_index
+        db_seg.cells.insert(db_index, target)
+        if journal is not None:
+            journal.note_list_insert(
+                db_seg.cells, db_index, target, site="realize.db_segment_insert"
+            )
         local_seg.cells.insert(iv.gap_index, target)
+        if journal is not None:
+            journal.note_list_insert(
+                local_seg.cells, iv.gap_index, target,
+                site="realize.local_segment_insert",
+            )
     if target not in region.cells:
         region.cells.append(target)
+        if journal is not None:
+            journal.note_list_insert(
+                region.cells, len(region.cells) - 1, target,
+                site="realize.region_append",
+            )
 
     _push_side(design, region, target, side=-1)
     _push_side(design, region, target, side=+1)

@@ -14,12 +14,17 @@ This package models everything the legalizer operates on:
 * :mod:`repro.db.netlist` — nets over cell pins, for HPWL accounting.
 * :mod:`repro.db.design` — the :class:`~repro.db.design.Design` facade
   tying all of the above together with placement/occupancy operations.
+* :mod:`repro.db.journal` — the transactional mutation layer: an undo
+  log (:class:`~repro.db.journal.Journal`) and nested
+  :class:`~repro.db.journal.Transaction` scopes guaranteeing that every
+  MLL call either commits or provably restores the pre-call state.
 """
 
 from repro.db.cell import Cell
 from repro.db.design import Design, PlacementError
 from repro.db.fence import FenceRegion
 from repro.db.floorplan import Floorplan
+from repro.db.journal import Journal, JournalEntry, JournalError, Transaction
 from repro.db.library import CellMaster, Library, PinOffset, Rail
 from repro.db.netlist import Net, Netlist, Pin
 from repro.db.row import Row
@@ -31,6 +36,9 @@ __all__ = [
     "Design",
     "FenceRegion",
     "Floorplan",
+    "Journal",
+    "JournalEntry",
+    "JournalError",
     "Library",
     "Net",
     "Netlist",
@@ -40,4 +48,5 @@ __all__ = [
     "Rail",
     "Row",
     "Segment",
+    "Transaction",
 ]

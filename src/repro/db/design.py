@@ -14,6 +14,7 @@ from typing import Iterable, Iterator
 
 from repro.db.cell import Cell
 from repro.db.floorplan import Floorplan
+from repro.db.journal import Journal, JournalEntry, Transaction
 from repro.db.library import CellMaster, Library
 from repro.db.netlist import Netlist
 from repro.db.segment import Segment
@@ -40,6 +41,20 @@ class Design:
         self.netlist = netlist if netlist is not None else Netlist()
         self.cells: list[Cell] = []
         self._next_cell_id = 0
+        #: Active undo log (set by :class:`~repro.db.journal.Transaction`);
+        #: when not ``None`` every placement mutation is journaled.
+        self.journal: Journal | None = None
+        #: Observer attached to newly created journals (fault injection /
+        #: mutation counting; see :mod:`repro.testing.faults`).
+        self.journal_hook = None
+
+    def transaction(self) -> Transaction:
+        """An atomic mutation scope: roll back on exception, else commit.
+
+        Nested transactions are savepoints on the outermost journal; see
+        :class:`~repro.db.journal.Transaction`.
+        """
+        return Transaction(self)
 
     # ------------------------------------------------------------------
     # Instance management
@@ -68,8 +83,11 @@ class Design:
             fixed=fixed,
             region=region,
         )
+        old_next = self._next_cell_id
         self._next_cell_id += 1
         self.cells.append(cell)
+        if self.journal is not None:
+            self.journal.note_cell_added(cell, old_next, site="design.add_cell")
         return cell
 
     def movable_cells(self) -> Iterator[Cell]:
@@ -122,17 +140,27 @@ class Design:
             )
         cell.x = x
         cell.y = y
-        for seg in self.segments_of(cell):
+        segs = self.segments_of(cell)
+        for seg in segs:
             seg.insert_cell(cell)
+        if self.journal is not None:
+            self.journal.note_place(cell, tuple(segs), site="design.place")
 
     def unplace(self, cell: Cell) -> None:
         """Remove *cell* from the placement, deregistering it everywhere."""
         if not cell.is_placed:
             raise PlacementError(f"cell {cell.name!r} is not placed")
-        for seg in self.segments_of(cell):
+        old_x, old_y = cell.x, cell.y
+        segs = self.segments_of(cell)
+        indices = tuple(seg.index_of(cell) for seg in segs)
+        for seg in segs:
             seg.remove_cell(cell)
         cell.x = None
         cell.y = None
+        if self.journal is not None:
+            self.journal.note_unplace(
+                cell, tuple(segs), indices, old_x, old_y, site="design.unplace"
+            )
 
     def shift_x(self, cell: Cell, new_x: int) -> None:
         """Move a placed cell horizontally without changing its row.
@@ -143,7 +171,10 @@ class Design:
         """
         if cell.x is None:
             raise PlacementError(f"cell {cell.name!r} is not placed")
+        old_x = cell.x
         cell.x = new_x
+        if self.journal is not None:
+            self.journal.note_shift_x(cell, old_x, site="design.shift_x")
 
     # ------------------------------------------------------------------
     # Occupancy queries

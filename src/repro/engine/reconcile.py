@@ -98,6 +98,7 @@ def reconcile(
     deferred_cells: list[Cell] | None = None,
     telemetry: MllTelemetry | None = None,
     validate: bool = True,
+    transactional: bool = True,
 ) -> SeamReport:
     """Merge *outcomes* into *design* and clear every seam conflict.
 
@@ -106,8 +107,29 @@ def reconcile(
     contract as :meth:`Legalizer.run`), and :class:`ReconcileError` when
     *validate* is set and the independent checker still finds a
     violation afterwards.
+
+    With *transactional* (the default) the whole merge — delta
+    application plus the final sequential pass — runs inside one
+    :class:`~repro.db.journal.Transaction`: any exception (a failed seam
+    pass, a checker violation, an injected fault) rolls the master
+    design back to its pre-reconcile state before propagating, instead
+    of leaving a half-merged placement behind.
     """
     config = config if config is not None else LegalizerConfig()
+    if transactional:
+        from repro.db.journal import Transaction
+
+        with Transaction(design):
+            return reconcile(
+                design,
+                outcomes,
+                config=config,
+                deferred_cells=deferred_cells,
+                telemetry=telemetry,
+                validate=validate,
+                transactional=False,
+            )
+
     conflicts, report = apply_shard_outcomes(
         design, outcomes, power_aligned=config.power_aligned
     )

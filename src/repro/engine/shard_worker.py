@@ -146,11 +146,17 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     try:
         stats = legalizer.run()
     except LegalizationError as exc:
+        # The exception carries the partial result of the failed run —
+        # placed counts, MLL telemetry counters, rounds — so shard
+        # statistics survive a retry-budget exhaustion.
         error = str(exc)
-        stats = LegalizationResult(
-            placed=sum(1 for c in cells if c.is_placed),
-            rounds=config.max_rounds,
-        )
+        if exc.result is not None:
+            stats = exc.result
+        else:  # pragma: no cover - defensive for foreign raisers
+            stats = LegalizationResult(
+                placed=sum(1 for c in cells if c.is_placed),
+                rounds=config.max_rounds,
+            )
 
     placements = tuple(
         (spec.cell_id, cell.x, cell.y)

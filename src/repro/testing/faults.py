@@ -1,0 +1,197 @@
+"""Fault injection for the transactional mutation layer.
+
+The journal (:mod:`repro.db.journal`) records every primitive design
+mutation — each record is a *mutation site* at which a crash could
+strike.  This harness turns those sites into a systematic test: arm a
+design with a :class:`FaultInjector`, run any flow (``try_place``, an
+app primitive, a whole engine reconcile), and the injector raises
+:class:`InjectedFault` at the chosen site, *after* the mutation has been
+applied and journaled — the worst possible moment.  The enclosing
+transaction must then restore the design to a byte-identical pre-call
+state, which :func:`design_state` / :func:`design_state_digest` make
+checkable.
+
+:func:`fault_sweep` automates the full protocol: count the sites of a
+flow on a fresh design, then re-run the flow once per site with the
+fault armed there, asserting state restoration each time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.db.design import Design
+from repro.db.journal import JournalEntry
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected crash at a journaled mutation site."""
+
+    def __init__(self, site: str, index: int) -> None:
+        super().__init__(
+            f"injected fault at mutation #{index} (site {site!r})"
+        )
+        self.site = site
+        self.index = index
+
+
+class FaultInjector:
+    """Arm a design to raise at its ``trip_at``-th journaled mutation.
+
+    Used as a context manager::
+
+        with FaultInjector(design, trip_at=3) as inj:
+            with pytest.raises(InjectedFault):
+                mll.try_place(target, x, y)
+        assert inj.tripped_site is not None
+
+    ``trip_at=None`` never trips — the injector then just counts
+    mutations (``seen``), which :func:`count_journaled_mutations` uses to
+    size a sweep.  The hook attaches via ``design.journal_hook`` and is
+    picked up by every :class:`~repro.db.journal.Transaction` opened
+    while armed; rollbacks do not fire it, so undo operations are never
+    counted or tripped.
+    """
+
+    def __init__(self, design: Design, trip_at: int | None) -> None:
+        self.design = design
+        self.trip_at = trip_at
+        self.seen = 0
+        self.tripped_site: str | None = None
+        self.sites: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _hook(self, entry: JournalEntry) -> None:
+        self.seen += 1
+        self.sites.append(entry.site)
+        if self.trip_at is not None and self.seen == self.trip_at:
+            self.tripped_site = entry.site
+            raise InjectedFault(entry.site, self.seen)
+
+    def __enter__(self) -> "FaultInjector":
+        if self.design.journal_hook is not None:
+            raise RuntimeError("design already has a journal hook armed")
+        self.design.journal_hook = self._hook
+        # A transaction may already be open (nested use): attach to the
+        # live journal too.
+        if self.design.journal is not None:
+            self.design.journal.on_record = self._hook
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.design.journal_hook = None
+        if self.design.journal is not None:
+            self.design.journal.on_record = None
+        return False
+
+
+def count_journaled_mutations(
+    design: Design, action: Callable[[], object]
+) -> int:
+    """Run *action* once, counting its journaled mutation sites.
+
+    The action executes for real (mutations commit); run it on a
+    scratch design you can discard or rebuild.
+    """
+    with FaultInjector(design, trip_at=None) as counter:
+        action()
+    return counter.seen
+
+
+# ----------------------------------------------------------------------
+# State fingerprinting
+# ----------------------------------------------------------------------
+def design_state(design: Design) -> tuple:
+    """A deep, comparison-friendly snapshot of all placement state.
+
+    Covers every cell's position *and* master footprint, every segment's
+    exact cell ordering, the cell roster, and the id counter — the state
+    the transactional layer promises to restore.  Two designs with equal
+    ``design_state`` are placement-indistinguishable.
+    """
+    cells = tuple(
+        (c.id, c.name, c.width, c.height, c.x, c.y, c.fixed, c.region)
+        for c in design.cells
+    )
+    segments = tuple(
+        (seg.id, tuple(c.id for c in seg.cells))
+        for seg in design.floorplan.segments
+    )
+    return (cells, segments, design._next_cell_id)
+
+
+def design_state_digest(design: Design) -> str:
+    """SHA-256 hex digest of :func:`design_state` — "byte-identical"."""
+    return hashlib.sha256(repr(design_state(design)).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The sweep protocol
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class FaultSweepReport:
+    """Outcome of one :func:`fault_sweep`."""
+
+    sites: int
+    """Journaled mutation sites the reference run recorded."""
+
+    tripped: list[str] = field(default_factory=list)
+    """Site label tripped at each swept index, in order."""
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"FaultSweepReport(sites={self.sites})"
+
+
+def fault_sweep(
+    factory: Callable[[], tuple[Design, Callable[[], object]]],
+    max_sites: int | None = None,
+    stride: int = 1,
+) -> FaultSweepReport:
+    """Crash-consistency sweep: inject a fault at every mutation site.
+
+    *factory* must return a fresh ``(design, action)`` pair each call,
+    deterministic across calls (same seed → same mutation schedule).
+    The protocol:
+
+    1. build once, run *action* with a counting hook → N sites;
+    2. for each site ``i`` (optionally strided/capped for expensive
+       actions): rebuild, arm a fault at ``i``, run the action, require
+       that the fault tripped and propagated, and that
+       :func:`design_state` equals the pre-action state exactly.
+
+    Raises :class:`AssertionError` on any miss — a site that did not
+    trip (non-deterministic factory) or a state mismatch (a rollback
+    hole in the journal coverage).
+    """
+    design, action = factory()
+    total = count_journaled_mutations(design, action)
+    report = FaultSweepReport(sites=total)
+
+    indices = range(1, total + 1, stride)
+    if max_sites is not None:
+        indices = list(indices)[:max_sites]
+    for i in indices:
+        design, action = factory()
+        before = design_state(design)
+        with FaultInjector(design, trip_at=i) as inj:
+            try:
+                action()
+            except InjectedFault:
+                pass
+            else:
+                raise AssertionError(
+                    f"fault armed at mutation #{i}/{total} did not trip "
+                    f"(saw {inj.seen}); factory is not deterministic"
+                )
+        after = design_state(design)
+        if after != before:
+            raise AssertionError(
+                f"state not restored after injected fault at mutation "
+                f"#{i}/{total} (site {inj.tripped_site!r}): the journal "
+                f"rollback left the design corrupted"
+            )
+        assert inj.tripped_site is not None
+        report.tripped.append(inj.tripped_site)
+    return report

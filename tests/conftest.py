@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+# The post-realization legality audit (LegalizerConfig.audit) is opt-in
+# for production runs but on by default throughout the test suite: every
+# successful MLL insertion in any test is re-checked by the independent
+# checker, and a violation rolls the insertion back and fails loudly.
+# Export REPRO_AUDIT=0 to measure un-audited behavior locally.
+os.environ.setdefault("REPRO_AUDIT", "1")
 
 from repro.db import Design, Floorplan, Library, Rail
 from repro.db.cell import Cell

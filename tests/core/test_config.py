@@ -31,3 +31,42 @@ def test_config_is_immutable():
     cfg = LegalizerConfig()
     with pytest.raises(Exception):
         cfg.rx = 10  # type: ignore[misc]
+
+
+class TestWindowSizeCoercion:
+    """Satellite: rx/ry feed ``rng.randint`` retry-amplitude bounds,
+    which reject floats — integral values are coerced at construction,
+    fractional ones are configuration errors."""
+
+    def test_integral_floats_coerced_to_int(self):
+        cfg = LegalizerConfig(rx=30.0, ry=5.0)  # type: ignore[arg-type]
+        assert cfg.rx == 30 and isinstance(cfg.rx, int)
+        assert cfg.ry == 5 and isinstance(cfg.ry, int)
+
+    def test_fractional_values_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            LegalizerConfig(rx=30.5)  # type: ignore[arg-type]
+        with pytest.raises(ValueError, match="integral"):
+            LegalizerConfig(ry=2.25)  # type: ignore[arg-type]
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            LegalizerConfig(rx=True)  # type: ignore[arg-type]
+
+    def test_coerced_config_survives_retry_rounds(self):
+        """Regression: a float rx used to crash ``rng.randint`` in retry
+        round k >= 2.  A dense design that needs retries must now run."""
+        import random
+
+        from repro.core import legalize
+        from tests.conftest import add_unplaced, make_design
+
+        rng = random.Random(4)
+        d = make_design(num_rows=6, row_width=20)
+        for _ in range(27):
+            add_unplaced(d, 4, 1, rng.uniform(0, 4), rng.uniform(0, 2))
+        result = legalize(
+            d, LegalizerConfig(rx=6.0, ry=2.0, seed=4)  # type: ignore[arg-type]
+        )
+        assert result.placed == 27
+        assert result.rounds >= 1  # retries actually happened

@@ -72,3 +72,62 @@ class TestDisplacementCap:
 
         with pytest.raises(ValueError):
             LegalizerConfig(max_target_displacement_um=-1.0)
+
+
+class TestEvaluateCandidatesParity:
+    """Satellite: evaluate_candidates must apply the cap exactly like
+    try_place, so the read-only analysis agrees with the mutating call
+    on feasibility."""
+
+    def build(self, cap_sites: float | None):
+        d = make_design(num_rows=1, row_width=30)
+        add_placed(d, 10, 1, 0, 0, fixed=True)
+        add_placed(d, 10, 1, 10, 0, fixed=True)
+        t = add_unplaced(d, 4, 1, 2.0, 0.0)
+        cap = um(d, cap_sites) if cap_sites is not None else None
+        cfg = LegalizerConfig(rx=30, ry=0, max_target_displacement_um=cap)
+        return d, t, MultiRowLocalLegalizer(d, cfg)
+
+    def test_capped_candidates_match_try_place_failure(self):
+        _, t, mll = self.build(cap_sites=3.0)
+        assert mll.evaluate_candidates(t, 2.0, 0.0) == []
+        assert not mll.try_place(t, 2.0, 0.0).success
+
+    def test_uncapped_view_for_figure_benchmarks(self):
+        """apply_displacement_cap=False restores the full sweep the
+        figure benchmarks plot, even under a cap that rejects them all."""
+        _, t, mll = self.build(cap_sites=3.0)
+        uncapped = mll.evaluate_candidates(
+            t, 2.0, 0.0, apply_displacement_cap=False
+        )
+        assert uncapped  # the points exist, the cap was the only filter
+        assert mll.evaluate_candidates(t, 2.0, 0.0) == []
+
+    def test_cap_none_is_a_no_op_filter(self):
+        _, t, mll = self.build(cap_sites=None)
+        with_flag = mll.evaluate_candidates(t, 2.0, 0.0)
+        without = mll.evaluate_candidates(
+            t, 2.0, 0.0, apply_displacement_cap=False
+        )
+        assert [e.point for e in with_flag] == [e.point for e in without]
+
+    def test_partial_cap_keeps_only_reachable_points(self):
+        """A loose cap keeps the near points and drops the far ones —
+        and try_place picks one of the kept points."""
+        d = make_design(num_rows=1, row_width=30)
+        add_placed(d, 10, 1, 0, 0)
+        add_placed(d, 10, 1, 10, 0)
+        t = add_unplaced(d, 4, 1, 2.0, 0.0)
+        # Candidates sit at x = 0, 10, 20 (displacements 2, 8, 18): a
+        # 4-site cap keeps exactly the first.
+        cap = um(d, 4.0)
+        mll = MultiRowLocalLegalizer(
+            d, LegalizerConfig(rx=30, ry=0, max_target_displacement_um=cap)
+        )
+        kept = mll.evaluate_candidates(t, 2.0, 0.0)
+        full = mll.evaluate_candidates(
+            t, 2.0, 0.0, apply_displacement_cap=False
+        )
+        assert 0 < len(kept) < len(full)
+        assert mll.try_place(t, 2.0, 0.0).success
+        assert abs(t.x - 2.0) * d.floorplan.site_width_um <= cap

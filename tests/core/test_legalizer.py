@@ -124,6 +124,23 @@ class TestFailure:
             legalize(d, LegalizerConfig(max_rounds=2))
         assert ok.is_placed
 
+    def test_error_carries_partial_result(self):
+        """Satellite: the error object reports what the failed run did
+        achieve, so the CLI and shard workers can surface placed counts
+        instead of losing the round's telemetry."""
+        d = make_design(num_rows=1, row_width=10)
+        ok = add_unplaced(d, 3, 1, 0.0, 0.0, name="ok")
+        add_unplaced(d, 20, 1, 0.0, 0.0, name="giant")
+        with pytest.raises(LegalizationError) as exc_info:
+            legalize(d, LegalizerConfig(max_rounds=2))
+        partial = exc_info.value.result
+        assert partial is not None
+        assert partial.placed == 1
+        assert ok.is_placed
+        assert partial.failed_cells == ["giant"]
+        assert partial.rounds == 2
+        assert partial.runtime_s > 0
+
     def test_result_statistics_consistent(self):
         d = overlapping_design(seed=2)
         result = legalize(d, LegalizerConfig(seed=2))

@@ -1,0 +1,268 @@
+"""Transactional MLL semantics: journaled rollback and the legality audit.
+
+The headline regression here (TestPartialRealizationCorruption) encodes
+the bug the transaction layer was built for: before the journal existed,
+a ``RealizationError`` raised after the first row's segment insert left
+the target half-registered and pushed neighbors half-shifted — silent
+corruption that broke Algorithm 1's retry contract.
+"""
+
+import pytest
+
+from repro.checker import verify_placement
+from repro.checker.legality import verify_cells
+from repro.core import AuditError, LegalizerConfig, MultiRowLocalLegalizer
+from repro.core.realization import RealizationError
+from repro.db.journal import Transaction
+from repro.testing.faults import design_state
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+def packed_two_row_design():
+    """Two rows around a double-row insertion with push chains."""
+    d = make_design(num_rows=4, row_width=24)
+    add_placed(d, 4, 1, 2, 1, name="r1a")
+    add_placed(d, 4, 1, 8, 1, name="r1b")
+    add_placed(d, 4, 1, 3, 2, name="r2a")
+    add_placed(d, 4, 1, 9, 2, name="r2b")
+    t = add_unplaced(d, 4, 2, 6.0, 1.0, name="target")
+    return d, t
+
+
+class TestTryPlaceRollback:
+    def test_success_commits_and_detaches_journal(self):
+        d, t = packed_two_row_design()
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=10, ry=2))
+        assert mll.try_place(t, 6.0, 1.0).success
+        assert d.journal is None
+        assert verify_placement(d) == []
+
+    def test_failure_leaves_design_untouched(self):
+        d = make_design(num_rows=1, row_width=10)
+        add_placed(d, 10, 1, 0, 0, fixed=True)  # row is full
+        t = add_unplaced(d, 4, 1, 0.0, 0.0)
+        before = design_state(d)
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=10, ry=0))
+        assert not mll.try_place(t, 0.0, 0.0).success
+        assert design_state(d) == before
+
+    def test_exception_during_realization_rolls_back(self):
+        """Any exception fired mid-realization restores the exact state."""
+        d, t = packed_two_row_design()
+        before = design_state(d)
+
+        class Boom(Exception):
+            pass
+
+        hits = {"n": 0}
+
+        def hook(entry):
+            hits["n"] += 1
+            if entry.site == "design.shift_x":
+                raise Boom  # mid push chain: the nastiest moment
+
+        d.journal_hook = hook
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=10, ry=2))
+        with pytest.raises(Boom):
+            mll.try_place(t, 6.0, 1.0)
+        d.journal_hook = None
+        assert hits["n"] > 1  # the fault really fired mid-flight
+        assert design_state(d) == before
+        assert not t.is_placed
+        # And the design is still fully usable: the same call now works.
+        assert mll.try_place(t, 6.0, 1.0).success
+        assert verify_placement(d) == []
+
+
+class TestPartialRealizationCorruption:
+    """Satellite regression: RealizationError after the first row's
+    segment insert must not corrupt the design (fails on the seed code,
+    which had no journal; passes with the transactional layer)."""
+
+    def test_realization_error_after_first_row_insert_restores(self):
+        d, t = packed_two_row_design()
+        before = design_state(d)
+        inserts = {"n": 0}
+
+        def hook(entry):
+            if entry.site == "realize.db_segment_insert":
+                inserts["n"] += 1
+                if inserts["n"] == 1:
+                    raise RealizationError(
+                        "injected: push drives cell past segment bound"
+                    )
+
+        d.journal_hook = hook
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=10, ry=2))
+        with pytest.raises(RealizationError):
+            mll.try_place(t, 6.0, 1.0)
+        d.journal_hook = None
+
+        assert inserts["n"] == 1  # it really stopped after row one
+        assert not t.is_placed
+        # Byte-identical restoration: positions AND segment orderings.
+        assert design_state(d) == before
+        assert d.snapshot_positions() == {
+            c.id: pos
+            for c, pos in zip(
+                d.cells, [(2, 1), (8, 1), (3, 2), (9, 2), None]
+            )
+        }
+        assert verify_placement(d, require_all_placed=False) == []
+
+    def test_genuine_realization_error_no_longer_corrupts(self):
+        """Drive realize into a real (not injected) RealizationError by
+        forcing an insertion point whose pushes cannot fit, then check
+        the design survived."""
+        from repro.core import (
+            build_insertion_intervals,
+            compute_bounds,
+            enumerate_insertion_points,
+            extract_local_region,
+            realize_insertion,
+        )
+        from repro.geometry import Rect
+
+        d = make_design(num_rows=1, row_width=12)
+        add_placed(d, 3, 1, 1, 0, name="a")
+        add_placed(d, 3, 1, 4, 0, name="b")
+        t = add_unplaced(d, 3, 1, 0.0, 0.0, name="t")
+        region = extract_local_region(d, Rect(0, 0, 12, 1))
+        bounds = compute_bounds(region)
+        feasible, discarded = build_insertion_intervals(region, bounds, 3)
+        points = enumerate_insertion_points(region, feasible, discarded, 1)
+        point = next(
+            p
+            for p in points
+            if p.intervals[0].left is not None
+            and p.intervals[0].left.name == "b"
+        )
+        before = design_state(d)
+        # target at x=5 forces b to 2 and a to -1: infeasible push.
+        with pytest.raises(RealizationError):
+            with Transaction(d):
+                realize_insertion(d, region, point, t, 5)
+        assert design_state(d) == before
+        assert verify_placement(d, require_all_placed=False) == []
+
+
+class TestAudit:
+    def test_audit_passes_on_clean_insertion(self):
+        d, t = packed_two_row_design()
+        mll = MultiRowLocalLegalizer(
+            d, LegalizerConfig(rx=10, ry=2, audit=True)
+        )
+        assert mll.try_place(t, 6.0, 1.0).success
+        assert verify_placement(d) == []
+
+    def test_audit_failure_rolls_back_and_raises(self, monkeypatch):
+        d, t = packed_two_row_design()
+        before = design_state(d)
+
+        def broken_realize(design, region, point, target, target_x):
+            # A realization bug the bounds machinery missed: the target
+            # lands overlapping its left neighbor, segment lists go
+            # unsorted — exactly what the audit exists to catch.
+            journal = design.journal
+            target.x, target.y = 3, 1
+            if journal is not None:
+                journal.note_set_pos(target, None, None, site="bug.set_pos")
+            for row in (1, 2):
+                seg = design.floorplan.segments_in_row(row)[0]
+                seg.cells.insert(0, target)
+                if journal is not None:
+                    journal.note_list_insert(
+                        seg.cells, 0, target, site="bug.insert"
+                    )
+
+        monkeypatch.setattr(
+            "repro.core.mll.realize_insertion", broken_realize
+        )
+        mll = MultiRowLocalLegalizer(
+            d, LegalizerConfig(rx=10, ry=2, audit=True)
+        )
+        with pytest.raises(AuditError) as exc_info:
+            mll.try_place(t, 6.0, 1.0)
+        assert exc_info.value.violations
+        # The rollback happened before the raise: state is pristine.
+        assert design_state(d) == before
+        assert not t.is_placed
+
+    def test_audit_default_follows_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUDIT", "0")
+        assert LegalizerConfig().audit is False
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert LegalizerConfig().audit is True
+        assert LegalizerConfig(audit=False).audit is False
+
+    def test_verify_cells_spots_planted_overlap(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 4, 1, 0, 0)
+        b = add_placed(d, 4, 1, 6, 0)
+        assert verify_cells(d, [a, b]) == []
+        b.x = 2  # plant an overlap behind the database's back
+        kinds = {v.kind.value for v in verify_cells(d, [a, b])}
+        assert "overlap" in kinds
+
+    def test_verify_cells_spots_missing_registration(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 4, 1, 0, 0)
+        seg = d.floorplan.segments_in_row(0)[0]
+        seg.cells.remove(a)
+        kinds = {v.kind.value for v in verify_cells(d, [a])}
+        assert "bad_registration" in kinds
+
+
+class TestAppsTransactionality:
+    def test_move_failure_restores_segment_slots(self):
+        from repro.apps.local_move import move_cell
+
+        d = make_design(num_rows=1, row_width=24)
+        add_placed(d, 4, 1, 0, 0, name="a")
+        b = add_placed(d, 4, 1, 4, 0, name="b")
+        add_placed(d, 4, 1, 8, 0, name="c")
+        # The destination neighborhood is fixed solid: the move's MLL
+        # window (rx=3 around x=18) has no room for a 4-wide cell.
+        add_placed(d, 10, 1, 14, 0, fixed=True, name="wall")
+        before = design_state(d)
+        assert not move_cell(d, b, 18.0, 0.0, LegalizerConfig(rx=3, ry=0))
+        assert (b.x, b.y) == (4, 0)
+        assert design_state(d) == before
+        assert verify_placement(d) == []
+
+    def test_resize_failure_restores_master_and_position(self):
+        from repro.apps.sizing import resize_cell
+
+        d = make_design(num_rows=1, row_width=12)
+        a = add_placed(d, 4, 1, 0, 0, name="a")
+        add_placed(d, 4, 1, 4, 0, fixed=True)
+        add_placed(d, 4, 1, 8, 0, fixed=True)
+        before = design_state(d)
+        wide = d.library.get_or_create(9, 1, None)
+        assert not resize_cell(d, a, wide, LegalizerConfig(rx=4, ry=0))
+        assert a.master.width == 4
+        assert design_state(d) == before
+
+    def test_buffer_failure_removes_cell_and_restores_id_counter(self):
+        from repro.apps.buffering import insert_buffer
+        from repro.db.netlist import Net, Pin
+
+        d = make_design(num_rows=1, row_width=12)
+        a = add_placed(d, 4, 1, 0, 0)
+        b = add_placed(d, 4, 1, 4, 0)
+        add_placed(d, 4, 1, 8, 0, fixed=True)
+        net = Net(
+            name="n",
+            pins=(Pin(cell=a, dx=1, dy=0.5), Pin(cell=b, dx=1, dy=0.5)),
+        )
+        d.netlist.add(net)
+        n_cells = len(d.cells)
+        next_id = d._next_cell_id
+        buf = d.library.get_or_create(6, 1, None)
+        result = insert_buffer(
+            d, net, buf, LegalizerConfig(rx=2, ry=0)
+        )
+        assert not result.success
+        assert len(d.cells) == n_cells
+        assert d._next_cell_id == next_id
+        assert net in d.netlist.nets  # netlist untouched

@@ -1,0 +1,221 @@
+"""Fault-injection sweeps: crash at *every* journaled mutation site.
+
+Acceptance contract of the transaction layer: raising at each journaled
+mutation inside ``try_place`` (and the flows built on it) leaves
+``Design.snapshot_positions()`` and all segment cell orderings
+byte-identical to the pre-call state.  ``fault_sweep`` rebuilds the
+design per site, arms :class:`repro.testing.faults.FaultInjector` and
+compares :func:`design_state` before/after.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Legalizer, LegalizerConfig, MultiRowLocalLegalizer
+from repro.testing.faults import (
+    FaultInjector,
+    InjectedFault,
+    count_journaled_mutations,
+    design_state,
+    design_state_digest,
+    fault_sweep,
+)
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+def mll_factory():
+    """A multi-row insertion with push chains on both sides."""
+    d = make_design(num_rows=4, row_width=24)
+    add_placed(d, 4, 1, 2, 1, name="r1a")
+    add_placed(d, 4, 1, 8, 1, name="r1b")
+    add_placed(d, 4, 1, 3, 2, name="r2a")
+    add_placed(d, 4, 1, 9, 2, name="r2b")
+    t = add_unplaced(d, 4, 2, 6.0, 1.0, name="target")
+    mll = MultiRowLocalLegalizer(d, LegalizerConfig(rx=10, ry=2))
+    return d, lambda: mll.try_place(t, 6.0, 1.0)
+
+
+def build_driver_design():
+    """A small overlapping design for the Algorithm 1 driver."""
+    rng = random.Random(7)
+    d = make_design(num_rows=6, row_width=30)
+    for i in range(18):
+        w, h = rng.choice([(2, 1), (3, 1), (4, 1), (2, 2)])
+        add_unplaced(d, w, h, rng.uniform(0, 26), rng.uniform(0, 5),
+                     name=f"c{i}")
+    return d
+
+
+def driver_factory():
+    """The whole driver run wrapped in one outer transaction.
+
+    ``Legalizer.run`` deliberately commits per cell (its contract keeps
+    the placed subset on failure), so whole-run atomicity comes from
+    nesting: per-cell transactions become savepoints of the outer one,
+    and an injected fault anywhere unwinds the entire run.
+    """
+    from repro.db.journal import Transaction
+
+    d = build_driver_design()
+    legalizer = Legalizer(d, LegalizerConfig(rx=8, ry=2, seed=3))
+
+    def action():
+        with Transaction(d):
+            legalizer.run()
+
+    return d, action
+
+
+class TestTryPlaceSweep:
+    def test_every_site_restores_state(self):
+        report = fault_sweep(mll_factory)
+        # The insertion spans 2 rows: position set + 2x(db+local) inserts
+        # + region append + at least one push shift.
+        assert report.sites >= 6
+        sites = set(report.tripped)
+        assert "realize.target_pos" in sites
+        assert "realize.db_segment_insert" in sites
+        assert "design.shift_x" in sites
+
+    def test_snapshot_positions_identical(self):
+        """Spell the acceptance criterion out explicitly."""
+        d, action = mll_factory()
+        positions = d.snapshot_positions()
+        orderings = [
+            tuple(c.id for c in seg.cells) for seg in d.floorplan.segments
+        ]
+        digest = design_state_digest(d)
+        with FaultInjector(d, trip_at=3):
+            with pytest.raises(InjectedFault):
+                action()
+        assert d.snapshot_positions() == positions
+        assert [
+            tuple(c.id for c in seg.cells) for seg in d.floorplan.segments
+        ] == orderings
+        assert design_state_digest(d) == digest
+
+    def test_counter_mode_counts_without_tripping(self):
+        d, action = mll_factory()
+        n = count_journaled_mutations(d, action)
+        assert n >= 6
+        # The action ran for real in counter mode.
+        assert all(c.is_placed for c in d.cells)
+
+
+class TestDriverSweep:
+    def test_serial_driver_full_sweep(self):
+        """Acceptance: every journaled site of a full Legalizer.run on
+        the serial driver restores the design on injection (run wrapped
+        in an outer transaction for whole-run atomicity)."""
+        report = fault_sweep(driver_factory)
+        assert report.sites > 20
+        assert "design.place" in set(report.tripped)  # direct placements
+
+    def test_driver_deterministic_site_count(self):
+        d1, a1 = driver_factory()
+        d2, a2 = driver_factory()
+        assert count_journaled_mutations(d1, a1) == count_journaled_mutations(
+            d2, a2
+        )
+
+    def test_bare_driver_keeps_consistency_per_call(self):
+        """Without an outer transaction, a fault mid-run keeps the
+        committed prefix (the driver's documented contract) but never a
+        half-applied call: the placement stays checker-clean."""
+        from repro.checker import verify_placement
+
+        d0 = build_driver_design()
+        legalizer0 = Legalizer(d0, LegalizerConfig(rx=8, ry=2, seed=3))
+        total = count_journaled_mutations(d0, legalizer0.run)
+        for trip in range(1, total + 1, max(1, total // 9)):
+            d = build_driver_design()
+            legalizer = Legalizer(d, LegalizerConfig(rx=8, ry=2, seed=3))
+            with FaultInjector(d, trip_at=trip):
+                with pytest.raises(InjectedFault):
+                    legalizer.run()
+            assert verify_placement(d, require_all_placed=False) == []
+
+
+class TestAppSweeps:
+    def test_move_cell_sweep(self):
+        from repro.apps.local_move import move_cell
+
+        def factory():
+            d = make_design(num_rows=2, row_width=24)
+            add_placed(d, 4, 1, 0, 0, name="a")
+            b = add_placed(d, 4, 1, 4, 0, name="b")
+            add_placed(d, 4, 1, 14, 0, name="c")
+            return d, lambda: move_cell(
+                d, b, 15.0, 0.0, LegalizerConfig(rx=6, ry=1)
+            )
+
+        report = fault_sweep(factory)
+        assert report.sites >= 3
+        assert "design.unplace" in set(report.tripped)
+
+    def test_swap_cells_sweep(self):
+        from repro.apps.swap import swap_cells
+
+        def factory():
+            d = make_design(num_rows=2, row_width=30)
+            a = add_placed(d, 3, 1, 0, 0, name="a")
+            b = add_placed(d, 5, 1, 20, 0, name="b")
+            return d, lambda: swap_cells(
+                d, a, b, LegalizerConfig(rx=8, ry=1)
+            )
+
+        report = fault_sweep(factory)
+        assert report.sites >= 6
+
+    def test_resize_cell_sweep(self):
+        from repro.apps.sizing import resize_cell
+
+        def factory():
+            d = make_design(num_rows=2, row_width=24)
+            a = add_placed(d, 3, 1, 4, 0, name="a")
+            add_placed(d, 3, 1, 8, 0, name="nb")
+            wide = d.library.get_or_create(5, 1, None)
+            return d, lambda: resize_cell(
+                d, a, wide, LegalizerConfig(rx=8, ry=1)
+            )
+
+        report = fault_sweep(factory)
+        assert "sizing.master_swap" in set(report.tripped)
+
+    def test_buffer_insertion_sweep(self):
+        from repro.apps.buffering import insert_buffer
+        from repro.db.netlist import Net, Pin
+
+        def factory():
+            d = make_design(num_rows=2, row_width=24)
+            a = add_placed(d, 3, 1, 0, 0, name="a")
+            b = add_placed(d, 3, 1, 20, 0, name="b")
+            net = Net(
+                name="n",
+                pins=(Pin(cell=a, dx=1, dy=0.5), Pin(cell=b, dx=1, dy=0.5)),
+            )
+            d.netlist.add(net)
+            buf = d.library.get_or_create(2, 1, None)
+            return d, lambda: insert_buffer(
+                d, net, buf, LegalizerConfig(rx=6, ry=1)
+            )
+
+        report = fault_sweep(factory)
+        assert "design.add_cell" in set(report.tripped)
+
+
+class TestFaultInjectorHygiene:
+    def test_double_arm_rejected(self):
+        d, _ = mll_factory()
+        with FaultInjector(d, trip_at=None):
+            with pytest.raises(RuntimeError):
+                with FaultInjector(d, trip_at=1):
+                    pass  # pragma: no cover
+
+    def test_disarm_on_exit(self):
+        d, action = mll_factory()
+        with FaultInjector(d, trip_at=None):
+            pass
+        assert d.journal_hook is None
+        action()  # runs clean, no hook left behind

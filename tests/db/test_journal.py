@@ -1,0 +1,157 @@
+"""Unit tests for the undo log and transaction scopes (repro.db.journal)."""
+
+import pytest
+
+from repro.db import Journal, JournalError, PlacementError, Transaction
+from repro.testing.faults import design_state
+from tests.conftest import add_placed, add_unplaced, make_design
+
+
+class TestJournalPrimitives:
+    def test_place_rollback(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        before = design_state(d)
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                d.place(t, 5, 2)
+                assert t.is_placed
+                raise RuntimeError("boom")
+        assert not t.is_placed
+        assert design_state(d) == before
+
+    def test_unplace_rollback_restores_exact_slots(self):
+        d = make_design(num_rows=1, row_width=40)
+        a = add_placed(d, 3, 1, 0, 0)
+        b = add_placed(d, 3, 1, 10, 0)
+        c = add_placed(d, 3, 1, 20, 0)
+        seg = d.floorplan.segments_in_row(0)[0]
+        assert [x.name for x in seg.cells] == [a.name, b.name, c.name]
+        before = design_state(d)
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                d.unplace(b)
+                assert [x.name for x in seg.cells] == [a.name, c.name]
+                raise RuntimeError("boom")
+        assert (b.x, b.y) == (10, 0)
+        assert [x.name for x in seg.cells] == [a.name, b.name, c.name]
+        assert design_state(d) == before
+
+    def test_shift_rollback(self):
+        d = make_design(num_rows=1, row_width=40)
+        a = add_placed(d, 3, 1, 4, 0)
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                d.shift_x(a, 9)
+                assert a.x == 9
+                raise RuntimeError("boom")
+        assert a.x == 4
+
+    def test_add_cell_rollback(self):
+        d = make_design()
+        before = design_state(d)
+        master = d.library.get_or_create(2, 1, None)
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                d.add_cell(master, name="tmp")
+                raise RuntimeError("boom")
+        assert design_state(d) == before
+        # The id counter was restored too: the next cell reuses the id.
+        fresh = d.add_cell(master)
+        assert fresh.id == 0
+
+    def test_multi_row_place_rollback(self):
+        d = make_design(num_rows=4, row_width=20)
+        t = add_unplaced(d, 3, 2, 0, 0)
+        before = design_state(d)
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                d.place(t, 4, 1)  # row 1 bottom rail matches VDD
+                # registered once per spanned row
+                assert sum(
+                    1
+                    for seg in d.floorplan.segments
+                    for c in seg.cells
+                    if c is t
+                ) == 2
+                raise RuntimeError("boom")
+        assert design_state(d) == before
+
+
+class TestTransactionSemantics:
+    def test_commit_keeps_mutations(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        with Transaction(d):
+            d.place(t, 5, 2)
+        assert (t.x, t.y) == (5, 2)
+        assert d.journal is None  # outermost transaction detached the log
+
+    def test_explicit_rollback_inside_scope(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        before = design_state(d)
+        with Transaction(d) as txn:
+            d.place(t, 5, 2)
+            txn.rollback()
+        assert design_state(d) == before
+        assert d.journal is None
+
+    def test_nested_inner_commit_outer_rollback(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        u = add_unplaced(d, 3, 1, 0, 0)
+        before = design_state(d)
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                with Transaction(d):  # inner: commits normally
+                    d.place(t, 0, 0)
+                d.place(u, 10, 0)
+                raise RuntimeError("boom")  # outer rollback undoes both
+        assert design_state(d) == before
+
+    def test_nested_inner_rollback_keeps_outer(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        u = add_unplaced(d, 3, 1, 0, 0)
+        with Transaction(d):
+            d.place(t, 0, 0)
+            with Transaction(d) as inner:
+                d.place(u, 10, 0)
+                inner.rollback()
+        assert t.is_placed
+        assert not u.is_placed
+
+    def test_design_transaction_convenience(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        with d.transaction():
+            d.place(t, 2, 1)
+        assert t.is_placed
+
+    def test_no_journal_outside_transactions(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        d.place(t, 1, 0)  # unjournaled fast path
+        assert d.journal is None
+        d.unplace(t)
+        assert not t.is_placed
+
+    def test_rollback_error_on_corrupted_log(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 3, 1, 0, 0)
+        seg = d.floorplan.segments_in_row(0)[0]
+        journal = Journal(d)
+        # A list-insert entry whose slot no longer holds the cell.
+        seg.cells.insert(1, a)
+        journal.note_list_insert(seg.cells, 1, a, site="test")
+        del seg.cells[1]
+        with pytest.raises(JournalError):
+            journal.rollback()
+
+    def test_unplace_unplaced_still_raises(self):
+        d = make_design()
+        t = add_unplaced(d, 3, 1, 0, 0)
+        with Transaction(d):
+            with pytest.raises(PlacementError):
+                d.unplace(t)

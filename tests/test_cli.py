@@ -77,6 +77,30 @@ class TestLegalize:
         capsys.readouterr()
 
 
+class TestLegalizeFailureReporting:
+    def test_partial_result_reported_on_failure(self, tmp_path, capsys):
+        """A run that exhausts its retry budget exits 1 and prints the
+        partial result carried by LegalizationError instead of dying
+        with a traceback."""
+        from repro.io import write_bookshelf
+        from tests.conftest import add_unplaced, make_design
+
+        d = make_design(num_rows=1, row_width=10, name="jam")
+        add_unplaced(d, 3, 1, 0.0, 0.0, name="ok")
+        add_unplaced(d, 20, 1, 0.0, 0.0, name="giant")  # wider than die
+        aux = write_bookshelf(d, str(tmp_path / "jam"))
+        rc = main(["legalize", aux, "--rx", "4", "--ry", "0"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "legalization FAILED" in out
+        assert "giant" in out  # names the stuck cell
+        assert "1 placed" in out  # the partial count survived
+        assert "unplaced 1" in out  # stats line still printed
+
+    def test_audit_flag_accepted(self, generated):
+        assert main(["legalize", str(generated), "--audit"]) == 0
+
+
 class TestCheck:
     def test_illegal_input_reported(self, generated, capsys):
         rc = main(["check", str(generated)])
