@@ -6,16 +6,25 @@ Subcommands::
     repro legalize  DIR/design.aux --out DIR2 [--algorithm mll|optimal|
                     milp|abacus|tetris] [--relaxed] [--exact]
                     [--workers N] [--shards M] [--halo SITES]
+                    [--shard-timeout S] [--shard-retries N] [--quarantine]
+                    [--checkpoint PATH | --resume PATH]
     repro check     DIR/design.aux [--relaxed]                # verify only
     repro show      DIR/design.aux [--svg out.svg] [--window X Y W H]
     repro stats     DIR/design.aux                            # metrics
 
 Also available as ``python -m repro ...``.
+
+Fault tolerance: ``--workers N`` runs execute under the shard
+supervisor (crash containment, per-shard timeouts, retry with backoff
+— see ``docs/parallel_engine.md``).  ``--checkpoint PATH`` makes the
+run resumable after a kill (``--resume PATH``); SIGINT/SIGTERM flush a
+final checkpoint and print a resume hint instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 
@@ -82,15 +91,96 @@ def _make_config(args: argparse.Namespace) -> LegalizerConfig:
         seed=args.seed,
         power_aligned=not args.relaxed,
         evaluation=EvaluationMode.EXACT if args.exact else EvaluationMode.APPROX,
+        quarantine=getattr(args, "quarantine", False),
         **kwargs,
     )
+
+
+class GracefulShutdown(Exception):
+    """SIGINT/SIGTERM turned into a catchable exception.
+
+    Raising from the handler unwinds through the engine (whose
+    transactions roll back and whose supervisor reaps its workers in
+    ``finally`` blocks), so the CLI can flush a final checkpoint and
+    print a resume hint instead of dying with a bare traceback.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"received {signal.Signals(signum).name}")
+        self.signum = signum
+
+
+def _install_signal_handlers():
+    """Route SIGINT/SIGTERM through :class:`GracefulShutdown`.
+
+    Returns the previous handlers so the caller can restore them in a
+    ``finally`` (the CLI is also invoked in-process by tests)."""
+
+    def handler(signum, frame):  # pragma: no cover - exercised via kill
+        raise GracefulShutdown(signum)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, handler)
+    return previous
+
+
+def _restore_signal_handlers(previous) -> None:
+    for sig, old in previous.items():
+        signal.signal(sig, old)
+
+
+def _make_checkpoint_manager(args: argparse.Namespace):
+    """Build the CheckpointManager implied by --checkpoint/--resume."""
+    if not (args.checkpoint or args.resume):
+        return None
+    from repro.engine import CheckpointManager
+
+    if args.resume:
+        if args.checkpoint and args.checkpoint != args.resume:
+            raise SystemExit(
+                "--resume and --checkpoint must name the same file "
+                "(a resumed run keeps checkpointing to the file it "
+                "resumes from)"
+            )
+        return CheckpointManager(
+            args.resume, every=args.checkpoint_every, resume=True
+        )
+    return CheckpointManager(args.checkpoint, every=args.checkpoint_every)
+
+
+def _report_shutdown(exc: GracefulShutdown, manager) -> int:
+    """Flush a last checkpoint and print the partial-result report."""
+    name = signal.Signals(exc.signum).name
+    if manager is not None and manager.state is not None:
+        manager.flush()
+        done = sorted(manager.completed)
+        print(
+            f"interrupted by {name}: {len(done)}/{manager.state.num_shards} "
+            f"shards checkpointed to {manager.path}"
+        )
+        print(f"resume with: repro legalize ... --resume {manager.path}")
+    elif manager is not None:
+        print(
+            f"interrupted by {name} before the shard phase started; "
+            f"nothing to checkpoint"
+        )
+    else:
+        print(
+            f"interrupted by {name}: no checkpoint enabled "
+            f"(rerun with --checkpoint PATH to make runs resumable)"
+        )
+    return 128 + exc.signum
 
 
 def _cmd_legalize(args: argparse.Namespace) -> int:
     design = _load(args.aux)
     design.reset_placement()
     config = _make_config(args)
+    manager = _make_checkpoint_manager(args)
+    quarantined = None
     t0 = time.perf_counter()
+    previous_handlers = _install_signal_handlers()
     try:
         if args.algorithm == "mll" and (args.workers != 1 or args.shards):
             from repro.engine import EngineConfig, legalize_sharded
@@ -103,8 +193,18 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
                     shards=args.shards,
                     halo_sites=args.halo,
                     serial_threshold=args.serial_threshold,
+                    supervise=not args.no_supervise,
+                    shard_timeout_s=args.shard_timeout,
+                    max_shard_retries=args.shard_retries,
                 ),
+                checkpoint=manager,
             )
+            quarantined = engine_result.stuck
+            supervision = engine_result.supervision
+            if supervision is not None and (
+                supervision.faults or supervision.skipped_shards
+            ):
+                print(supervision.summary())
             if engine_result.parallel:
                 seam = engine_result.seam
                 print(
@@ -115,10 +215,15 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
                     f"(conflicts {seam.conflicts}, shard_failures "
                     f"{seam.shard_failures}, deferred {seam.deferred})"
                 )
+            elif engine_result.degraded:
+                print(
+                    "engine: DEGRADED to the sequential path (shards "
+                    "failed every supervision rung)"
+                )
             else:
                 print("engine: sequential fallback (below serial threshold)")
         elif args.algorithm == "mll":
-            Legalizer(design, config).run()
+            quarantined = Legalizer(design, config).run().stuck
         elif args.algorithm == "optimal":
             OptimalLegalizer(design, config).run()
         elif args.algorithm == "milp":
@@ -127,6 +232,10 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
             abacus_legalize(design, power_aligned=not args.relaxed)
         else:
             tetris_legalize(design, power_aligned=not args.relaxed)
+    except GracefulShutdown as exc:
+        # SIGINT/SIGTERM: flush a final checkpoint (when enabled) and
+        # report the partial result instead of a bare traceback.
+        return _report_shutdown(exc, manager)
     except LegalizationError as exc:
         # The exception carries the partial result of the failed run:
         # report what *was* achieved instead of dying with a traceback.
@@ -147,7 +256,12 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
             )
         else:  # pragma: no cover - foreign raiser without a result
             print(f"legalization FAILED: {exc}")
+    finally:
+        _restore_signal_handlers(previous_handlers)
     runtime = time.perf_counter() - t0
+
+    if args.quarantine and quarantined is not None:
+        print(quarantined.summary())
 
     violations = verify_placement(
         design, power_aligned=not args.relaxed, require_all_placed=False
@@ -284,6 +398,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serial-threshold", type=int, default=2048,
                    help="below this many movable cells the engine runs "
                         "the plain sequential legalizer")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="S",
+                   help="per-shard wall-clock budget in seconds; a "
+                        "worker exceeding it is killed and the shard "
+                        "retried (default: no timeout)")
+    p.add_argument("--shard-retries", type=int, default=2,
+                   help="worker-pool retries per shard before the "
+                        "supervisor escalates to an in-process re-run")
+    p.add_argument("--no-supervise", action="store_true",
+                   help="bypass the shard supervisor: bare worker pool, "
+                        "no timeouts/retries, crash aborts the run")
+    p.add_argument("--quarantine", action="store_true",
+                   help="complete with partial legality when cells "
+                        "exhaust the retry budget (reported in a "
+                        "stuck-cell manifest) instead of failing the run")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="snapshot completed shards to PATH (atomic "
+                        "write-rename) so a killed run can be resumed")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume a killed run from its checkpoint, "
+                        "skipping completed shards (keeps checkpointing "
+                        "to the same file)")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   metavar="N",
+                   help="flush the checkpoint every N completed shards")
     p.add_argument("--out", help="directory for the legalized bundle")
     p.add_argument("--format", choices=["bookshelf", "lefdef"],
                    default="bookshelf")

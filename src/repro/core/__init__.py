@@ -27,6 +27,8 @@ from repro.core.legalizer import (
     LegalizationError,
     LegalizationResult,
     Legalizer,
+    StuckCell,
+    StuckCellReport,
     legalize,
 )
 from repro.core.local_region import LocalRegion, LocalSegment, extract_local_region
@@ -50,6 +52,8 @@ __all__ = [
     "MultiRowLocalLegalizer",
     "PlacementBounds",
     "RealizationError",
+    "StuckCell",
+    "StuckCellReport",
     "build_insertion_intervals",
     "compute_bounds",
     "enumerate_insertion_points",

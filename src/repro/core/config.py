@@ -113,6 +113,20 @@ class LegalizerConfig:
     the target farther than this are rejected; MLL fails when none
     remain.  ``None`` (default) disables the cap, matching the paper."""
 
+    quarantine: bool = False
+    """Quarantine cells that exhaust the retry budget instead of
+    raising :class:`~repro.core.legalizer.LegalizationError`.
+
+    The paper's Algorithm 1 retries "until everything is placed"; its
+    benchmarks always converge, so exhaustion is an abort there.  In a
+    long-running service one pathological cell must not discard an
+    otherwise-finished run: with ``quarantine=True`` the driver
+    completes normally, reports the stuck cells in
+    ``LegalizationResult.stuck`` (a :class:`~repro.core.legalizer.
+    StuckCellReport` with per-cell coordinates and retry counts), and
+    leaves every successfully placed cell in place — partial legality
+    the caller can audit, persist, or feed back to a placer."""
+
     audit: bool = field(default_factory=_audit_default)
     """Run the independent legality checker over the realized region
     after every successful MLL insertion (:func:`repro.checker.

@@ -38,6 +38,64 @@ class LegalizationError(Exception):
         self.result = result
 
 
+@dataclass(frozen=True, slots=True)
+class StuckCell:
+    """One cell quarantined after exhausting Algorithm 1's retry budget."""
+
+    name: str
+    cell_id: int
+    gp_x: float
+    gp_y: float
+    width: int
+    height: int
+    rounds: int
+    """Retry rounds the cell survived before quarantine."""
+    origin: str = "serial"
+    """Where the budget ran out: ``"serial"`` (plain driver), ``"seam"``
+    (the engine's final sequential pass), or a shard label."""
+
+
+@dataclass(slots=True)
+class StuckCellReport:
+    """Quarantine manifest: cells legalization gave up on.
+
+    Produced instead of a mid-run :class:`LegalizationError` when
+    :attr:`~repro.core.config.LegalizerConfig.quarantine` is on; carried
+    on :class:`LegalizationResult` (and, via it, on
+    :class:`repro.engine.EngineResult`).  The run completes with partial
+    legality — every *placed* cell still satisfies the checker — and the
+    report tells the caller exactly what is missing and where it wanted
+    to go.
+    """
+
+    cells: list[StuckCell] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.cells]
+
+    def merge(self, other: "StuckCellReport") -> "StuckCellReport":
+        """Concatenate *other*'s quarantined cells into this report."""
+        self.cells.extend(other.cells)
+        return self
+
+    def summary(self, limit: int = 5) -> str:
+        """One-line human-readable digest for logs and the CLI."""
+        if not self.cells:
+            return "quarantined 0 cells"
+        head = ", ".join(
+            f"{c.name}@({c.gp_x:.0f},{c.gp_y:.0f})" for c in self.cells[:limit]
+        )
+        more = f" (+{len(self.cells) - limit} more)" if len(self.cells) > limit else ""
+        return f"quarantined {len(self.cells)} cells: {head}{more}"
+
+
 @dataclass(slots=True)
 class LegalizationResult:
     """Run statistics of one legalization."""
@@ -48,8 +106,16 @@ class LegalizationResult:
     mll_failures: int = 0
     rounds: int = 0
     runtime_s: float = 0.0
+    """*CPU-time-like* duration: the time this driver invocation spent
+    working.  Under :meth:`merge` it **sums** across shards, so for a
+    parallel run it approximates aggregate CPU seconds, not elapsed
+    time — speedups must be computed from
+    :attr:`repro.engine.EngineResult.wall_time_s` instead."""
     insertion_points_evaluated: int = 0
     failed_cells: list[str] = field(default_factory=list)
+    stuck: StuckCellReport = field(default_factory=StuckCellReport)
+    """Cells quarantined under ``LegalizerConfig.quarantine`` (empty on
+    fully successful runs and whenever quarantine is off)."""
 
     @property
     def mll_calls(self) -> int:
@@ -63,9 +129,11 @@ class LegalizationResult:
         (:mod:`repro.engine`) and multi-run statistics.  Counters add up;
         ``rounds`` takes the maximum (shards run their retry rounds
         concurrently, so the slowest shard defines the round count);
-        ``runtime_s`` accumulates *CPU* time — for a parallel run the
-        wall-clock lives in :class:`repro.engine.EngineResult`;
-        ``failed_cells`` concatenates.
+        ``runtime_s`` accumulates *CPU* time — summed worker seconds,
+        never wall-clock; for a parallel run the wall-clock lives in
+        :attr:`repro.engine.EngineResult.wall_time_s` and is the only
+        number speedups may be computed from; ``failed_cells`` and
+        ``stuck`` concatenate.
         """
         self.placed += other.placed
         self.direct_placements += other.direct_placements
@@ -75,6 +143,7 @@ class LegalizationResult:
         self.runtime_s += other.runtime_s
         self.insertion_points_evaluated += other.insertion_points_evaluated
         self.failed_cells.extend(other.failed_cells)
+        self.stuck.merge(other.stuck)
         return self
 
     def __iadd__(self, other: "LegalizationResult") -> "LegalizationResult":
@@ -92,13 +161,19 @@ class Legalizer:
         self.config = config if config is not None else LegalizerConfig()
         self.mll = MultiRowLocalLegalizer(design, self.config)
 
-    def run(self, cells: list[Cell] | None = None) -> LegalizationResult:
+    def run(
+        self, cells: list[Cell] | None = None, origin: str = "serial"
+    ) -> LegalizationResult:
         """Legalize *cells* (default: all unplaced movable cells).
 
         Cells are processed in input order (the paper: "arbitrary
-        order").  Raises :class:`LegalizationError` when
-        ``config.max_rounds`` retry rounds do not suffice; the design is
-        left with the successfully placed subset in place.
+        order").  When ``config.max_rounds`` retry rounds do not
+        suffice: raises :class:`LegalizationError` by default, or — with
+        ``config.quarantine`` — completes normally with the stuck cells
+        recorded in ``result.stuck`` (tagged *origin*, so engine callers
+        can distinguish a seam-pass quarantine from a serial one).
+        Either way the design is left with the successfully placed
+        subset in place.
         """
         t0 = time.perf_counter()
         cfg = self.config
@@ -124,6 +199,21 @@ class Legalizer:
             if k > cfg.max_rounds:
                 result.failed_cells = [c.name for c in unplaced]
                 result.runtime_s = time.perf_counter() - t0
+                if cfg.quarantine:
+                    result.stuck.cells.extend(
+                        StuckCell(
+                            name=c.name,
+                            cell_id=c.id,
+                            gp_x=c.gp_x,
+                            gp_y=c.gp_y,
+                            width=c.width,
+                            height=c.height,
+                            rounds=cfg.max_rounds,
+                            origin=origin,
+                        )
+                        for c in unplaced
+                    )
+                    return result
                 raise LegalizationError(
                     f"{len(unplaced)} cells unplaced after {cfg.max_rounds} "
                     f"retry rounds on {self.design.name!r}",

@@ -17,7 +17,23 @@ bit-reproducible for a fixed seed and shard count.  See
 ``docs/parallel_engine.md`` for the halo-correctness argument.
 """
 
+from repro.engine.checkpoint import (
+    CheckpointManager,
+    CheckpointState,
+    load_checkpoint,
+    run_fingerprint,
+    save_checkpoint,
+)
 from repro.engine.config import EngineConfig, derive_halo_sites
+from repro.engine.errors import (
+    CheckpointError,
+    EngineError,
+    ResumeMismatchError,
+    ShardAttemptError,
+    ShardRetriesExhaustedError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 from repro.engine.executor import EngineResult, ShardedLegalizer, legalize_sharded
 from repro.engine.partition import Partition, Shard, partition_design
 from repro.engine.reconcile import (
@@ -34,24 +50,44 @@ from repro.engine.shard_worker import (
     run_shard,
     shard_seed,
 )
+from repro.engine.supervisor import (
+    ShardAttempt,
+    ShardSupervisor,
+    SupervisionReport,
+)
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointState",
     "EngineConfig",
+    "EngineError",
     "EngineResult",
     "Partition",
     "ReconcileError",
+    "ResumeMismatchError",
     "SeamReport",
     "Shard",
+    "ShardAttempt",
+    "ShardAttemptError",
     "ShardCellSpec",
     "ShardOutcome",
+    "ShardRetriesExhaustedError",
+    "ShardSupervisor",
     "ShardTask",
+    "ShardTimeoutError",
     "ShardedLegalizer",
+    "SupervisionReport",
+    "WorkerCrashError",
     "apply_shard_outcomes",
     "build_shard_design",
     "derive_halo_sites",
     "legalize_sharded",
+    "load_checkpoint",
     "partition_design",
     "reconcile",
+    "run_fingerprint",
     "run_shard",
+    "save_checkpoint",
     "shard_seed",
 ]

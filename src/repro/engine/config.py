@@ -61,6 +61,49 @@ class EngineConfig:
     :class:`~repro.engine.reconcile.ReconcileError` on any violation, so
     the engine's contract is *exactly* the sequential path's."""
 
+    # -- supervision (fault tolerance of the worker fleet) -------------
+    supervise: bool = True
+    """Run worker shards under the :class:`~repro.engine.supervisor.
+    ShardSupervisor` (timeouts, crash containment, retry with backoff,
+    the degradation ladder).  ``False`` restores the bare
+    ``ProcessPoolExecutor`` fan-out, where one worker crash surfaces as
+    :class:`~repro.engine.errors.WorkerCrashError` (wrapping
+    ``BrokenProcessPool``) and aborts the run."""
+
+    shard_timeout_s: float | None = None
+    """Per-attempt wall-clock budget of one shard, measured from worker
+    dispatch.  On expiry the worker process is terminated and the shard
+    retried (:class:`~repro.engine.errors.ShardTimeoutError` in the
+    supervision report).  ``None`` (default) disables timeouts."""
+
+    max_shard_retries: int = 2
+    """Worker-pool retries per shard after its first attempt, before
+    the supervisor escalates to the in-process rung of the degradation
+    ladder.  Retried attempts reuse the shard's derived seed, so any
+    successful attempt is byte-identical."""
+
+    backoff_base_s: float = 0.25
+    """First retry delay; attempt *k* waits ``backoff_base_s *
+    2**(k-1)`` seconds (capped at :attr:`backoff_max_s`), plus jitter.
+    Backoff gives a transiently-starved host (OOM pressure, CPU
+    squeeze) room to recover before the shard is re-dispatched."""
+
+    backoff_max_s: float = 30.0
+    """Upper bound on a single backoff delay."""
+
+    backoff_jitter: float = 0.25
+    """Multiplicative jitter fraction: the delay is scaled by a factor
+    drawn uniformly from ``[1, 1 + backoff_jitter]``, seeded from the
+    shard seed and attempt (deterministic, decorrelated across shards
+    so retries do not stampede in lockstep).  ``0`` disables jitter."""
+
+    serial_fallback: bool = True
+    """Last rung of the degradation ladder: when a shard fails even the
+    in-process re-run, abandon the sharded plan and legalize the whole
+    design with the plain sequential driver (correct by construction,
+    just not parallel).  ``False`` raises
+    :class:`~repro.engine.errors.ShardRetriesExhaustedError` instead."""
+
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = one per CPU)")
@@ -72,6 +115,14 @@ class EngineConfig:
             raise ValueError("halo_retry_rounds must be >= 0")
         if self.serial_threshold < 0:
             raise ValueError("serial_threshold must be >= 0")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive (or None)")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0")
 
     def resolved_workers(self) -> int:
         """Worker count with ``0`` resolved to the available CPUs."""

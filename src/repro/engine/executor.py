@@ -1,4 +1,4 @@
-"""The shard executor: fan shards out to a worker pool and merge back.
+"""The shard executor: fan shards out to a supervised pool and merge back.
 
 ``ShardedLegalizer`` is the parallel counterpart of
 :class:`~repro.core.legalizer.Legalizer`:
@@ -6,32 +6,52 @@
 1. partition the floorplan into halo shards
    (:mod:`repro.engine.partition`);
 2. legalize every shard with the unmodified sequential legalizer —
-   in worker processes (``workers > 1``) or in-process (``workers=1``,
-   still exercising the sharded path when ``shards > 1``);
+   in worker processes under the :class:`~repro.engine.supervisor.
+   ShardSupervisor` (``workers > 1``: per-shard timeouts, crash
+   containment, bounded retry with backoff, the degradation ladder) or
+   in-process (``workers=1``, still exercising the sharded path when
+   ``shards > 1``);
 3. reconcile the seams (:mod:`repro.engine.reconcile`) so the merged
    placement passes the independent checker exactly like a sequential
    run.
 
+Fault tolerance: an attached :class:`~repro.engine.checkpoint.
+CheckpointManager` persists every completed shard's deltas with
+atomic write-rename, and a killed run resumes from the snapshot,
+skipping finished shards.  Under ``LegalizerConfig.quarantine`` a run
+whose seam pass cannot place every cell completes with the stragglers
+reported in ``EngineResult.stuck`` instead of raising mid-run.
+
 Determinism: the partition is a pure function of the design and the
 configs; every shard runs with a seed derived from ``config.seed`` and
-its shard id; deltas are applied in shard-id order.  Worker scheduling
-therefore cannot influence the final coordinates — ``workers=N`` is
-bit-reproducible for fixed seed and fixed shard count.
+its shard id, and a *retried or resumed* shard reuses that same seed;
+deltas are applied in shard-id order.  Worker scheduling, crashes,
+retries and resumes therefore cannot influence the final coordinates —
+``workers=N`` is bit-reproducible for fixed seed and fixed shard count,
+with or without faults.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import LegalizerConfig
 from repro.core.instrumentation import MllTelemetry
-from repro.core.legalizer import LegalizationResult, Legalizer
+from repro.core.legalizer import (
+    LegalizationResult,
+    Legalizer,
+    StuckCellReport,
+)
 from repro.db.design import Design
+from repro.engine.checkpoint import CheckpointManager
 from repro.engine.config import EngineConfig
+from repro.engine.errors import WorkerCrashError
 from repro.engine.partition import Partition, Shard, partition_design
 from repro.engine.reconcile import SeamReport, reconcile
+from repro.engine.supervisor import ShardSupervisor, SupervisionReport
 from repro.engine.shard_worker import (
     ShardCellSpec,
     ShardOutcome,
@@ -39,6 +59,7 @@ from repro.engine.shard_worker import (
     run_shard,
     shard_seed,
 )
+from repro.testing.faults import ShardFaultSpec
 
 
 @dataclass(slots=True)
@@ -47,7 +68,9 @@ class EngineResult:
 
     result: LegalizationResult
     """Merged run statistics (shards + seam pass); ``rounds`` is the
-    max across shards, ``runtime_s`` their summed CPU time."""
+    max across shards; ``runtime_s`` is their **summed CPU time** (it
+    grows with the shard count and must never be used for speedups —
+    compare :attr:`wall_time_s` instead)."""
 
     workers: int = 1
     num_shards: int = 1
@@ -55,20 +78,46 @@ class EngineResult:
     parallel: bool = False
     """False when the run fell back to the plain sequential path."""
 
+    degraded: bool = False
+    """True when the sequential path was reached through the
+    supervisor's last ladder rung (shards failed every retry), as
+    opposed to the size-based serial threshold."""
+
     seam: SeamReport = field(default_factory=SeamReport)
     shard_stats: list[LegalizationResult] = field(default_factory=list)
     """Per-shard statistics in shard-id order (empty on fallback)."""
 
+    supervision: SupervisionReport | None = None
+    """What the supervisor saw (``None`` on unsupervised / sequential
+    runs): attempts, crashes, timeouts, retries, escalations."""
+
     wall_time_s: float = 0.0
     """End-to-end wall-clock of the engine run (partition + workers +
-    reconcile), the number scaling benchmarks should compare."""
+    reconcile) — the **only** number scaling benchmarks may compare;
+    ``result.runtime_s`` sums per-shard CPU time and exceeds this on
+    any parallel run."""
+
+    @property
+    def stuck(self) -> StuckCellReport:
+        """Quarantined cells (empty unless ``config.quarantine``)."""
+        return self.result.stuck
 
 
 class ShardedLegalizer:
     """Sharded parallel Algorithm 1 bound to one design.
 
-    ``telemetry`` (optional, like the sequential legalizer's) receives
-    merged per-call records from every worker and from the seam pass.
+    Attach-style collaborators (all optional, set after construction):
+
+    ``telemetry``
+        :class:`MllTelemetry` receiving merged per-call records from
+        every worker and from the seam pass.
+    ``checkpoint``
+        :class:`~repro.engine.checkpoint.CheckpointManager`; completed
+        shard deltas are persisted as they land, and a manager opened
+        with ``resume=True`` skips its checkpointed shards entirely.
+    ``fault``
+        :class:`~repro.testing.faults.ShardFaultSpec` chaos hook,
+        attached to the matching shard's task (tests / chaos drills).
     """
 
     def __init__(
@@ -81,6 +130,8 @@ class ShardedLegalizer:
         self.config = config if config is not None else LegalizerConfig()
         self.engine = engine if engine is not None else EngineConfig()
         self.telemetry: MllTelemetry | None = None
+        self.checkpoint: CheckpointManager | None = None
+        self.fault: ShardFaultSpec | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> EngineResult:
@@ -95,8 +146,14 @@ class ShardedLegalizer:
         return self._run_sharded(partition, t0)
 
     # ------------------------------------------------------------------
-    def _run_sequential(self, t0: float) -> EngineResult:
-        """The serial in-process fallback: plain Algorithm 1."""
+    def _run_sequential(
+        self, t0: float, degraded: bool = False,
+        supervision: SupervisionReport | None = None,
+    ) -> EngineResult:
+        """The serial in-process fallback: plain Algorithm 1.
+
+        Reached either below the serial threshold or as the last rung
+        of the supervisor's degradation ladder (*degraded*)."""
         legalizer = Legalizer(self.design, self.config)
         if self.telemetry is not None:
             legalizer.mll.telemetry = self.telemetry
@@ -106,6 +163,8 @@ class ShardedLegalizer:
             workers=1,
             num_shards=1,
             parallel=False,
+            degraded=degraded,
+            supervision=supervision,
             wall_time_s=time.perf_counter() - t0,
         )
 
@@ -119,12 +178,44 @@ class ShardedLegalizer:
         ]
         workers = min(self.engine.resolved_workers(), max(1, len(tasks)))
 
+        if self.checkpoint is not None:
+            self.checkpoint.open(design, self.config, partition)
+
+        supervision: SupervisionReport | None = None
         if workers <= 1:
-            outcomes = [run_shard(task) for task in tasks]
+            outcomes = self._run_inprocess(tasks)
+        elif self.engine.supervise:
+            supervisor = ShardSupervisor(
+                tasks,
+                self.engine,
+                workers=workers,
+                on_outcome=(
+                    self.checkpoint.record
+                    if self.checkpoint is not None
+                    else None
+                ),
+                completed=(
+                    self.checkpoint.completed
+                    if self.checkpoint is not None
+                    else None
+                ),
+            )
+            outcomes, supervision = supervisor.run()
+            if supervision.serial_fallback:
+                # Last ladder rung: the sharded plan is unsalvageable
+                # (a shard failed pool retries *and* the in-process
+                # re-run).  The master design is still untouched —
+                # shards mutate copies — so the plain sequential driver
+                # takes over cleanly.
+                return self._run_sequential(
+                    t0, degraded=True, supervision=supervision
+                )
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(run_shard, tasks))
+            outcomes = self._run_bare_pool(tasks, workers)
         outcomes.sort(key=lambda o: o.shard_id)
+
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
 
         if self.telemetry is not None:
             for outcome in outcomes:
@@ -160,8 +251,51 @@ class ShardedLegalizer:
             parallel=True,
             seam=report,
             shard_stats=[o.stats for o in outcomes],
+            supervision=supervision,
             wall_time_s=time.perf_counter() - t0,
         )
+
+    # ------------------------------------------------------------------
+    def _run_inprocess(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
+        """``workers=1``: run shards serially in this process.
+
+        Still honors the checkpoint (resume skips completed shards,
+        completions are recorded); worker-process fault modes cannot
+        fire here by construction."""
+        done = self.checkpoint.completed if self.checkpoint else {}
+        outcomes: list[ShardOutcome] = []
+        for task in tasks:
+            if task.shard_id in done:
+                outcomes.append(done[task.shard_id])
+                continue
+            outcome = run_shard(task)
+            if self.checkpoint is not None:
+                self.checkpoint.record(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_bare_pool(
+        self, tasks: list[ShardTask], workers: int
+    ) -> list[ShardOutcome]:
+        """``supervise=False``: the PR-1 bare ``ProcessPoolExecutor``.
+
+        No timeouts, no retry: one worker crash poisons the pool and
+        surfaces as :class:`WorkerCrashError` (wrapping
+        ``BrokenProcessPool``), aborting the run.  Kept for A/B
+        comparison and as the minimal-overhead path on trusted hosts.
+        """
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(run_shard, tasks))
+        except BrokenProcessPool as exc:
+            raise WorkerCrashError(
+                f"worker pool collapsed ({exc}); rerun with "
+                f"EngineConfig(supervise=True) for crash containment"
+            ) from exc
+        if self.checkpoint is not None:
+            for outcome in outcomes:
+                self.checkpoint.record(outcome)
+        return outcomes
 
     # ------------------------------------------------------------------
     def _make_task(
@@ -185,6 +319,9 @@ class ShardedLegalizer:
             for c in self.design.placed_cells()
             if c.x + c.width > shard.slice_x0 and c.x < shard.slice_x1
         )
+        fault = self.fault
+        if fault is not None and fault.shard_id != shard.id:
+            fault = None
         return ShardTask(
             shard_id=shard.id,
             seed=shard_seed(self.config.seed, shard.id),
@@ -201,6 +338,7 @@ class ShardedLegalizer:
             frozen_rects=frozen,
             cells=specs,
             collect_telemetry=self.telemetry is not None,
+            fault=fault,
         )
 
 
@@ -209,8 +347,12 @@ def legalize_sharded(
     config: LegalizerConfig | None = None,
     engine: EngineConfig | None = None,
     telemetry: MllTelemetry | None = None,
+    checkpoint: CheckpointManager | None = None,
+    fault: ShardFaultSpec | None = None,
 ) -> EngineResult:
     """One-call convenience wrapper around :class:`ShardedLegalizer`."""
     sharded = ShardedLegalizer(design, config, engine)
     sharded.telemetry = telemetry
+    sharded.checkpoint = checkpoint
+    sharded.fault = fault
     return sharded.run()

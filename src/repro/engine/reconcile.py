@@ -104,9 +104,11 @@ def reconcile(
 
     Raises :class:`~repro.core.legalizer.LegalizationError` when even the
     full-design sequential pass cannot place a conflicted cell (the same
-    contract as :meth:`Legalizer.run`), and :class:`ReconcileError` when
-    *validate* is set and the independent checker still finds a
-    violation afterwards.
+    contract as :meth:`Legalizer.run`) — unless ``config.quarantine`` is
+    on, in which case those cells land in ``seam_stats.stuck`` and the
+    merge commits with partial legality.  Raises :class:`ReconcileError`
+    when *validate* is set and the independent checker still finds a
+    violation among the *placed* cells afterwards.
 
     With *transactional* (the default) the whole merge — delta
     application plus the final sequential pass — runs inside one
@@ -141,7 +143,12 @@ def reconcile(
         seam_legalizer = Legalizer(design, config)
         if telemetry is not None:
             seam_legalizer.mll.telemetry = telemetry
-        report.seam_stats = seam_legalizer.run(cells=conflicts)
+        # origin="seam": under config.quarantine, cells this final pass
+        # cannot place are reported (result.stuck) instead of raised,
+        # tagged as seam-pass quarantines; the merge then commits with
+        # partial legality and the checker below audits the placed
+        # subset (require_all_placed=False).
+        report.seam_stats = seam_legalizer.run(cells=conflicts, origin="seam")
 
     if validate:
         violations = verify_placement(

@@ -22,13 +22,19 @@ from dataclasses import dataclass, replace
 
 from repro.core.config import LegalizerConfig
 from repro.core.instrumentation import MllCallRecord, MllTelemetry
-from repro.core.legalizer import LegalizationError, LegalizationResult, Legalizer
+from repro.core.legalizer import (
+    LegalizationError,
+    LegalizationResult,
+    Legalizer,
+    StuckCellReport,
+)
 from repro.db.design import Design
 from repro.db.fence import FenceRegion
 from repro.db.floorplan import Floorplan
 from repro.db.library import Library, Rail
 from repro.db.netlist import Netlist
 from repro.geometry import Rect
+from repro.testing.faults import ShardFaultSpec, worker_fault_from_env
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +71,13 @@ class ShardTask:
     shard treats them as immovable obstacles."""
     cells: tuple[ShardCellSpec, ...]
     collect_telemetry: bool = False
+    attempt: int = 1
+    """1-based attempt number under the supervisor; a retried shard
+    gets a fresh task with the *same* seed and a bumped attempt, so any
+    successful attempt yields byte-identical deltas."""
+    fault: "ShardFaultSpec | None" = None
+    """Optional injected worker fault (:class:`repro.testing.faults.
+    ShardFaultSpec`) — test/chaos hook, ``None`` in production."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,6 +148,14 @@ def run_shard(task: ShardTask) -> ShardOutcome:
     the seam reconciler on the full design, where the neighbor context
     the shard lacked is visible.
     """
+    # Chaos hook: an armed ShardFaultSpec (from the task, or from the
+    # REPRO_WORKER_FAULT environment variable for CLI/CI experiments)
+    # fires *before* any work, simulating a worker that dies, wedges or
+    # throws.  A disarmed attempt (attempt > spec.attempts) runs clean.
+    fault = task.fault if task.fault is not None else worker_fault_from_env()
+    if fault is not None and fault.armed_for(task.shard_id, task.attempt):
+        fault.trip(task.shard_id, task.attempt)
+
     design, cells = build_shard_design(task)
     config = replace(task.config, seed=task.seed)
     legalizer = Legalizer(design, config)
@@ -144,7 +165,7 @@ def run_shard(task: ShardTask) -> ShardOutcome:
 
     error: str | None = None
     try:
-        stats = legalizer.run()
+        stats = legalizer.run(origin=f"shard{task.shard_id}")
     except LegalizationError as exc:
         # The exception carries the partial result of the failed run —
         # placed counts, MLL telemetry counters, rounds — so shard
@@ -173,6 +194,11 @@ def run_shard(task: ShardTask) -> ShardOutcome:
         for spec, cell in zip(task.cells, cells)
         if not cell.is_placed
     ]
+    # Shards never quarantine: a cell the shard could not place gets a
+    # second chance at the seam pass (full-design context), so any
+    # shard-level stuck entries (config.quarantine on) are dropped here
+    # — only the seam pass decides what is truly stuck.
+    stats.stuck = StuckCellReport()
     return ShardOutcome(
         shard_id=task.shard_id,
         placements=placements,

@@ -12,18 +12,24 @@ from repro.testing.faults import (
     FaultInjector,
     FaultSweepReport,
     InjectedFault,
+    ShardFaultSpec,
+    WorkerFault,
     count_journaled_mutations,
     design_state,
     design_state_digest,
     fault_sweep,
+    worker_fault_from_env,
 )
 
 __all__ = [
     "FaultInjector",
     "FaultSweepReport",
     "InjectedFault",
+    "ShardFaultSpec",
+    "WorkerFault",
     "count_journaled_mutations",
     "design_state",
     "design_state_digest",
     "fault_sweep",
+    "worker_fault_from_env",
 ]

@@ -19,6 +19,9 @@ fault armed there, asserting state restoration each time.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -98,6 +101,130 @@ def count_journaled_mutations(
     with FaultInjector(design, trip_at=None) as counter:
         action()
     return counter.seen
+
+
+# ----------------------------------------------------------------------
+# Worker-process fault modes (the engine supervisor's chaos monkey)
+# ----------------------------------------------------------------------
+#: Environment variable read by :func:`worker_fault_from_env`.
+WORKER_FAULT_ENV = "REPRO_WORKER_FAULT"
+
+
+class WorkerFault(RuntimeError):
+    """Raised by the ``raise`` fault mode inside a shard attempt."""
+
+    def __init__(self, shard_id: int, attempt: int) -> None:
+        super().__init__(
+            f"injected worker fault in shard {shard_id} (attempt {attempt})"
+        )
+        self.shard_id = shard_id
+        self.attempt = attempt
+
+
+@dataclass(frozen=True, slots=True)
+class ShardFaultSpec:
+    """A deliberate worker failure, armed per shard and per attempt.
+
+    Where :class:`FaultInjector` crashes *mutations* to test the
+    journal, this spec crashes *workers* to test the engine supervisor
+    (:mod:`repro.engine.supervisor`).  It travels inside the pickled
+    :class:`~repro.engine.shard_worker.ShardTask`, so it fires in the
+    worker process itself — the supervisor sees exactly what a real
+    OOM kill / hang / bug would produce.
+
+    Modes:
+
+    ``crash``
+        ``os._exit(exitcode)`` — the process vanishes without a result,
+        like an OOM kill.  Fires only inside a worker process (it would
+        take the test runner down otherwise).
+    ``hang``
+        ``time.sleep(sleep_s)`` — simulates a wedged worker so the
+        per-shard timeout can be exercised.  Worker-process only.
+    ``raise``
+        raise :class:`WorkerFault` — an unexpected exception in the
+        shard flow.  Fires in *any* process (including the in-process
+        escalation rung), which is how tests drive the supervisor all
+        the way down to the whole-design serial fallback.
+
+    ``attempts`` bounds the blast radius: the fault fires while the
+    task's attempt number is ``<= attempts``, so ``attempts=1`` means
+    "fail once, then recover" — the retry must then produce a result
+    byte-identical to a fault-free run (same derived shard seed).
+    """
+
+    shard_id: int
+    mode: str = "crash"
+    attempts: int = 1
+    sleep_s: float = 30.0
+    exitcode: int = 13
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("crash", "hang", "raise"):
+            raise ValueError(f"unknown worker fault mode {self.mode!r}")
+        if self.attempts < 0:
+            raise ValueError("attempts must be >= 0")
+
+    # ------------------------------------------------------------------
+    def armed_for(self, shard_id: int, attempt: int) -> bool:
+        """Does this fault fire for *shard_id*'s *attempt*-th try?"""
+        return shard_id == self.shard_id and attempt <= self.attempts
+
+    def trip(self, shard_id: int, attempt: int) -> None:
+        """Fire the fault (call only when :meth:`armed_for` is true).
+
+        ``crash`` and ``hang`` are no-ops outside a worker process:
+        both would otherwise destroy (or stall) the supervising process
+        the tests run in.  ``raise`` always fires — the in-process
+        escalation rung must be crashable too.
+        """
+        in_worker = multiprocessing.parent_process() is not None
+        if self.mode == "crash":
+            if in_worker:
+                os._exit(self.exitcode)
+        elif self.mode == "hang":
+            if in_worker:
+                time.sleep(self.sleep_s)
+        else:  # raise
+            raise WorkerFault(shard_id, attempt)
+
+
+def worker_fault_from_env(env: str | None = None) -> ShardFaultSpec | None:
+    """Parse a :class:`ShardFaultSpec` from ``REPRO_WORKER_FAULT``.
+
+    Format: ``mode,shard=ID[,attempts=N][,sleep=S][,exitcode=E]``, e.g.
+    ``crash,shard=0,attempts=1``.  Lets the CLI / CI chaos smoke inject
+    worker kills into a real ``repro legalize --workers N`` run without
+    any code hook.  Returns ``None`` when the variable is unset/empty;
+    raises :class:`ValueError` on a malformed value (a chaos experiment
+    that silently does not run is worse than one that fails loudly).
+    """
+    raw = os.environ.get(WORKER_FAULT_ENV, "") if env is None else env
+    raw = raw.strip()
+    if not raw:
+        return None
+    parts = [p.strip() for p in raw.split(",") if p.strip()]
+    mode = parts[0]
+    kwargs: dict[str, float | int] = {}
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        if key == "shard":
+            kwargs["shard_id"] = int(value)
+        elif key == "attempts":
+            kwargs["attempts"] = int(value)
+        elif key == "sleep":
+            kwargs["sleep_s"] = float(value)
+        elif key == "exitcode":
+            kwargs["exitcode"] = int(value)
+        else:
+            raise ValueError(
+                f"unknown {WORKER_FAULT_ENV} key {key!r} in {raw!r}"
+            )
+    if "shard_id" not in kwargs:
+        raise ValueError(
+            f"{WORKER_FAULT_ENV} must name a shard, e.g. 'crash,shard=0'"
+        )
+    return ShardFaultSpec(mode=mode, **kwargs)  # type: ignore[arg-type]
 
 
 # ----------------------------------------------------------------------

@@ -147,3 +147,137 @@ class TestShowAndStats:
         out = capsys.readouterr().out
         assert "cells:     120" in out
         assert "density" in out
+
+class TestFaultToleranceFlags:
+    PAR = ["--workers", "2", "--shards", "2", "--serial-threshold", "0"]
+
+    def test_supervision_knobs_accepted(self, generated, capsys):
+        rc = main(
+            ["legalize", str(generated), *self.PAR,
+             "--shard-timeout", "30", "--shard-retries", "1"]
+        )
+        assert rc == 0
+        assert "violations 0" in capsys.readouterr().out
+
+    def test_no_supervise_bare_pool(self, generated, capsys):
+        rc = main(["legalize", str(generated), *self.PAR, "--no-supervise"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine: shards=2 workers=2" in out
+        assert "violations 0" in out
+
+    def test_quarantine_flag_reports_empty(self, generated, capsys):
+        rc = main(["legalize", str(generated), "--quarantine"])
+        assert rc == 0
+        assert "quarantined 0 cells" in capsys.readouterr().out
+
+    def test_env_fault_chaos_run_recovers(
+        self, generated, capsys, monkeypatch
+    ):
+        """The documented chaos drill: crash shard 0's first worker via
+        the environment hook; the supervised run must self-heal."""
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "crash,shard=0,attempts=1")
+        rc = main(["legalize", str(generated), *self.PAR])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crashes=1" in out
+        assert "retries=1" in out
+        assert "violations 0" in out
+        assert "unplaced 0" in out
+
+    def test_checkpoint_then_resume(self, generated, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(
+            ["legalize", str(generated), *self.PAR,
+             "--checkpoint", str(ckpt)]
+        )
+        assert rc == 0
+        assert ckpt.exists()
+        first = capsys.readouterr().out
+        assert "violations 0" in first
+
+        rc = main(
+            ["legalize", str(generated), *self.PAR, "--resume", str(ckpt)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed=2" in out  # both shards came from the snapshot
+        assert "violations 0" in out
+
+    def test_resume_requires_matching_checkpoint_path(
+        self, generated, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="same file"):
+            main(
+                ["legalize", str(generated), *self.PAR,
+                 "--checkpoint", str(tmp_path / "a.ckpt"),
+                 "--resume", str(tmp_path / "b.ckpt")]
+            )
+
+    def test_checkpoint_every_flag(self, generated, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main(
+            ["legalize", str(generated), *self.PAR,
+             "--checkpoint", str(ckpt), "--checkpoint-every", "2"]
+        )
+        assert rc == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+
+
+class TestGracefulShutdown:
+    """Unit coverage of the signal path (the handler itself is
+    exercised end-to-end by the CI chaos job via ``kill``)."""
+
+    def test_report_without_checkpoint(self, capsys):
+        import signal
+
+        from repro.cli import GracefulShutdown, _report_shutdown
+
+        rc = _report_shutdown(GracefulShutdown(signal.SIGINT), None)
+        assert rc == 128 + signal.SIGINT
+        out = capsys.readouterr().out
+        assert "interrupted by SIGINT" in out
+        assert "--checkpoint" in out  # the how-to-make-resumable hint
+
+    def test_report_before_shard_phase(self, tmp_path, capsys):
+        import signal
+
+        from repro.cli import GracefulShutdown, _report_shutdown
+        from repro.engine import CheckpointManager
+
+        manager = CheckpointManager(str(tmp_path / "x.ckpt"))
+        rc = _report_shutdown(GracefulShutdown(signal.SIGTERM), manager)
+        assert rc == 128 + signal.SIGTERM
+        out = capsys.readouterr().out
+        assert "before the shard phase" in out
+
+    def test_report_flushes_bound_checkpoint(self, tmp_path, capsys):
+        import signal
+
+        from repro.bench import GeneratorConfig, generate_design
+        from repro.cli import GracefulShutdown, _report_shutdown
+        from repro.core import LegalizerConfig
+        from repro.engine import (
+            CheckpointManager,
+            EngineConfig,
+            load_checkpoint,
+            partition_design,
+        )
+
+        design = generate_design(
+            GeneratorConfig(num_cells=400, target_density=0.4, seed=2)
+        )
+        cfg = LegalizerConfig(seed=1)
+        part = partition_design(
+            design, cfg, EngineConfig(workers=2, shards=2, serial_threshold=0)
+        )
+        path = tmp_path / "x.ckpt"
+        manager = CheckpointManager(str(path)).open(design, cfg, part)
+
+        rc = _report_shutdown(GracefulShutdown(signal.SIGTERM), manager)
+        assert rc == 128 + signal.SIGTERM
+        out = capsys.readouterr().out
+        assert "interrupted by SIGTERM: 0/2 shards checkpointed" in out
+        assert f"--resume {path}" in out
+        assert load_checkpoint(str(path)).completed == {}
