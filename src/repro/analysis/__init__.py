@@ -1,0 +1,52 @@
+"""repro-lint: static analysis for the repo's whole-program invariants.
+
+The transactional journal (PR 2) and the bit-reproducible parallel
+engine (PR 3) established guarantees the Python interpreter cannot
+check: every placement mutation must flow through journaled primitives,
+and nothing in the hot packages may depend on set order, ambient
+randomness, or the wall clock.  This package enforces those invariants
+(plus the exception taxonomy and a strict-typing gate) at lint time::
+
+    python -m repro.analysis src/          # or: repro lint
+    repro lint --format json src/
+    repro lint --list-rules
+
+Rule families (see docs/static_analysis.md for the full catalog):
+
+=====  ====================  ==============================================
+code   name                  guards
+=====  ====================  ==============================================
+RL0    suppression-hygiene   suppressions carry justifications, stay fresh
+RL1    journal-bypass        mutations flow through the journal (core,
+                             engine, apps, io, checker)
+RL2    determinism           set order / randomness / clocks (core,
+                             engine, checker, analysis)
+RL3    transaction-safety    no exception swallowing around mutations;
+                             apps + reconciler mutate inside Transactions
+RL4    exception-taxonomy    engine raises/classes use engine.errors
+RL5    strict-typing         complete annotations, no bare generics
+                             (core, engine, db, analysis)
+=====  ====================  ==============================================
+
+Suppress a false positive with a justified comment::
+
+    x = scratch.pop()  # repro-lint: disable=RL2 -- scratch is int-only and local
+"""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseRule, all_rules, register
+from repro.analysis.reporters import ScanSummary, render_json, render_text
+from repro.analysis.runner import lint_file, lint_paths, run
+
+__all__ = [
+    "BaseRule",
+    "Diagnostic",
+    "ScanSummary",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "run",
+]

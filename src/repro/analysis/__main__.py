@@ -1,0 +1,8 @@
+"""``python -m repro.analysis [paths...]`` — run repro-lint."""
+
+import sys
+
+from repro.analysis.runner import run
+
+if __name__ == "__main__":
+    sys.exit(run())

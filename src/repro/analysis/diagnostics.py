@@ -1,0 +1,55 @@
+"""Diagnostic records emitted by the repro-lint rules.
+
+A :class:`Diagnostic` is one finding: a rule code, a location, and a
+human-readable message.  Diagnostics are plain values — rules produce
+them, the suppression layer filters them, reporters render them — so
+every stage of the pipeline stays independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    The field order doubles as the sort order (path, then line, then
+    column, then code), which gives every reporter a stable, diffable
+    output ordering regardless of rule registration order.
+    """
+
+    path: str
+    """File the finding is in, as passed to the runner (relative paths
+    stay relative so output is machine-independent)."""
+
+    line: int
+    """1-based line of the offending node."""
+
+    col: int
+    """0-based column of the offending node."""
+
+    code: str
+    """Rule code, e.g. ``"RL1"``."""
+
+    rule: str
+    """Short rule name, e.g. ``"journal-bypass"``."""
+
+    message: str
+    """What is wrong and what to do instead."""
+
+    def to_dict(self) -> dict[str, str | int]:
+        """JSON-ready representation (used by the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Canonical one-line text form: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

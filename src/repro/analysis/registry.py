@@ -1,0 +1,135 @@
+"""Pluggable rule registry.
+
+A rule is a class with a ``code`` (``"RL1"``), a short ``name``, a
+``summary`` for ``--list-rules``, an ``enforced`` scope (the ``repro``
+subpackages whose invariants it guards, or ``None`` for everywhere),
+and a ``check(ctx)`` generator yielding
+:class:`~repro.analysis.diagnostics.Diagnostic` records.
+
+Rules self-register with the :func:`register` decorator at import time;
+:mod:`repro.analysis.rules` imports every rule module, so importing
+that package once populates the registry.  Third-party or experimental
+rules can register the same way without touching the runner.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable, Iterator, Protocol, Type
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+
+
+class Rule(Protocol):
+    """Interface every registered rule must satisfy."""
+
+    code: str
+    name: str
+    summary: str
+    enforced: tuple[str, ...] | None
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield findings for one file (already scope-filtered)."""
+        ...  # pragma: no cover - protocol body
+
+
+class BaseRule:
+    """Convenience base: diagnostic construction bound to the rule."""
+
+    code: str = "RL?"
+    name: str = "unnamed"
+    summary: str = ""
+    enforced: tuple[str, ...] | None = None
+
+    def diag(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` at *node* carrying this rule's identity."""
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Scope filter: unscoped files (fixtures) get every rule."""
+        if self.enforced is None or ctx.subpackage is None:
+            return True
+        return ctx.subpackage in self.enforced
+
+
+_REGISTRY: dict[str, BaseRule] = {}
+
+
+def register(cls: Type[BaseRule]) -> Type[BaseRule]:
+    """Class decorator adding one instance of *cls* to the registry."""
+    inst = cls()
+    if inst.code in _REGISTRY:  # pragma: no cover - registration bug
+        raise ValueError(f"duplicate rule code {inst.code!r}")
+    _REGISTRY[inst.code] = inst
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Deferred so registry import does not cycle with the rule modules.
+    import repro.analysis.rules  # noqa: F401
+
+
+def all_rules() -> list[BaseRule]:
+    """Every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def known_codes() -> frozenset[str]:
+    """The set of valid rule codes (for suppression validation)."""
+    _ensure_loaded()
+    return frozenset(_REGISTRY) | {"E999"}
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[BaseRule]:
+    """Registry subset for ``--select`` / ``--ignore``.
+
+    Unknown codes raise :class:`KeyError` so typos fail loudly instead
+    of silently disabling a gate.
+    """
+    _ensure_loaded()
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.code in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        unknown = dropped - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.code not in dropped]
+    return rules
+
+
+def rules_for(
+    ctx: FileContext, rules: Iterable[BaseRule] | None = None
+) -> Iterator[BaseRule]:
+    """The rules that apply to *ctx* after scope filtering."""
+    for rule in all_rules() if rules is None else rules:
+        if rule.applies_to(ctx):
+            yield rule
+
+
+# Re-exported decorator-friendly alias used by rule modules.
+rule = register
+
+CheckFn = Callable[[FileContext], Iterator[Diagnostic]]

@@ -1,0 +1,327 @@
+"""RL2 — determinism.
+
+``engine/``, ``core/`` and ``checker/`` are contractually
+bit-reproducible: the chaos CI job re-runs a ``workers=2`` engine after
+injected crashes and requires a byte-identical ``.pl``.  The classic
+ways Python code silently loses that property:
+
+* **iterating a set** — iteration order depends on insertion *and*
+  (for str elements) on ``PYTHONHASHSEED``, which differs per worker
+  process; wrap in ``sorted(...)``;
+* **module-level random functions** (``random.random()``, ``shuffle``)
+  — they share one ambient, unseeded generator; derive a
+  ``random.Random(seed)`` instance instead (see ``shard_seed``);
+* **wall-clock reads steering control flow** — timing is fine for
+  telemetry (``t0 = time.perf_counter()``) but not for decisions;
+* **``os.urandom`` / ``uuid.uuid4`` / builtin ``hash()``** — entropy
+  and hash randomization; digests must use ``hashlib``.
+
+Set detection is a local, syntactic type inference: names bound to set
+displays/comprehensions/``set()``/``frozenset()`` calls (or annotated
+as sets) within the same scope are treated as sets; the rule flags
+``for``-loops, comprehension iterables and order-preserving conversions
+(``list``/``tuple``/``enumerate``/``iter``/``reversed``/``join``) over
+them unless wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseRule, register
+
+#: random-module callables that are seedable generator *constructors*
+#: (allowed); every other ``random.<fn>`` call shares ambient state.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+#: Wall-clock reads that must not steer control flow.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.monotonic",
+        "time.perf_counter",
+        "time.process_time",
+        "time.thread_time",
+        "time.time_ns",
+        "time.monotonic_ns",
+        "time.perf_counter_ns",
+    }
+)
+
+#: Entropy sources banned outright in deterministic packages.
+_ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+#: Order-preserving consumers: converting a set through these bakes the
+#: nondeterministic order into a list/tuple/stream.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "enumerate", "iter", "reversed"}
+)
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Order-insensitive consumers: a comprehension feeding one of these
+#: directly cannot leak set order into the result.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "set", "frozenset", "any", "all", "len"}
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_set(node.left) or _annotation_is_set(node.right)
+    return False
+
+
+class _SetInference:
+    """Scope-local syntactic inference of set-typed names."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.names: set[str] = set()
+        self._collect(scope)
+
+    def _collect(self, scope: ast.AST) -> None:
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                if self.is_set_expr(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and (
+                    _annotation_is_set(node.annotation)
+                    or (
+                        node.value is not None
+                        and self.is_set_expr(node.value)
+                    )
+                ):
+                    self.names.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                ):
+                    if _annotation_is_set(arg.annotation):
+                        self.names.add(arg.arg)
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        """Syntactically set-valued: display, comp, ctor, algebra."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body) or self.is_set_expr(node.orelse)
+        return False
+
+
+@register
+class DeterminismRule(BaseRule):
+    code = "RL2"
+    name = "determinism"
+    summary = (
+        "order/entropy hazards in bit-reproducible packages: set "
+        "iteration without sorted(), ambient random, wall-clock in "
+        "control flow, os.urandom/uuid4/builtin hash"
+    )
+    enforced = ("core", "engine", "checker", "analysis")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._check_set_iteration(ctx)
+        yield from self._check_calls(ctx)
+        yield from self._check_clock_control_flow(ctx)
+
+    # ------------------------------------------------------------------
+    def _check_set_iteration(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        # One inference pass per scope (module + each function).
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        flagged: set[int] = set()
+        for scope in scopes:
+            inference = _SetInference(scope)
+            if not inference.names and not self._has_set_syntax(scope):
+                continue
+            for node in ast.walk(scope):
+                expr: ast.expr | None = None
+                what = ""
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    expr, what = node.iter, "for-loop"
+                elif isinstance(node, ast.comprehension):
+                    if self._order_insensitive_comprehension(node):
+                        continue
+                    expr, what = node.iter, "comprehension"
+                elif isinstance(node, ast.Call):
+                    name = _dotted(node.func)
+                    if (
+                        name in _ORDER_SENSITIVE_CALLS
+                        and node.args
+                        and not node.keywords
+                    ):
+                        expr, what = node.args[0], f"{name}() conversion"
+                    elif (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "join"
+                        and node.args
+                    ):
+                        expr, what = node.args[0], "str.join"
+                    elif (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "pop"
+                        and not node.args
+                        and inference.is_set_expr(node.func.value)
+                    ):
+                        expr, what = node.func.value, "set.pop()"
+                if expr is None or not inference.is_set_expr(expr):
+                    continue
+                key = id(node)
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                yield self.diag(
+                    ctx,
+                    expr,
+                    f"unordered set iterated by {what}: iteration order "
+                    f"is not reproducible across processes — wrap in "
+                    f"sorted(...) (or restructure around a list/dict)",
+                )
+
+    @staticmethod
+    def _order_insensitive_comprehension(node: ast.comprehension) -> bool:
+        """Set→set rebuilds and ``sorted(x for x in s)`` are order-free."""
+        from repro.analysis.context import parent_of
+
+        owner = parent_of(node)
+        if isinstance(owner, ast.SetComp):
+            return True  # building an unordered container again
+        if isinstance(owner, (ast.GeneratorExp, ast.ListComp)):
+            call = parent_of(owner)
+            if isinstance(call, ast.Call) and owner in call.args:
+                name = _dotted(call.func)
+                if name in _ORDER_INSENSITIVE_CALLS:
+                    return True
+        return False
+
+    @staticmethod
+    def _has_set_syntax(scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("set", "frozenset"):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _check_calls(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            if name in _ENTROPY_CALLS:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"`{name}()` draws entropy: bit-reproducible code "
+                    f"must derive randomness from the run seed "
+                    f"(random.Random(seed)) or use hashlib for digests",
+                )
+            elif name == "hash":
+                yield self.diag(
+                    ctx,
+                    node,
+                    "builtin hash() is randomized per process for str "
+                    "(PYTHONHASHSEED); use hashlib for stable digests "
+                    "or compare values directly",
+                )
+            elif (
+                name.startswith("random.")
+                and name.split(".", 1)[1] not in _RANDOM_ALLOWED
+                and name.count(".") == 1
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"`{name}()` uses the ambient module-level RNG; "
+                    f"construct random.Random(derived_seed) so results "
+                    f"do not depend on import-time state",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_clock_control_flow(
+        self, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        tests: list[ast.expr] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.If, ast.While)):
+                tests.append(node.test)
+            elif isinstance(node, ast.IfExp):
+                tests.append(node.test)
+            elif isinstance(node, ast.Assert):
+                tests.append(node.test)
+            elif isinstance(node, ast.Compare):
+                tests.append(node)
+        seen: set[int] = set()
+        for test in tests:
+            for sub in ast.walk(test):
+                if not isinstance(sub, ast.Call) or id(sub) in seen:
+                    continue
+                name = _dotted(sub.func)
+                if name in _CLOCK_CALLS:
+                    seen.add(id(sub))
+                    yield self.diag(
+                        ctx,
+                        sub,
+                        f"wall-clock read `{name}()` steers control "
+                        f"flow: decisions must not depend on timing "
+                        f"(keep clocks in telemetry assignments only)",
+                    )

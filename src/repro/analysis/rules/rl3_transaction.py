@@ -1,0 +1,190 @@
+"""RL3 — transaction-safety.
+
+Three checks, from broadest to most targeted:
+
+1. **Bare / BaseException swallowing** (everywhere): ``except:`` or
+   ``except BaseException:`` whose handler never re-raises also eats
+   ``KeyboardInterrupt`` — which is exactly the signal the journal
+   relies on propagating so an interrupted realization rolls back.
+
+2. **Swallowing near journaled mutations**: a function that calls the
+   placement-mutation primitives *and* contains a typeless /
+   ``Exception``-broad handler with no ``raise`` can observe (and keep)
+   a half-applied mutation.  Catch the specific error, or let the
+   enclosing :class:`~repro.db.journal.Transaction` unwind.
+
+3. **Unscoped mutations** (``apps/`` and ``engine/reconcile.py``): the
+   paper-level applications and the seam reconciler promised (PR 2)
+   that every mutation path commits-or-restores byte-identically, so
+   their calls to ``place`` / ``unplace`` / ``shift_x`` / ``add_cell``
+   / ``realize_insertion`` must sit lexically inside a
+   ``with Transaction(design)`` / ``with design.transaction()`` block.
+   Helpers whose *callers* own the transaction document that with a
+   justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext, ancestors
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseRule, register
+
+#: Calls that mutate journaled placement state.
+MUTATION_PRIMITIVES = frozenset(
+    {"place", "unplace", "shift_x", "add_cell", "realize_insertion"}
+)
+
+#: Where check 3 (lexical transaction scoping) is contractual.
+_SCOPED_SUBPACKAGES = frozenset({"apps"})
+_SCOPED_MODULES = frozenset({"reconcile.py"})
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains no ``raise`` at any depth."""
+    return not any(
+        isinstance(node, ast.Raise)
+        for stmt in handler.body
+        for node in ast.walk(stmt)
+    )
+
+
+def _handler_breadth(handler: ast.ExceptHandler) -> str | None:
+    """``"bare"`` / ``"BaseException"`` / ``"Exception"`` / ``None``."""
+    if handler.type is None:
+        return "bare"
+    names: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        names = list(handler.type.elts)
+    else:
+        names = [handler.type]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in (
+            "BaseException",
+            "Exception",
+        ):
+            return name.id
+        if isinstance(name, ast.Attribute) and name.attr in (
+            "BaseException",
+            "Exception",
+        ):
+            return name.attr
+    return None
+
+
+def _is_mutation_call(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in MUTATION_PRIMITIVES:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in MUTATION_PRIMITIVES:
+        return func.id
+    return None
+
+
+def _is_transaction_ctx(expr: ast.expr) -> bool:
+    """``Transaction(...)`` / ``x.transaction()`` / ``design.journal``-ish."""
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Name) and func.id == "Transaction":
+        return True
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "Transaction",
+        "transaction",
+    ):
+        return True
+    return False
+
+
+def _inside_transaction(node: ast.AST) -> bool:
+    for anc in ancestors(node):
+        if isinstance(anc, ast.With):
+            for item in anc.items:
+                if _is_transaction_ctx(item.context_expr):
+                    return True
+    return False
+
+
+@register
+class TransactionSafetyRule(BaseRule):
+    code = "RL3"
+    name = "transaction-safety"
+    summary = (
+        "exception swallowing around journaled mutations and "
+        "mutation primitives reachable outside a Transaction scope"
+    )
+    enforced = None  # check 1 is global; checks 2-3 self-scope below
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        yield from self._check_handlers(ctx)
+        if (
+            ctx.subpackage is None
+            or ctx.subpackage in _SCOPED_SUBPACKAGES
+            or (
+                ctx.subpackage == "engine"
+                and ctx.module_name in _SCOPED_MODULES
+            )
+        ):
+            yield from self._check_transaction_scope(ctx)
+
+    # ------------------------------------------------------------------
+    def _check_handlers(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            mutates = any(
+                isinstance(sub, ast.Call) and _is_mutation_call(sub)
+                for sub in ast.walk(node)
+            )
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.ExceptHandler):
+                    continue
+                breadth = _handler_breadth(sub)
+                if breadth is None or not _handler_swallows(sub):
+                    continue
+                if breadth in ("bare", "BaseException"):
+                    label = (
+                        "bare `except:`" if breadth == "bare"
+                        else "`except BaseException:`"
+                    )
+                    yield self.diag(
+                        ctx,
+                        sub,
+                        f"{label} without re-raise also swallows "
+                        f"KeyboardInterrupt/SystemExit — the signals "
+                        f"transactional rollback depends on; catch the "
+                        f"specific exception or re-raise",
+                    )
+                elif mutates:
+                    yield self.diag(
+                        ctx,
+                        sub,
+                        "broad `except Exception:` without re-raise in "
+                        "a function that mutates placement state can "
+                        "keep a half-applied mutation; catch the "
+                        "specific error or let the Transaction roll "
+                        "back",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_transaction_scope(
+        self, ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _is_mutation_call(node)
+            if name is None or _inside_transaction(node):
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                f"mutation primitive `{name}(...)` is reachable outside "
+                f"a Transaction scope; wrap the mutation in `with "
+                f"Transaction(design):` (or `design.transaction()`) so "
+                f"failure restores the pre-call state",
+            )

@@ -1,0 +1,147 @@
+"""RL5 — strict-typing gate (the locally enforceable core of it).
+
+``mypy --strict`` is the full gate (wired in CI; the container may not
+ship mypy), but its two highest-yield requirements are plain syntax
+properties this linter can enforce *everywhere*, offline:
+
+* every function in the typed packages (``core``, ``engine``, ``db``,
+  ``analysis``) must annotate all parameters and its return type —
+  ``disallow_untyped_defs`` / ``disallow_incomplete_defs``;
+* annotations must not use bare ``list`` / ``dict`` / ``set`` /
+  ``tuple`` / ``frozenset`` — ``disallow_any_generics``.
+
+``self`` / ``cls`` are exempt (as in mypy).  Test helpers and the
+unscoped fixture corpus are only checked for the same two properties,
+so fixtures can exercise the rule directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseRule, register
+
+#: Builtin generics that require type parameters in annotations.
+BARE_GENERICS = frozenset({"list", "dict", "set", "tuple", "frozenset"})
+
+_SELFISH = ("self", "cls")
+
+
+def _iter_args(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.arg]:
+    args = node.args
+    yield from args.posonlyargs
+    yield from args.args
+    if args.vararg is not None:
+        yield args.vararg
+    yield from args.kwonlyargs
+    if args.kwarg is not None:
+        yield args.kwarg
+
+
+def _is_method(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    from repro.analysis.context import parent_of
+
+    return isinstance(parent_of(node), ast.ClassDef)
+
+
+def _decorated_with(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, names: frozenset[str]
+) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id in names:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr in names:
+            return True
+    return False
+
+
+_SKIP_DECORATORS = frozenset({"overload"})
+
+
+@register
+class StrictTypingRule(BaseRule):
+    code = "RL5"
+    name = "strict-typing"
+    summary = (
+        "function signatures missing parameter/return annotations, or "
+        "bare list/dict/set/tuple generics, in the mypy --strict "
+        "packages (core, engine, db, analysis)"
+    )
+    enforced = ("core", "engine", "db", "analysis")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(ctx, node)
+            elif isinstance(node, ast.AnnAssign):
+                yield from self._check_annotation(
+                    ctx, node.annotation, "variable annotation"
+                )
+
+    # ------------------------------------------------------------------
+    def _check_signature(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        if _decorated_with(node, _SKIP_DECORATORS):
+            return
+        method = _is_method(node)
+        missing: list[str] = []
+        for index, arg in enumerate(_iter_args(node)):
+            if method and index == 0 and arg.arg in _SELFISH:
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+            else:
+                yield from self._check_annotation(
+                    ctx, arg.annotation, f"parameter `{arg.arg}`"
+                )
+        if missing:
+            yield self.diag(
+                ctx,
+                node,
+                f"function `{node.name}` has unannotated parameter(s) "
+                f"{', '.join(missing)} (mypy --strict: "
+                f"disallow_incomplete_defs)",
+            )
+        if node.returns is None:
+            yield self.diag(
+                ctx,
+                node,
+                f"function `{node.name}` has no return annotation "
+                f"(annotate `-> None` for procedures; mypy --strict: "
+                f"disallow_untyped_defs)",
+            )
+        else:
+            yield from self._check_annotation(
+                ctx, node.returns, f"return of `{node.name}`"
+            )
+
+    def _check_annotation(
+        self, ctx: FileContext, node: ast.expr, where: str
+    ) -> Iterator[Diagnostic]:
+        for sub in ast.walk(node):
+            bare: str | None = None
+            if isinstance(sub, ast.Name) and sub.id in BARE_GENERICS:
+                bare = sub.id
+            elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                head = sub.value.strip()
+                if head in BARE_GENERICS:
+                    bare = head
+            if bare is None:
+                continue
+            from repro.analysis.context import parent_of
+
+            parent = parent_of(sub)
+            if isinstance(parent, ast.Subscript) and parent.value is sub:
+                continue  # `list[int]` — parameterized, fine
+            yield self.diag(
+                ctx,
+                sub,
+                f"bare `{bare}` in {where}: parameterize the generic "
+                f"(e.g. `{bare}[...]`; mypy --strict: "
+                f"disallow_any_generics)",
+            )

@@ -1,0 +1,197 @@
+"""File discovery, orchestration, and the ``repro lint`` entry point.
+
+Pipeline per file: parse (:class:`FileContext`) → run the scoped rules
+→ drop suppressed findings → append suppression-hygiene findings (RL0).
+Unparseable files surface as ``E999`` diagnostics rather than crashing
+the run, so one broken file cannot hide findings in the rest.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, Sequence
+
+from repro.analysis.context import FileContext, SourceError
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseRule, all_rules, known_codes, select_rules
+from repro.analysis.reporters import ScanSummary, render_json, render_text
+from repro.analysis.suppressions import SuppressionTable
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build", "dist"}
+)
+
+
+def discover_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(
+                f"{path!r} is neither a directory nor a .py file"
+            )
+    return sorted(dict.fromkeys(out))
+
+
+def lint_file(
+    path: str,
+    rules: Sequence[BaseRule] | None = None,
+    source: str | None = None,
+) -> list[Diagnostic]:
+    """All post-suppression diagnostics for one file."""
+    if source is None:
+        try:
+            with open(path, encoding="utf-8") as f:
+                source = f.read()
+        except OSError as exc:
+            return [_read_error(path, exc)]
+    try:
+        ctx = FileContext.from_source(path, source)
+    except SourceError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.line,
+                col=exc.col,
+                code="E999",
+                rule="parse-error",
+                message=str(exc),
+            )
+        ]
+    raw: list[Diagnostic] = []
+    for rule in all_rules() if rules is None else rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    table = SuppressionTable.from_source(path, source)
+    kept = table.filter(raw)
+    kept.extend(table.hygiene(known_codes()))
+    return sorted(kept)
+
+
+def _read_error(path: str, exc: OSError) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=1,
+        col=0,
+        code="E999",
+        rule="parse-error",
+        message=f"cannot read file: {exc}",
+    )
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[list[Diagnostic], ScanSummary]:
+    """Lint every ``.py`` file under *paths*."""
+    rules = select_rules(select, ignore)
+    summary = ScanSummary(rules_run=[r.code for r in rules])
+    diagnostics: list[Diagnostic] = []
+    for path in discover_files(paths):
+        found = lint_file(path, rules=rules)
+        summary.files_scanned += 1
+        if any(d.code == "E999" for d in found):
+            summary.files_failed += 1
+        diagnostics.extend(found)
+    return sorted(diagnostics), summary
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "repro-lint: AST-based invariant linter (journal-bypass, "
+            "determinism, transaction-safety, exception taxonomy, "
+            "strict typing)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. RL1,RL2)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def run(argv: Sequence[str] | None = None) -> int:
+    """The ``repro lint`` / ``python -m repro.analysis`` entry point."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            scope = (
+                ", ".join(rule.enforced)
+                if rule.enforced is not None
+                else "all packages"
+            )
+            print(f"{rule.code}  {rule.name}  [{scope}]")
+            print(f"      {rule.summary}")
+        print("RL0  suppression-hygiene  [all packages]")
+        print(
+            "      suppressions must carry '-- justification', name "
+            "known codes, and match a finding"
+        )
+        return 0
+    try:
+        diagnostics, summary = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(diagnostics, summary))
+    return 1 if diagnostics else 0
+
+
+def main() -> None:  # pragma: no cover - thin shell wrapper
+    sys.exit(run())

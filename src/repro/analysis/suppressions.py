@@ -1,0 +1,170 @@
+"""Suppression comments with mandatory justification.
+
+Syntax (trailing or standalone)::
+
+    seg.cells.sort(key=...)  # repro-lint: disable=RL1 -- scratch list, not DB state
+
+    # repro-lint: disable=RL2,RL3 -- replay is order-insensitive here
+    for item in workset: ...
+
+A trailing comment suppresses matching diagnostics on its own line; a
+standalone comment suppresses them on the next code line.  The ``--``
+justification is **required**: a suppression without one does not
+suppress anything and is itself reported (RL0), as are suppressions
+naming unknown rule codes and suppressions that matched no diagnostic
+(stale suppressions rot into false documentation — they must be
+removed when the underlying code is fixed).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Code used for suppression-hygiene findings.
+HYGIENE_CODE = "RL0"
+HYGIENE_NAME = "suppression-hygiene"
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    comment_line: int
+    """Line the comment sits on (where hygiene findings point)."""
+
+    target_line: int
+    """Line whose diagnostics it suppresses."""
+
+    codes: tuple[str, ...]
+    justification: str | None
+    used: bool = False
+
+
+@dataclass(slots=True)
+class SuppressionTable:
+    """All suppressions of one file, with usage tracking."""
+
+    path: str
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "SuppressionTable":
+        """Collect suppression comments via the tokenizer.
+
+        Tokenizing (rather than regexing raw lines) means ``#`` inside
+        string literals can never be misread as a comment.
+        """
+        table = cls(path=path)
+        lines = source.splitlines()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError):
+            return table  # unparseable files are reported as E999 anyway
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(tok.string)
+            if match is None:
+                continue
+            codes = tuple(
+                c.strip() for c in match.group("codes").split(",") if c.strip()
+            )
+            line = tok.start[0]
+            standalone = lines[line - 1][: tok.start[1]].strip() == ""
+            target = _next_code_line(lines, line) if standalone else line
+            table.suppressions.append(
+                Suppression(
+                    comment_line=line,
+                    target_line=target,
+                    codes=codes,
+                    justification=match.group("why"),
+                )
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    def filter(self, diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+        """Drop suppressed diagnostics, marking suppressions as used.
+
+        Only suppressions with a justification suppress anything; the
+        hygiene pass flags the justification-less ones separately.
+        """
+        active: dict[int, list[Suppression]] = {}
+        for sup in self.suppressions:
+            if sup.justification:
+                active.setdefault(sup.target_line, []).append(sup)
+        kept: list[Diagnostic] = []
+        for diag in diagnostics:
+            hit = False
+            for sup in active.get(diag.line, ()):
+                if diag.code in sup.codes:
+                    sup.used = True
+                    hit = True
+            if not hit:
+                kept.append(diag)
+        return kept
+
+    def hygiene(self, known_codes: frozenset[str]) -> list[Diagnostic]:
+        """RL0 findings: bad justifications, unknown codes, stale entries."""
+        out: list[Diagnostic] = []
+
+        def rl0(line: int, message: str) -> Diagnostic:
+            return Diagnostic(
+                path=self.path,
+                line=line,
+                col=0,
+                code=HYGIENE_CODE,
+                rule=HYGIENE_NAME,
+                message=message,
+            )
+
+        for sup in self.suppressions:
+            if not sup.justification:
+                out.append(
+                    rl0(
+                        sup.comment_line,
+                        "suppression without justification: append "
+                        "'-- <why this finding is a false positive>' "
+                        "(unjustified suppressions are inert)",
+                    )
+                )
+                continue
+            unknown = [c for c in sup.codes if c not in known_codes]
+            if unknown:
+                out.append(
+                    rl0(
+                        sup.comment_line,
+                        f"suppression names unknown rule code(s) "
+                        f"{', '.join(unknown)}",
+                    )
+                )
+            elif not sup.used:
+                out.append(
+                    rl0(
+                        sup.comment_line,
+                        f"stale suppression: no {'/'.join(sup.codes)} "
+                        f"diagnostic on line {sup.target_line} — remove it",
+                    )
+                )
+        return out
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """First line past *after* that holds code (not blank, not comment)."""
+    for i in range(after, len(lines)):
+        stripped = lines[i].strip()
+        if stripped and not stripped.startswith("#"):
+            return i + 1
+    return after + 1

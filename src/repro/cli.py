@@ -11,6 +11,8 @@ Subcommands::
     repro check     DIR/design.aux [--relaxed]                # verify only
     repro show      DIR/design.aux [--svg out.svg] [--window X Y W H]
     repro stats     DIR/design.aux                            # metrics
+    repro lint      [paths...] [--format text|json] [--select CODES]
+                    [--ignore CODES] [--list-rules]           # repro-lint
 
 Also available as ``python -m repro ...``.
 
@@ -349,6 +351,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import runner as lint_runner
+
+    argv: list[str] = ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv.extend(args.paths)
+    return lint_runner.run(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="multi-row height legalization toolkit"
@@ -453,6 +469,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="print design statistics")
     p.add_argument("aux")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="run repro-lint (AST invariant checks: journal-bypass, "
+             "determinism, transaction-safety, exception taxonomy, "
+             "strict typing)",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes to run exclusively")
+    p.add_argument("--ignore", metavar="CODES",
+                   help="comma-separated rule codes to skip")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

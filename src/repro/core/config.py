@@ -26,7 +26,7 @@ def _audit_default() -> bool:
     )
 
 
-def _coerce_site_count(name: str, value) -> int:
+def _coerce_site_count(name: str, value: object) -> int:
     """Normalize a window half-size to an ``int`` number of sites.
 
     ``random.Random.randint`` (used for the retry amplitudes of

@@ -56,7 +56,7 @@ class InsertionPoint:
         """Row of the target cell's lower edge."""
         return self.intervals[0].row_index
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[tuple[int, int], ...]:
         """Canonical identity for set comparisons in tests."""
         return tuple((iv.row_index, iv.gap_index) for iv in self.intervals)
 
@@ -150,8 +150,8 @@ def enumerate_insertion_points(
     # Queue keys (a, s): a = row of the interval being processed, s = row
     # of the stored partner intervals.
     queues: dict[tuple[int, int], list[InsertionInterval]] = {}
-    for a in rows_present:
-        for s in rows_present:
+    for a in sorted(rows_present):
+        for s in sorted(rows_present):
             if a != s and abs(a - s) <= ht - 1:
                 queues[(a, s)] = []
 
@@ -177,12 +177,12 @@ def enumerate_insertion_points(
                     q.clear()
         elif kind == OPEN:
             _generate_for(iv, ht, rows_present, queues, multirow, row_ok, points)
-            for r in rows_present:
+            for r in sorted(rows_present):
                 q = queues.get((r, a))
                 if q is not None:
                     q.append(iv)
         else:  # CLOSE
-            for r in rows_present:
+            for r in sorted(rows_present):
                 q = queues.get((r, a))
                 if q is not None:
                     try:

@@ -222,8 +222,8 @@ def _optimal_x(
     elif med == _INF:
         med = x_hi
     clamped = min(max(med, x_lo), x_hi)
-    candidates = {x_lo, x_hi, int(math.floor(clamped)), int(math.ceil(clamped))}
-    candidates = {x for x in candidates if x_lo <= x <= x_hi}
+    raw = (x_lo, x_hi, int(math.floor(clamped)), int(math.ceil(clamped)))
+    candidates = sorted({x for x in raw if x_lo <= x <= x_hi})
     return min(candidates, key=lambda x: (_total_cost(pairs, x), abs(x - desired_x)))
 
 

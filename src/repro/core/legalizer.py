@@ -200,6 +200,8 @@ class Legalizer:
                 result.failed_cells = [c.name for c in unplaced]
                 result.runtime_s = time.perf_counter() - t0
                 if cfg.quarantine:
+                    # repro-lint: disable=RL1 -- StuckCellReport is a
+                    # result object, not journaled placement state
                     result.stuck.cells.extend(
                         StuckCell(
                             name=c.name,

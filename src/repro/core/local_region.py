@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.db.floorplan import Floorplan
 from repro.db.segment import Segment
 from repro.geometry import Rect
 
@@ -129,15 +130,18 @@ def extract_local_region(
         if not rejected:
             for cell in local:
                 for row in cell.rows_spanned():
+                    # repro-lint: disable=RL1 -- LocalSegment is a scratch
+                    # copy of the window, not journaled DB state
                     segments[row].cells.append(cell)
             for seg in segments.values():
+                # repro-lint: disable=RL1 -- scratch LocalSegment list
                 seg.cells.sort(key=lambda c: c.x)  # type: ignore[arg-type,return-value]
             return LocalRegion(window=window_box, segments=segments, cells=local)
         non_local_ids.update(c.id for c in rejected)
 
 
 def _choose_local_segments(
-    fp,
+    fp: Floorplan,
     touching: list[Cell],
     non_local_ids: set[int],
     row_lo: int,

@@ -22,18 +22,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.bounds import compute_bounds
 from repro.core.config import EvaluationMode, LegalizerConfig
 from repro.core.enumeration import enumerate_insertion_points
 from repro.core.evaluation import EvaluatedPoint, evaluate_insertion_point
 from repro.core.intervals import build_insertion_intervals
-from repro.core.local_region import extract_local_region
+from repro.core.local_region import LocalRegion, extract_local_region
 from repro.core.realization import realize_insertion
 from repro.db.cell import Cell
 from repro.db.design import Design
 from repro.db.journal import Transaction
 from repro.geometry import Rect
+
+if TYPE_CHECKING:
+    from repro.checker.legality import Violation
 
 
 class AuditError(Exception):
@@ -44,7 +48,9 @@ class AuditError(Exception):
     this propagates.  Carries the checker's findings in ``violations``.
     """
 
-    def __init__(self, message: str, violations: list | None = None) -> None:
+    def __init__(
+        self, message: str, violations: list["Violation"] | None = None
+    ) -> None:
         super().__init__(message)
         self.violations = violations if violations is not None else []
 
@@ -111,7 +117,7 @@ class MultiRowLocalLegalizer:
         t0 = time.perf_counter()
         region_cells: list[tuple[Cell, int | None]] = []
 
-        def capture(region) -> None:
+        def capture(region: LocalRegion) -> None:
             region_cells.extend((c, c.x) for c in region.cells)
 
         result = self._try_place(target, x, y, on_region=capture)
@@ -131,7 +137,11 @@ class MultiRowLocalLegalizer:
         return result
 
     def _try_place(
-        self, target: Cell, x: float, y: float, on_region=None
+        self,
+        target: Cell,
+        x: float,
+        y: float,
+        on_region: Callable[[LocalRegion], None] | None = None,
     ) -> MllResult:
         design = self.design
         cfg = self.config
@@ -184,7 +194,7 @@ class MultiRowLocalLegalizer:
             success=True, num_insertion_points=len(points), chosen=best
         )
 
-    def _audit(self, region, target: Cell) -> None:
+    def _audit(self, region: LocalRegion, target: Cell) -> None:
         """Re-check the realized region with the independent checker.
 
         Runs inside the realization transaction so a violation raises
@@ -206,12 +216,14 @@ class MultiRowLocalLegalizer:
                 violations,
             )
 
-    def _row_predicate(self, target: Cell):
+    def _row_predicate(
+        self, target: Cell
+    ) -> Callable[[int], bool] | None:
         """Bottom-row filter combining power alignment and the optional
         Wu & Chu double-row restriction; None when nothing applies."""
         cfg = self.config
         design = self.design
-        checks = []
+        checks: list[Callable[[int], bool]] = []
         if cfg.power_aligned and target.master.needs_rail_alignment:
             checks.append(lambda r: design.row_compatible(target, r))
         if cfg.double_row_parity is not None and target.height == 2:

@@ -259,7 +259,9 @@ class Design:
     # ------------------------------------------------------------------
     # Position snapping
     # ------------------------------------------------------------------
-    def candidate_rows(self, cell: Cell, ty: float, power_aligned: bool = True):
+    def candidate_rows(
+        self, cell: Cell, ty: float, power_aligned: bool = True
+    ) -> list[int]:
         """Row start indices for *cell*, nearest to ``ty`` first.
 
         Only rows where the cell fits vertically (and, when

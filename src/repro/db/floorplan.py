@@ -9,6 +9,7 @@ are reported in actual microns, the algorithm itself works in sites).
 from __future__ import annotations
 
 from bisect import bisect_right
+from typing import Iterator
 
 from repro.db.fence import FenceRegion, validate_fences
 from repro.db.library import Rail
@@ -113,7 +114,9 @@ class Floorplan:
                     self._row_segments[row.index].append(seg)
                     self._row_segment_x0[row.index].append(s_lo)
 
-    def _fence_split(self, row_index: int, lo: int, hi: int):
+    def _fence_split(
+        self, row_index: int, lo: int, hi: int
+    ) -> Iterator[tuple[int, int, int | None]]:
         """Split an unblocked span at fence edges, yielding tagged runs."""
         if not self.fences:
             yield lo, hi, None

@@ -77,7 +77,7 @@ class JournalEntry:
         cell: "Cell | None" = None,
         segments: tuple["Segment", ...] = (),
         indices: tuple[int, ...] = (),
-        seq: list | None = None,
+        seq: "list[Cell] | None" = None,
         index: int = -1,
         old_x: int | None = None,
         old_y: int | None = None,
@@ -169,7 +169,7 @@ class Journal:
         )
 
     def note_list_insert(
-        self, seq: list, index: int, cell: "Cell", site: str
+        self, seq: "list[Cell]", index: int, cell: "Cell", site: str
     ) -> None:
         """``seq.insert(index, cell)`` was just performed."""
         self._record(
@@ -294,7 +294,12 @@ class Transaction:
         self._finished = True
         return self.journal.rollback_to(self._mark)
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> bool:
         try:
             if exc_type is not None and not self._finished:
                 self.journal.rollback_to(self._mark)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterator
 
 
 class Rail(Enum):
@@ -113,7 +114,7 @@ class Library:
     def __len__(self) -> int:
         return len(self._masters)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Master]:
         return iter(self._masters.values())
 
     def get_or_create(

@@ -9,6 +9,7 @@ database carries nets over cell pins.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.db.cell import Cell
 
@@ -78,7 +79,7 @@ class Netlist:
     def __len__(self) -> int:
         return len(self.nets)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Net]:
         return iter(self.nets)
 
     def hpwl_um(

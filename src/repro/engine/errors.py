@@ -52,7 +52,10 @@ class EngineError(Exception):
         super().__init__(message)
         self.shard_id = shard_id
 
-    def __reduce__(self):  # picklable across the process boundary
+    def __reduce__(
+        self,
+    ) -> tuple[type["EngineError"], tuple[str, int | None]]:
+        # picklable across the process boundary
         return (type(self), (self.args[0], self.shard_id))
 
 
@@ -72,7 +75,9 @@ class WorkerCrashError(EngineError):
         super().__init__(message, shard_id)
         self.exitcode = exitcode
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[type["WorkerCrashError"], tuple[str, int | None, int | None]]:
         return (type(self), (self.args[0], self.shard_id, self.exitcode))
 
 
@@ -86,7 +91,9 @@ class ShardTimeoutError(EngineError):
         super().__init__(message, shard_id)
         self.timeout_s = timeout_s
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[type["ShardTimeoutError"], tuple[str, int | None, float | None]]:
         return (type(self), (self.args[0], self.shard_id, self.timeout_s))
 
 
@@ -99,7 +106,9 @@ class ShardAttemptError(EngineError):
         super().__init__(message, shard_id)
         self.detail = detail
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[type["ShardAttemptError"], tuple[str, int | None, str]]:
         return (type(self), (self.args[0], self.shard_id, self.detail))
 
 

@@ -45,6 +45,7 @@ from repro.core.legalizer import (
     Legalizer,
     StuckCellReport,
 )
+from repro.db.cell import Cell
 from repro.db.design import Design
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.config import EngineConfig
@@ -299,7 +300,7 @@ class ShardedLegalizer:
 
     # ------------------------------------------------------------------
     def _make_task(
-        self, shard: Shard, partition: Partition, by_id: dict
+        self, shard: Shard, partition: Partition, by_id: dict[int, Cell]
     ) -> ShardTask:
         fp = self.design.floorplan
         specs = tuple(

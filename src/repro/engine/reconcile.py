@@ -22,10 +22,11 @@ from repro.core.instrumentation import MllTelemetry
 from repro.core.legalizer import LegalizationResult, Legalizer
 from repro.db.cell import Cell
 from repro.db.design import Design
+from repro.engine.errors import EngineError
 from repro.engine.shard_worker import ShardOutcome
 
 
-class ReconcileError(Exception):
+class ReconcileError(EngineError):
     """The merged placement failed independent verification."""
 
 
@@ -79,6 +80,8 @@ def apply_shard_outcomes(
                     f"cell {cell.name!r} placed by two shards"
                 )
             if design.can_place(cell, x, y, power_aligned=power_aligned):
+                # repro-lint: disable=RL3 -- reconcile() opens the
+                # Transaction; this helper is its journaled body
                 design.place(cell, x, y, power_aligned=power_aligned,
                              validate=False)
                 report.applied += 1

@@ -28,6 +28,7 @@ from repro.core.legalizer import (
     Legalizer,
     StuckCellReport,
 )
+from repro.db.cell import Cell
 from repro.db.design import Design
 from repro.db.fence import FenceRegion
 from repro.db.floorplan import Floorplan
@@ -105,7 +106,7 @@ def shard_seed(base_seed: int, shard_id: int) -> int:
     return (base_seed * 0x9E3779B1 + (shard_id + 1) * 0x85EBCA6B) % (2**31)
 
 
-def build_shard_design(task: ShardTask) -> tuple[Design, list]:
+def build_shard_design(task: ShardTask) -> tuple[Design, list[Cell]]:
     """Materialize the shard view described by *task*.
 
     Returns the design and its cells in spec order (parallel lists).

@@ -128,7 +128,9 @@ class _Running:
     deadline: float | None
 
 
-def _shard_child(conn, task: ShardTask) -> None:
+def _shard_child(
+    conn: "multiprocessing.connection.Connection", task: ShardTask
+) -> None:
     """Worker-process entry point: run the shard, ship the outcome.
 
     Any exception is shipped back as a ``("error", traceback)`` message
@@ -138,6 +140,8 @@ def _shard_child(conn, task: ShardTask) -> None:
     """
     try:
         outcome = run_shard(task)
+    # repro-lint: disable=RL3 -- process boundary: the failure is shipped
+    # to the supervisor as an ("error", traceback) message, not swallowed
     except BaseException:  # noqa: BLE001 - ship every failure home
         payload = ("error", traceback.format_exc())
     else:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 
-from repro.db.design import Design
+from repro.db.design import Design, PlacementError
 from repro.db.floorplan import Floorplan
 from repro.db.library import Library, Rail
 from repro.db.netlist import Net, Netlist, Pin
@@ -285,8 +285,8 @@ def _read_pl(design: Design, path: str) -> None:
             if x == int(x) and y == int(y):
                 try:
                     design.place(cell, int(x), int(y), validate=False)
-                except Exception:
-                    cell.x = cell.y = None
+                except PlacementError:
+                    pass  # place() raises before mutating: cell stays unplaced
 
 
 def _read_nets(design: Design, path: str) -> None:

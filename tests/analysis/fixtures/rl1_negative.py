@@ -1,0 +1,17 @@
+"""RL1 negative: the mutate-first, record-second convention."""
+
+
+def slide(cell: object, journal: object, x: int) -> None:
+    old_x = cell.x
+    cell.x = x
+    journal.note_set_pos(cell, old_x, cell.y, "fixture.slide")
+
+
+class Report:
+    """A class mutating its *own* list attribute is exempt."""
+
+    def __init__(self) -> None:
+        self.cells: list[object] = []
+
+    def merge(self, other: "Report") -> None:
+        self.cells.extend(other.cells)

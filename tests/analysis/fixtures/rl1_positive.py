@@ -1,0 +1,10 @@
+"""RL1 positive: placement-state mutation outside the journaled layer."""
+
+
+def slide(cell: object, x: int) -> None:
+    cell.x = x  # no journal record within the window
+    cell.y = 0
+
+
+def evict(segment: object, index: int) -> None:
+    segment.cells.pop(index)

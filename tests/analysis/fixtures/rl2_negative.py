@@ -1,0 +1,27 @@
+"""RL2 negative: deterministic equivalents of every hazard."""
+
+import hashlib
+import random
+import time
+
+
+def drain(pending: set[str]) -> list[str]:
+    return sorted(pending)
+
+
+def jitter(seed: int, n: int) -> float:
+    rng = random.Random(seed)
+    return rng.random() * n
+
+
+def measure() -> float:
+    t0 = time.perf_counter()  # telemetry assignment: fine
+    return time.perf_counter() - t0
+
+
+def fingerprint(name: str) -> str:
+    return hashlib.sha256(name.encode()).hexdigest()
+
+
+def count_matching(pending: set[str], prefix: str) -> int:
+    return sum(1 for name in pending if name.startswith(prefix))

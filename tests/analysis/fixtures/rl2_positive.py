@@ -1,0 +1,28 @@
+"""RL2 positive: order/entropy/clock hazards."""
+
+import os
+import random
+import time
+
+
+def drain(pending: set[str]) -> list[str]:
+    out: list[str] = []
+    for name in pending:  # unordered iteration
+        out.append(name)
+    return out
+
+
+def jitter(n: int) -> float:
+    return random.random() * n  # ambient module-level RNG
+
+
+def too_slow(t0: float) -> bool:
+    return time.perf_counter() - t0 > 1.0  # clock steering control flow
+
+
+def nonce() -> bytes:
+    return os.urandom(8)  # entropy
+
+
+def fingerprint(name: str) -> int:
+    return hash(name)  # PYTHONHASHSEED-randomized

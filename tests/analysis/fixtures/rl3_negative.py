@@ -1,0 +1,23 @@
+"""RL3 negative: transaction-scoped mutations, specific handlers."""
+
+from repro.db.journal import Transaction
+
+
+def apply_all(design: object, cells: list[object]) -> None:
+    with Transaction(design):
+        for cell in cells:
+            design.place(cell, 0, 0)
+
+
+def reap(task: object) -> None:
+    try:
+        task.run()
+    except ValueError:
+        pass  # specific exception: fine
+
+
+def forward(task: object) -> None:
+    try:
+        task.run()
+    except Exception:
+        raise  # re-raised: fine

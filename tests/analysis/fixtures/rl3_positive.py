@@ -1,0 +1,16 @@
+"""RL3 positive: swallowed exceptions around placement mutations."""
+
+
+def apply_all(design: object, cells: list[object]) -> None:
+    for cell in cells:
+        try:
+            design.place(cell, 0, 0)  # also: outside a Transaction
+        except Exception:
+            pass  # keeps a half-applied mutation
+
+
+def reap(task: object) -> None:
+    try:
+        task.run()
+    except:  # noqa: E722 - deliberately bare for the fixture
+        pass

@@ -1,0 +1,11 @@
+"""RL4 negative: failures expressed through the taxonomy."""
+
+from repro.engine.errors import EngineError
+
+
+class SeamTear(EngineError):
+    """Taxonomy subclass: fine in any module."""
+
+
+def fail_typed(shard_id: int) -> None:
+    raise SeamTear("seam torn", shard_id)

@@ -1,0 +1,9 @@
+"""RL4 positive: generic exceptions escaping the engine taxonomy."""
+
+
+class ShardPuncture(Exception):
+    """Exception class defined outside errors.py with a generic base."""
+
+
+def fail_generic(shard_id: int) -> None:
+    raise RuntimeError(f"shard {shard_id} failed")

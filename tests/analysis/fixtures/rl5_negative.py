@@ -1,0 +1,13 @@
+"""RL5 negative: complete annotations, parameterized generics."""
+
+
+def scale(values: list[float], factor: float) -> list[float]:
+    return [v * factor for v in values]
+
+
+class Box:
+    def __init__(self, items: tuple[int, ...]) -> None:
+        self.items = items
+
+    def first(self) -> int:
+        return self.items[0]

@@ -1,0 +1,9 @@
+"""RL5 positive: incomplete signatures and bare generics."""
+
+
+def scale(values, factor):
+    return [v * factor for v in values]
+
+
+def tally(counts: dict) -> dict:
+    return counts

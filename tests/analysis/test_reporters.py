@@ -1,0 +1,57 @@
+"""Reporter output shapes (text footer, JSON schema)."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_json, render_text
+from repro.analysis.reporters import ScanSummary, counts_by_code
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestJsonReporter:
+    def test_document_schema(self):
+        diags, summary = lint_paths([str(FIXTURES / "rl5_positive.py")])
+        doc = json.loads(render_json(diags, summary))
+        assert doc["version"] == 1
+        assert doc["tool"] == "repro-lint"
+        assert doc["files_scanned"] == 1
+        assert doc["files_failed"] == 0
+        assert doc["summary"]["RL5"] >= 3
+        for entry in doc["diagnostics"]:
+            assert set(entry) == {
+                "path", "line", "col", "code", "rule", "message"
+            }
+
+    def test_diagnostics_are_sorted(self):
+        diags, summary = lint_paths([str(FIXTURES)])
+        doc = json.loads(render_json(diags, summary))
+        keys = [
+            (e["path"], e["line"], e["col"], e["code"])
+            for e in doc["diagnostics"]
+        ]
+        assert keys == sorted(keys)
+
+    def test_clean_run_has_empty_summary(self):
+        diags, summary = lint_paths([str(FIXTURES / "rl1_negative.py")])
+        doc = json.loads(render_json(diags, summary))
+        assert doc["summary"] == {}
+        assert doc["diagnostics"] == []
+
+
+class TestTextReporter:
+    def test_footer_counts_by_code(self):
+        diags, summary = lint_paths([str(FIXTURES / "rl5_positive.py")])
+        text = render_text(diags, summary)
+        assert "repro-lint:" in text
+        assert "RL5:" in text
+
+    def test_clean_footer(self):
+        text = render_text([], ScanSummary(files_scanned=3, rules_run=["RL1"]))
+        assert "clean" in text
+
+    def test_counts_by_code_sorted(self):
+        diags, _ = lint_paths([str(FIXTURES)])
+        counts = counts_by_code(diags)
+        assert list(counts) == sorted(counts)
+        assert sum(counts.values()) == len(diags)

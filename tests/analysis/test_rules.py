@@ -1,0 +1,84 @@
+"""Per-rule fixture sweep: each code fires on its positive fixture and
+stays silent on its negative one (which is additionally fully clean, so
+the negatives double as executable documentation of the blessed idiom).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CODES = ("RL1", "RL2", "RL3", "RL4", "RL5")
+
+
+def codes_in(path: Path) -> set[str]:
+    return {d.code for d in lint_file(str(path))}
+
+
+@pytest.mark.parametrize("code", CODES)
+def test_positive_fixture_fires(code):
+    found = codes_in(FIXTURES / f"{code.lower()}_positive.py")
+    assert code in found
+
+
+@pytest.mark.parametrize("code", CODES)
+def test_negative_fixture_is_clean(code):
+    diags = lint_file(str(FIXTURES / f"{code.lower()}_negative.py"))
+    assert diags == []
+
+
+class TestRuleDetail:
+    def test_rl1_flags_each_mutation_site(self):
+        diags = [
+            d for d in lint_file(str(FIXTURES / "rl1_positive.py"))
+            if d.code == "RL1"
+        ]
+        # .x write, .y write, .cells.pop(...)
+        assert len(diags) == 3
+
+    def test_rl2_covers_all_hazard_families(self):
+        messages = " ".join(
+            d.message
+            for d in lint_file(str(FIXTURES / "rl2_positive.py"))
+            if d.code == "RL2"
+        )
+        assert "set iterated" in messages
+        assert "ambient" in messages  # random.random
+        assert "wall-clock" in messages  # time in control flow
+        assert "entropy" in messages  # os.urandom
+        assert "hash()" in messages  # builtin hash
+
+    def test_rl3_flags_swallow_and_unscoped_mutation(self):
+        messages = [
+            d.message
+            for d in lint_file(str(FIXTURES / "rl3_positive.py"))
+            if d.code == "RL3"
+        ]
+        assert any("broad `except Exception:`" in m for m in messages)
+        assert any("bare `except:`" in m for m in messages)
+        assert any("outside a Transaction scope" in m for m in messages)
+
+    def test_rl4_flags_raise_and_class(self):
+        messages = [
+            d.message
+            for d in lint_file(str(FIXTURES / "rl4_positive.py"))
+            if d.code == "RL4"
+        ]
+        assert any("raise RuntimeError" in m for m in messages)
+        assert any("ShardPuncture" in m for m in messages)
+
+    def test_rl5_flags_signature_and_bare_generic(self):
+        messages = [
+            d.message
+            for d in lint_file(str(FIXTURES / "rl5_positive.py"))
+            if d.code == "RL5"
+        ]
+        assert any("unannotated parameter" in m for m in messages)
+        assert any("no return annotation" in m for m in messages)
+        assert any("bare `dict`" in m for m in messages)
+
+    def test_parse_error_is_a_diagnostic_not_a_crash(self):
+        diags = lint_file("broken.py", source="def f(:\n")
+        assert [d.code for d in diags] == ["E999"]

@@ -1,0 +1,68 @@
+"""Suppression semantics: justified comments suppress, everything else
+is itself a finding (RL0 hygiene)."""
+
+from repro.analysis import lint_file
+
+RL5_BAD = "def f(x):\n    return x\n"
+
+
+def codes(source: str, path: str = "fx.py"):
+    return [d.code for d in lint_file(path, source=source)]
+
+
+class TestSuppression:
+    def test_trailing_justified_suppression_suppresses(self):
+        src = (
+            "def f(x):  # repro-lint: disable=RL5 -- fixture helper\n"
+            "    return x\n"
+        )
+        assert codes(src) == []
+
+    def test_standalone_justified_suppression_targets_next_code_line(self):
+        src = (
+            "# repro-lint: disable=RL5 -- fixture helper\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        assert codes(src) == []
+
+    def test_multiple_codes_in_one_comment(self):
+        src = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def f(x):  # repro-lint: disable=RL5,RL2 -- fixture\n"
+            "    return random.random() * x\n"
+        )
+        # RL5 on the def line is suppressed; the RL2 call sits on the
+        # *next* line, so it survives — suppressions are line-scoped.
+        assert codes(src) == ["RL2"]
+
+    def test_unjustified_suppression_is_inert_and_reported(self):
+        src = "def f(x):  # repro-lint: disable=RL5\n    return x\n"
+        found = codes(src)
+        assert "RL5" in found  # still reported: suppression was inert
+        assert "RL0" in found  # and the bad suppression is flagged
+
+    def test_unknown_code_is_reported(self):
+        src = "x: int = 1  # repro-lint: disable=RL99 -- because\n"
+        diags = lint_file("fx.py", source=src)
+        assert [d.code for d in diags] == ["RL0"]
+        assert "unknown rule code" in diags[0].message
+
+    def test_stale_suppression_is_reported(self):
+        src = "x: int = 1  # repro-lint: disable=RL5 -- nothing here\n"
+        diags = lint_file("fx.py", source=src)
+        assert [d.code for d in diags] == ["RL0"]
+        assert "stale suppression" in diags[0].message
+
+    def test_used_suppression_is_not_stale(self):
+        src = (
+            "def f(x):  # repro-lint: disable=RL5 -- fixture helper\n"
+            "    return x\n"
+        )
+        assert all(d.code != "RL0" for d in lint_file("fx.py", source=src))
+
+    def test_marker_inside_string_literal_is_ignored(self):
+        src = 's: str = "# repro-lint: disable=RL5 -- not a comment"\n'
+        assert codes(src) == []
