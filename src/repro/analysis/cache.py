@@ -1,0 +1,180 @@
+"""Incremental lint-result cache.
+
+Parsing, tokenizing and rule execution dominate lint time; suppression
+filtering is cheap.  The cache therefore persists, per file, the
+**pre-suppression** rule findings plus the parsed suppression comments,
+keyed by the SHA-256 of the file's bytes — a warm run re-applies
+filtering (so interprocedural findings merge correctly and hygiene
+stays accurate) without touching the parser at all.
+
+Whole-program (``--interprocedural``) findings are cached under a
+digest of every analyzed file's content hash: any edit anywhere
+invalidates them, which is exactly the soundness condition for
+cross-file rules.
+
+The cache file (``.repro-lint-cache.json`` by default) embeds a
+*fingerprint* hashing the ``repro.analysis`` package sources
+themselves, so changing a rule, the runner, or this module discards
+every cached result.  Writes are atomic (temp file + ``os.replace``)
+and best-effort: an unreadable or stale cache degrades to a cold run,
+never to wrong output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.suppressions import Suppression
+
+#: Bump to invalidate every existing cache file on format changes.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    """SHA-256 hex digest of one file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_fingerprint() -> str:
+    """Digest of the analysis package's own sources.
+
+    Editing any rule, the runner, or the cache layer changes the
+    fingerprint and therefore discards all cached results — the
+    "invalidated on rule-set/version change" contract.
+    """
+    import repro.analysis as pkg
+
+    root = Path(pkg.__file__).resolve().parent
+    digest = hashlib.sha256()
+    digest.update(f"repro-lint-cache-v{CACHE_VERSION}".encode())
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def program_key(
+    codes: Iterable[str], file_hashes: Iterable[tuple[str, str]]
+) -> str:
+    """Cache key for whole-program findings: rule codes + every file."""
+    digest = hashlib.sha256()
+    digest.update(json.dumps(sorted(codes)).encode())
+    digest.update(json.dumps(sorted(file_hashes)).encode())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Per-file and whole-program result store with atomic persistence."""
+
+    def __init__(self, path: str, fingerprint: str | None = None) -> None:
+        self.path = path
+        self.fingerprint = (
+            ruleset_fingerprint() if fingerprint is None else fingerprint
+        )
+        self._files: dict[str, dict[str, object]] = {}
+        self._programs: dict[str, list[dict[str, str | int]]] = {}
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            return  # cold start
+        if not isinstance(doc, dict):
+            return
+        if doc.get("fingerprint") != self.fingerprint:
+            return  # rule set changed: discard wholesale
+        files = doc.get("files")
+        programs = doc.get("programs")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(programs, dict):
+            self._programs = programs
+
+    def save(self) -> None:
+        """Atomically persist the cache (best effort)."""
+        if not self._dirty:
+            return
+        doc = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "programs": self._programs,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd, tmp = tempfile.mkstemp(
+                prefix=".repro-lint-cache-", suffix=".tmp", dir=directory
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(doc, f, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            return  # a cache that cannot persist is merely cold next run
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def get_file(
+        self, path: str, file_hash: str, codes_key: str
+    ) -> tuple[list[Diagnostic], list[Suppression]] | None:
+        """Cached (raw diagnostics, suppressions) for an unchanged file."""
+        entry = self._files.get(path)
+        if entry is None:
+            return None
+        if entry.get("hash") != file_hash or entry.get("codes") != codes_key:
+            return None
+        diags_raw = entry.get("diags")
+        sups_raw = entry.get("suppressions")
+        if not isinstance(diags_raw, list) or not isinstance(sups_raw, list):
+            return None
+        try:
+            diags = [Diagnostic.from_dict(d) for d in diags_raw]
+            sups = [Suppression.from_dict(s) for s in sups_raw]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return diags, sups
+
+    def put_file(
+        self,
+        path: str,
+        file_hash: str,
+        codes_key: str,
+        diags: list[Diagnostic],
+        suppressions: list[Suppression],
+    ) -> None:
+        self._files[path] = {
+            "hash": file_hash,
+            "codes": codes_key,
+            "diags": [d.to_dict() for d in diags],
+            "suppressions": [s.to_dict() for s in suppressions],
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def get_program(self, key: str) -> list[Diagnostic] | None:
+        """Cached whole-program findings for an unchanged tree."""
+        entry = self._programs.get(key)
+        if entry is None:
+            return None
+        try:
+            return [Diagnostic.from_dict(d) for d in entry]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put_program(self, key: str, diags: list[Diagnostic]) -> None:
+        # One tree state at a time: drop superseded program entries so
+        # the cache does not grow with every edit.
+        self._programs = {key: [d.to_dict() for d in diags]}
+        self._dirty = True

@@ -50,6 +50,18 @@ class Diagnostic:
             "message": self.message,
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict[str, str | int]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            path=str(doc["path"]),
+            line=int(doc["line"]),
+            col=int(doc["col"]),
+            code=str(doc["code"]),
+            rule=str(doc["rule"]),
+            message=str(doc["message"]),
+        )
+
     def render(self) -> str:
         """Canonical one-line text form: ``path:line:col: CODE message``."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -12,6 +12,9 @@ from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
     rl3_transaction,
     rl4_exceptions,
     rl5_typing,
+    rl6_procboundary,
+    rl7_journalflow,
+    rl8_sharedstate,
 )
 
 __all__ = [
@@ -20,4 +23,7 @@ __all__ = [
     "rl3_transaction",
     "rl4_exceptions",
     "rl5_typing",
+    "rl6_procboundary",
+    "rl7_journalflow",
+    "rl8_sharedstate",
 ]

@@ -22,6 +22,18 @@ as sets) within the same scope are treated as sets; the rule flags
 ``for``-loops, comprehension iterables and order-preserving conversions
 (``list``/``tuple``/``enumerate``/``iter``/``reversed``/``join``) over
 them unless wrapped in ``sorted(...)``.
+
+Two dataflow-lite refinements keep the inference honest:
+
+* **scope fences** — both the inference and the check walk stop at
+  nested function/class boundaries, so a set-typed ``names`` in one
+  function cannot contaminate an unrelated ``names`` parameter in a
+  sibling scope (each ``def`` is analyzed as its own scope);
+* **ordering demotion** — a name *rebound* from ``sorted(...)``,
+  ``list(...)``, ``tuple(...)`` or a list display/comprehension has had
+  a deterministic order established, so the rebind removes it from the
+  set-name pool (``pending = sorted(pending)`` is the blessed idiom,
+  aliased or multiline).
 """
 
 from __future__ import annotations
@@ -71,6 +83,41 @@ _ORDER_INSENSITIVE_CALLS = frozenset(
 )
 
 
+#: Assigning from one of these establishes a deterministic order: the
+#: target name is *demoted* from the set-name pool even if it was
+#: previously bound to a set (``pending = sorted(pending)``).
+_ORDER_ESTABLISHING_CALLS = frozenset({"sorted", "list", "tuple"})
+
+#: Scope fences: the per-scope walks stop at these node types so one
+#: scope's inference never leaks into another's.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function/class scopes.
+
+    The root itself is yielded even when it is a ``def``/``class``;
+    nested scope roots are yielded (so the checker can see them) but
+    their subtrees are not entered — they get their own pass.
+    """
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not scope and isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def _establishes_order(node: ast.expr) -> bool:
+    """Expression whose value carries a deterministic element order."""
+    if isinstance(node, (ast.List, ast.ListComp, ast.Tuple)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _ORDER_ESTABLISHING_CALLS
+    return False
+
+
 def _dotted(node: ast.expr) -> str | None:
     parts: list[str] = []
     cur: ast.expr = node
@@ -108,12 +155,19 @@ class _SetInference:
         self._collect(scope)
 
     def _collect(self, scope: ast.AST) -> None:
-        for node in ast.walk(scope):
+        demoted: set[str] = set()
+        for node in _scope_walk(scope):
             if isinstance(node, ast.Assign):
                 if self.is_set_expr(node.value):
                     for target in node.targets:
                         if isinstance(target, ast.Name):
                             self.names.add(target.id)
+                elif _establishes_order(node.value):
+                    # ``pending = sorted(pending)`` rebinds the name to
+                    # an ordered value: demote it from the set pool.
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            demoted.add(target.id)
             elif isinstance(node, ast.AnnAssign):
                 if isinstance(node.target, ast.Name) and (
                     _annotation_is_set(node.annotation)
@@ -123,7 +177,10 @@ class _SetInference:
                     )
                 ):
                     self.names.add(node.target.id)
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            elif (
+                node is scope
+                and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ):
                 args = node.args
                 for arg in (
                     list(args.posonlyargs)
@@ -132,6 +189,7 @@ class _SetInference:
                 ):
                     if _annotation_is_set(arg.annotation):
                         self.names.add(arg.arg)
+        self.names -= demoted
 
     def is_set_expr(self, node: ast.expr) -> bool:
         """Syntactically set-valued: display, comp, ctor, algebra."""
@@ -177,19 +235,19 @@ class DeterminismRule(BaseRule):
 
     # ------------------------------------------------------------------
     def _check_set_iteration(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        # One inference pass per scope (module + each function).
+        # One inference pass per scope (module, each function, each
+        # class body); the walks stop at nested scope fences so names
+        # never leak across unrelated scopes.
         scopes: list[ast.AST] = [ctx.tree]
         scopes.extend(
-            n
-            for n in ast.walk(ctx.tree)
-            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            n for n in ast.walk(ctx.tree) if isinstance(n, _SCOPE_NODES)
         )
         flagged: set[int] = set()
         for scope in scopes:
             inference = _SetInference(scope)
             if not inference.names and not self._has_set_syntax(scope):
                 continue
-            for node in ast.walk(scope):
+            for node in _scope_walk(scope):
                 expr: ast.expr | None = None
                 what = ""
                 if isinstance(node, (ast.For, ast.AsyncFor)):
@@ -251,7 +309,7 @@ class DeterminismRule(BaseRule):
 
     @staticmethod
     def _has_set_syntax(scope: ast.AST) -> bool:
-        for node in ast.walk(scope):
+        for node in _scope_walk(scope):
             if isinstance(node, (ast.Set, ast.SetComp)):
                 return True
             if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):

@@ -1,0 +1,236 @@
+"""RL6: process-boundary safety.
+
+Callables handed to ``ProcessPoolExecutor.submit``/``.map`` or
+``multiprocessing.Process(target=...)`` are pickled, shipped to a
+worker, and re-imported by qualified name.  That round trip fails — or
+worse, silently diverges — for anything that is not a **module-level
+function with picklable arguments**:
+
+* lambdas and nested (closure) functions do not pickle at all;
+* bound methods drag their whole ``self`` across the boundary, copying
+  supervisor state the worker then mutates privately;
+* arguments that capture a live ``Design``/``Journal``/``Transaction``
+  ship a *copy* of the placement database, so worker mutations never
+  reach the parent (the exact bug class the sharded engine's
+  ``ShardTask``/``ShardOutcome`` value-object protocol exists to
+  prevent);
+* locks, conditions, and open file handles either refuse to pickle or
+  stop synchronizing anything once duplicated.
+
+The rule inspects every spawn site (see
+:mod:`repro.analysis.rules.spawnsites`) and flags each violation at the
+call, naming the offending payload or argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import Program, dotted
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseProgramRule, register_program
+from repro.analysis.rules.spawnsites import SpawnSite, spawn_sites_in_file
+
+#: Types that must never cross a process boundary as an argument.
+UNPICKLABLE_TYPES: frozenset[str] = frozenset(
+    {
+        "Design",
+        "Journal",
+        "Transaction",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "TextIOWrapper",
+        "BufferedReader",
+        "BufferedWriter",
+    }
+)
+
+#: Constructor calls that *produce* an unpicklable value inline.
+_UNPICKLABLE_CTORS: frozenset[str] = UNPICKLABLE_TYPES | frozenset({"open"})
+
+
+@register_program
+class ProcessBoundaryRule(BaseProgramRule):
+    """Spawn payloads must be module-level functions; arguments must
+    not capture the design database, journals, locks, or handles."""
+
+    code = "RL6"
+    name = "process-boundary"
+    summary = (
+        "callables crossing a process boundary must be module-level "
+        "picklable functions with picklable arguments"
+    )
+    enforced = ("engine",)
+
+    def check_program(self, program: Program) -> Iterator[Diagnostic]:
+        for path in sorted(program.contexts):
+            ctx = program.contexts[path]
+            if not self._in_scope(ctx.subpackage):
+                continue
+            for site in spawn_sites_in_file(program, ctx):
+                yield from self._check_payload(program, ctx.path, site)
+                yield from self._check_args(ctx.path, site)
+
+    def _in_scope(self, subpackage: str | None) -> bool:
+        if self.enforced is None or subpackage is None:
+            return True
+        return subpackage in self.enforced
+
+    # ------------------------------------------------------------------
+    def _check_payload(
+        self, program: Program, path: str, site: SpawnSite
+    ) -> Iterator[Diagnostic]:
+        payload = site.payload
+        if payload is None:
+            return
+        if isinstance(payload, ast.Call):
+            # functools.partial(fn, ...): check the wrapped callable
+            # and treat the bound arguments as shipped payload args.
+            fname = (
+                payload.func.id
+                if isinstance(payload.func, ast.Name)
+                else payload.func.attr
+                if isinstance(payload.func, ast.Attribute)
+                else None
+            )
+            if fname == "partial" and payload.args:
+                inner = SpawnSite(
+                    call=site.call,
+                    kind=site.kind,
+                    payload=payload.args[0],
+                    payload_args=list(payload.args[1:])
+                    + [kw.value for kw in payload.keywords],
+                    caller=site.caller,
+                    local_types=site.local_types,
+                )
+                yield from self._check_payload(program, path, inner)
+                yield from self._check_args(path, inner)
+                return
+        if isinstance(payload, ast.Lambda):
+            yield self.diag_at(
+                path,
+                payload.lineno,
+                payload.col_offset,
+                f"lambda shipped to a worker via {site.kind}() — lambdas "
+                "do not pickle; lift it to a module-level function",
+            )
+            return
+        if isinstance(payload, ast.Name):
+            nested = f"{site.caller}.<locals>.{payload.id}"
+            info = program.table.functions.get(nested)
+            if info is not None:
+                yield self.diag_at(
+                    path,
+                    payload.lineno,
+                    payload.col_offset,
+                    f"closure '{payload.id}' (defined inside "
+                    f"'{site.caller}') shipped to a worker — nested "
+                    "functions do not pickle; lift it to module level",
+                )
+                return
+            qname = program.table.resolve_name(
+                payload.id, _module_of(program, site.caller)
+            )
+            if qname is not None:
+                target = program.table.functions.get(qname)
+                if target is not None and target.nested:
+                    yield self.diag_at(
+                        path,
+                        payload.lineno,
+                        payload.col_offset,
+                        f"closure '{payload.id}' shipped to a worker — "
+                        "nested functions do not pickle; lift it to "
+                        "module level",
+                    )
+            return
+        if isinstance(payload, ast.Attribute):
+            yield from self._check_attribute_payload(program, path, site)
+
+    def _check_attribute_payload(
+        self, program: Program, path: str, site: SpawnSite
+    ) -> Iterator[Diagnostic]:
+        payload = site.payload
+        assert isinstance(payload, ast.Attribute)
+        name = dotted(payload)
+        if name is not None:
+            qname = program.table.resolve_name(
+                name, _module_of(program, site.caller)
+            )
+            if qname is not None and qname in program.table.functions:
+                info = program.table.functions[qname]
+                if info.class_qname is None and not info.nested:
+                    return  # module-level function via module alias: fine
+        receiver = payload.value
+        if isinstance(receiver, ast.Name) and (
+            receiver.id == "self"
+            or receiver.id == "cls"
+            or receiver.id in site.local_types
+        ):
+            owner = (
+                f"'{receiver.id}'"
+                if receiver.id in ("self", "cls")
+                else f"instance '{receiver.id}'"
+            )
+            yield self.diag_at(
+                path,
+                payload.lineno,
+                payload.col_offset,
+                f"bound method '{receiver.id}.{payload.attr}' shipped to "
+                f"a worker — pickling drags the whole {owner} state "
+                "across the boundary; use a module-level function taking "
+                "a value-object task",
+            )
+
+    # ------------------------------------------------------------------
+    def _check_args(
+        self, path: str, site: SpawnSite
+    ) -> Iterator[Diagnostic]:
+        for arg in site.payload_args:
+            expr = arg.value if isinstance(arg, ast.Starred) else arg
+            if isinstance(expr, ast.Name):
+                tname = site.local_types.get(expr.id)
+                if tname in UNPICKLABLE_TYPES:
+                    yield self.diag_at(
+                        path,
+                        expr.lineno,
+                        expr.col_offset,
+                        f"argument '{expr.id}' ships a live {tname} to a "
+                        "worker — the worker would mutate a pickled copy; "
+                        "pass a value-object task and merge the outcome",
+                    )
+            elif isinstance(expr, ast.Call):
+                cname = (
+                    expr.func.id
+                    if isinstance(expr.func, ast.Name)
+                    else expr.func.attr
+                    if isinstance(expr.func, ast.Attribute)
+                    else None
+                )
+                if cname in _UNPICKLABLE_CTORS:
+                    what = (
+                        "an open file handle"
+                        if cname == "open"
+                        else f"a fresh {cname}"
+                    )
+                    yield self.diag_at(
+                        path,
+                        expr.lineno,
+                        expr.col_offset,
+                        f"argument constructs {what} at the spawn site — "
+                        "it cannot cross the process boundary intact",
+                    )
+
+
+def _module_of(program: Program, caller: str) -> str:
+    if caller.endswith(".<module>"):
+        return caller[: -len(".<module>")]
+    info = program.table.functions.get(caller)
+    if info is not None:
+        return info.module
+    return caller.rsplit(".", 1)[0]

@@ -1,0 +1,167 @@
+"""RL7: interprocedural journal coverage.
+
+RL3 checks that mutation primitives sit lexically inside
+``with Transaction(...)`` — but only within one file.  A helper that
+calls ``design.place`` two frames below an entry point passes RL3 in
+its own file while the entry point passes in *its* file, and the
+program as a whole still reaches a mutation primitive with no
+transaction anywhere on the path: rollback then restores less than the
+commit-or-restore contract promises.
+
+This rule computes the transitive closure RL3 cannot see.  A function
+is **exposed** when some call path from it reaches a placement
+primitive (``place``/``unplace``/``shift_x``/``realize_insertion``)
+with no ``with Transaction(...)`` scope at any call site along the
+path.  Exposure is seeded at unprotected primitive call sites and
+propagated caller-ward over the call graph, stopping at call sites
+that are themselves inside a transaction scope.  Only **call-graph
+roots** (functions nothing in the program calls or references) are
+reported — interior functions are legitimately bare because *their*
+callers own the transaction; a root has no caller left to own it.
+
+``repro.db`` is exempt wholesale: it is the primitive layer itself
+(rollback replays mutations outside any transaction, by design).
+``add_cell`` is deliberately not a seed — construction-time population
+of a fresh ``Design`` precedes any journal and is not a legalization
+mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.callgraph import CallSite, Program
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseProgramRule, register_program
+
+#: Method names that mutate placement state under the journal contract.
+PRIMITIVE_NAMES: frozenset[str] = frozenset(
+    {"place", "unplace", "shift_x", "realize_insertion"}
+)
+
+#: Fully-qualified definitions of the journaled primitives.
+PRIMITIVE_QNAMES: frozenset[str] = frozenset(
+    {
+        "repro.db.design.Design.place",
+        "repro.db.design.Design.unplace",
+        "repro.db.design.Design.shift_x",
+        "repro.core.realization.realize_insertion",
+    }
+)
+
+
+def _is_primitive_site(site: CallSite) -> bool:
+    if site.callee is not None:
+        return site.callee in PRIMITIVE_QNAMES
+    tail = site.raw.rsplit(".", 1)[-1]
+    return tail in PRIMITIVE_NAMES and "." in site.raw
+
+
+def _in_db(qname: str) -> bool:
+    return qname.startswith("repro.db.")
+
+
+@register_program
+class JournalFlowRule(BaseProgramRule):
+    """Call chains must not reach a mutation primitive from outside
+    every ``Transaction`` scope."""
+
+    code = "RL7"
+    name = "journal-flow"
+    summary = (
+        "call chains reaching a mutation primitive must pass through "
+        "a Transaction scope somewhere on the path"
+    )
+    enforced = ("", "core", "engine", "apps", "io", "checker")
+
+    def check_program(self, program: Program) -> Iterator[Diagnostic]:
+        graph = program.graph
+        # Witness per exposed function: (next hop or None, the site).
+        exposed: dict[str, tuple[str | None, CallSite]] = {}
+        worklist: list[str] = []
+        for site in graph.sites:
+            if (
+                _is_primitive_site(site)
+                and not site.in_transaction
+                and not _in_db(site.caller)
+                and site.caller not in exposed
+            ):
+                exposed[site.caller] = (None, site)
+                worklist.append(site.caller)
+        while worklist:
+            fn = worklist.pop()
+            for site in graph.in_edges.get(fn, []):
+                if site.in_transaction or _in_db(site.caller):
+                    continue
+                if site.caller not in exposed:
+                    exposed[site.caller] = (fn, site)
+                    worklist.append(site.caller)
+        for qname in sorted(exposed):
+            if not graph.is_root(qname):
+                continue
+            if not self._in_scope(program, qname):
+                continue
+            yield self._report(program, qname, exposed)
+
+    # ------------------------------------------------------------------
+    def _in_scope(self, program: Program, qname: str) -> bool:
+        if self.enforced is None:
+            return True
+        path = self._path_of(program, qname)
+        if path is None:
+            return False
+        ctx = program.contexts.get(path)
+        if ctx is None or ctx.subpackage is None:
+            return True  # fixtures: every rule applies
+        return ctx.subpackage in self.enforced
+
+    def _path_of(self, program: Program, qname: str) -> str | None:
+        info = program.table.functions.get(qname)
+        if info is not None:
+            return info.path
+        if qname.endswith(".<module>"):
+            module = qname[: -len(".<module>")]
+            for path in sorted(program.contexts):
+                from repro.analysis.callgraph import module_name_of
+
+                if module_name_of(path) == module:
+                    return path
+        return None
+
+    def _report(
+        self,
+        program: Program,
+        root: str,
+        exposed: dict[str, tuple[str | None, CallSite]],
+    ) -> Diagnostic:
+        chain: list[str] = [root]
+        cursor: str | None = root
+        terminal: CallSite = exposed[root][1]
+        while cursor is not None:
+            nxt, site = exposed[cursor]
+            terminal = site
+            if nxt is None:
+                chain.append(site.raw)
+            else:
+                chain.append(nxt)
+            cursor = nxt
+        info = program.table.functions.get(root)
+        path = self._path_of(program, root) or terminal.path
+        line = info.lineno if info is not None else terminal.lineno
+        col = 0 if info is not None else terminal.col
+        arrow = " -> ".join(_short(c) for c in chain)
+        return self.diag_at(
+            path,
+            line,
+            col,
+            f"call chain reaches mutation primitive outside a "
+            f"Transaction scope: {arrow} "
+            f"(unprotected site {terminal.path}:{terminal.lineno}); "
+            "wrap the mutation in `with Transaction(design):` at the "
+            "level that owns the commit-or-restore decision",
+        )
+
+
+def _short(qname: str) -> str:
+    """Trim the ``repro.`` prefix for readable chains."""
+    return qname[6:] if qname.startswith("repro.") else qname

@@ -1,0 +1,176 @@
+"""Process-boundary spawn-site detection shared by RL6 and RL8.
+
+A *spawn site* is a call that ships a callable into another process:
+
+* ``pool.submit(fn, *args)`` on a :class:`ProcessPoolExecutor`-typed
+  receiver,
+* ``pool.map(fn, items)`` (and the ``imap``/``starmap``/``apply_async``
+  family) on a pool-typed receiver,
+* ``Process(target=fn, args=(...))`` / ``ctx.Process(target=fn, ...)``
+  — any call named ``Process`` carrying a ``target=`` keyword.
+
+The receiver's pool type comes from the call graph's light local type
+inference (``with ProcessPoolExecutor(...) as pool`` / annotated
+parameters), so an arbitrary ``foo.map(...)`` on a list does not
+register.  ``Process(target=...)`` is matched by name alone: the
+keyword signature is distinctive enough, and a false spawn site merely
+subjects the payload to picklability rules it should satisfy anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    Program,
+    module_name_of,
+    own_nodes,
+)
+from repro.analysis.context import FileContext
+
+#: Receiver types that fan work out to other processes.
+POOL_TYPES: frozenset[str] = frozenset({"ProcessPoolExecutor", "Pool"})
+
+_SUBMIT_METHODS: frozenset[str] = frozenset({"submit"})
+_MAP_METHODS: frozenset[str] = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "apply", "apply_async"}
+)
+
+
+@dataclass(slots=True)
+class SpawnSite:
+    """One call that hands a callable to another process."""
+
+    call: ast.Call
+    kind: str
+    """``"submit"`` | ``"map"`` | ``"process"``."""
+
+    payload: ast.expr | None
+    """The callable expression shipped across the boundary."""
+
+    payload_args: list[ast.expr] = field(default_factory=list)
+    """Argument expressions travelling with it (must pickle too)."""
+
+    caller: str = ""
+    """Qualified name of the enclosing function (or ``mod.<module>``)."""
+
+    local_types: dict[str, str] = field(default_factory=dict)
+    """Name → class bindings visible at the site."""
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _classify(
+    call: ast.Call, local_types: dict[str, str]
+) -> SpawnSite | None:
+    func = call.func
+    callee_name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if callee_name == "Process":
+        target = _keyword(call, "target")
+        if target is None:
+            return None
+        args_kw = _keyword(call, "args")
+        payload_args: list[ast.expr] = []
+        if isinstance(args_kw, (ast.Tuple, ast.List)):
+            payload_args = list(args_kw.elts)
+        elif args_kw is not None:
+            payload_args = [args_kw]
+        return SpawnSite(
+            call=call, kind="process", payload=target,
+            payload_args=payload_args,
+        )
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = func.value
+    if not (
+        isinstance(receiver, ast.Name)
+        and local_types.get(receiver.id) in POOL_TYPES
+    ):
+        return None
+    if func.attr in _SUBMIT_METHODS and call.args:
+        extra = list(call.args[1:])
+        extra.extend(kw.value for kw in call.keywords)
+        return SpawnSite(
+            call=call, kind="submit", payload=call.args[0],
+            payload_args=extra,
+        )
+    if func.attr in _MAP_METHODS and call.args:
+        return SpawnSite(
+            call=call, kind="map", payload=call.args[0],
+            payload_args=list(call.args[1:]),
+        )
+    return None
+
+
+def spawn_sites_in_file(
+    program: Program, ctx: FileContext
+) -> Iterator[SpawnSite]:
+    """Every spawn site in *ctx*, function bodies and module scope."""
+    module = module_name_of(ctx.path)
+    for qname in sorted(program.table.functions):
+        info = program.table.functions[qname]
+        if info.path != ctx.path:
+            continue
+        local_types = program._local_types(info.node, module, info)
+        for node in own_nodes(info.node):
+            if isinstance(node, ast.Call):
+                site = _classify(node, local_types)
+                if site is not None:
+                    site.caller = qname
+                    site.local_types = local_types
+                    yield site
+    module_qname = f"{module}.<module>"
+    for node in program._toplevel_nodes(ctx.tree):
+        if isinstance(node, ast.Call):
+            site = _classify(node, {})
+            if site is not None:
+                site.caller = module_qname
+                yield site
+
+
+def resolve_payload(
+    program: Program, site: SpawnSite
+) -> FunctionInfo | None:
+    """The function a spawn payload names, when statically resolvable."""
+    payload = site.payload
+    if payload is None:
+        return None
+    module = _module_of_caller(program, site.caller)
+    if isinstance(payload, ast.Name):
+        nested = f"{site.caller}.<locals>.{payload.id}"
+        if nested in program.table.functions:
+            return program.table.functions[nested]
+        qname = program.table.resolve_name(payload.id, module)
+        if qname is not None:
+            return program.table.functions.get(qname)
+    if isinstance(payload, ast.Attribute):
+        from repro.analysis.callgraph import dotted
+
+        name = dotted(payload)
+        if name is not None:
+            qname = program.table.resolve_name(name, module)
+            if qname is not None:
+                return program.table.functions.get(qname)
+    return None
+
+
+def _module_of_caller(program: Program, caller: str) -> str:
+    """Module a caller qname belongs to (falls back to a prefix)."""
+    if caller.endswith(".<module>"):
+        return caller[: -len(".<module>")]
+    info = program.table.functions.get(caller)
+    if info is not None:
+        return info.module
+    return caller.rsplit(".", 1)[0]

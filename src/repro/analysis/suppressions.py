@@ -49,6 +49,29 @@ class Suppression:
     justification: str | None
     used: bool = False
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the incremental cache persists these so warm
+        runs can redo suppression filtering without re-tokenizing)."""
+        return {
+            "comment_line": self.comment_line,
+            "target_line": self.target_line,
+            "codes": list(self.codes),
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, object]) -> "Suppression":
+        return cls(
+            comment_line=int(doc["comment_line"]),  # type: ignore[arg-type]
+            target_line=int(doc["target_line"]),  # type: ignore[arg-type]
+            codes=tuple(str(c) for c in doc["codes"]),  # type: ignore[union-attr]
+            justification=(
+                None
+                if doc["justification"] is None
+                else str(doc["justification"])
+            ),
+        )
+
 
 @dataclass(slots=True)
 class SuppressionTable:
@@ -116,8 +139,19 @@ class SuppressionTable:
                 kept.append(diag)
         return kept
 
-    def hygiene(self, known_codes: frozenset[str]) -> list[Diagnostic]:
-        """RL0 findings: bad justifications, unknown codes, stale entries."""
+    def hygiene(
+        self,
+        known_codes: frozenset[str],
+        run_codes: frozenset[str] | None = None,
+    ) -> list[Diagnostic]:
+        """RL0 findings: bad justifications, unknown codes, stale entries.
+
+        *run_codes* is the set of rule codes that actually executed this
+        pass.  A suppression naming a code that did **not** run (for
+        example an RL7 suppression during a non-``--interprocedural``
+        run, or anything outside ``--select``) cannot be judged stale —
+        its rule never had the chance to produce the finding it guards.
+        """
         out: list[Diagnostic] = []
 
         def rl0(line: int, message: str) -> Diagnostic:
@@ -150,6 +184,10 @@ class SuppressionTable:
                         f"{', '.join(unknown)}",
                     )
                 )
+            elif run_codes is not None and any(
+                c not in run_codes for c in sup.codes
+            ):
+                continue  # a named rule did not run: staleness unknowable
             elif not sup.used:
                 out.append(
                     rl0(

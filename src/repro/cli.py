@@ -11,8 +11,11 @@ Subcommands::
     repro check     DIR/design.aux [--relaxed]                # verify only
     repro show      DIR/design.aux [--svg out.svg] [--window X Y W H]
     repro stats     DIR/design.aux                            # metrics
-    repro lint      [paths...] [--format text|json] [--select CODES]
-                    [--ignore CODES] [--list-rules]           # repro-lint
+    repro lint      [paths...] [--format text|json|sarif]
+                    [--select CODES] [--ignore CODES] [--list-rules]
+                    [--interprocedural] [--no-cache]
+                    [--cache-file PATH]                       # repro-lint
+    repro callgraph [paths...] [--dot | --json] [--effects]   # program model
 
 Also available as ``python -m repro ...``.
 
@@ -359,10 +362,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.ignore:
         argv += ["--ignore", args.ignore]
+    if args.interprocedural:
+        argv.append("--interprocedural")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_file:
+        argv += ["--cache-file", args.cache_file]
     if args.list_rules:
         argv.append("--list-rules")
     argv.extend(args.paths)
     return lint_runner.run(argv)
+
+
+def _cmd_callgraph(args: argparse.Namespace) -> int:
+    from repro.analysis import callgraph
+
+    argv: list[str] = []
+    if args.dot:
+        argv.append("--dot")
+    if args.json:
+        argv.append("--json")
+    if args.effects:
+        argv.append("--effects")
+    argv.extend(args.paths)
+    return callgraph.run(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -478,14 +501,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text")
     p.add_argument("--select", metavar="CODES",
                    help="comma-separated rule codes to run exclusively")
     p.add_argument("--ignore", metavar="CODES",
                    help="comma-separated rule codes to skip")
+    p.add_argument("--interprocedural", action="store_true",
+                   help="also run the whole-program rules (RL6-RL8)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the incremental result cache")
+    p.add_argument("--cache-file", metavar="PATH", default=None,
+                   help="cache file location "
+                        "(default: .repro-lint-cache.json)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "callgraph",
+        help="export the whole-program call graph (JSON or DOT), "
+             "optionally annotated with inferred effect summaries",
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to analyze (default: src)")
+    p.add_argument("--dot", action="store_true",
+                   help="emit Graphviz DOT instead of JSON")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON (the default)")
+    p.add_argument("--effects", action="store_true",
+                   help="annotate functions with effect summaries")
+    p.set_defaults(func=_cmd_callgraph)
 
     return parser
 

@@ -1,0 +1,392 @@
+"""Differential runtime sanitizer: keep the static summaries honest.
+
+:mod:`repro.analysis.dataflow` *predicts* which effects every function
+can exhibit.  Predictions rot: a new helper that mutates the design
+through an attribute the resolver cannot type, a dynamic dispatch the
+call graph cannot link — each would silently punch a hole in RL7's
+transitive reasoning.  This module closes the loop at runtime:
+
+* Under ``REPRO_SANITIZE=1`` (or inside an explicit
+  :class:`Sanitizer` block) the journaled primitives —
+  ``Design.place``/``unplace``/``shift_x``/``add_cell``,
+  ``Journal._record``, ``Transaction.__enter__`` — are wrapped so every
+  invocation records an :class:`EffectEvent` charging the effect to
+  **every repro-owned stack frame** above it (via ``co_qualname``, the
+  runtime twin of the call graph's static qualified names).
+* The **shard boundary** is instrumented too: ``run_shard`` opens its
+  own trace inside the worker process, ships the serialized events back
+  in :attr:`ShardOutcome.sanitizer_events`, and the executor absorbs
+  them into the parent's active traces — so effects observed behind the
+  process boundary still face the static model.
+* :func:`check_trace` is the differential judge: every observed
+  ``(frame, effect)`` pair must be contained in the frame's *static
+  transitive summary*.  Any gap means the static analysis under-
+  approximated reality and CI fails.
+
+Instrumentation is observation-only — the wrappers call straight
+through — so a sanitized run must produce byte-identical placements to
+an uninstrumented one (asserted by the differential smoke test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import repro
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow import EffectSummary
+    from repro.engine.shard_worker import ShardOutcome
+
+#: Environment toggle: ``REPRO_SANITIZE=1`` arms the sanitizer.
+ENV_FLAG = "REPRO_SANITIZE"
+
+#: Serialized event form shipped across the process boundary.
+SerializedEvent = tuple[str, str, tuple[str, ...]]
+
+
+def sanitizer_enabled(env: str | None = None) -> bool:
+    """Is ``REPRO_SANITIZE`` set (and not ``0``/empty)?"""
+    value = os.environ.get(ENV_FLAG, "") if env is None else env
+    return value not in ("", "0")
+
+
+@dataclass(frozen=True, slots=True)
+class EffectEvent:
+    """One observed effect, charged to the enclosing repro frames."""
+
+    effect: str
+    """Effect-lattice element (``repro.analysis.dataflow`` constant)."""
+
+    primitive: str
+    """The instrumented primitive that fired (``Design.place`` ...)."""
+
+    frames: tuple[str, ...]
+    """Qualified names of the repro-owned frames on the stack at the
+    time of the call, innermost first."""
+
+    def serialize(self) -> SerializedEvent:
+        return (self.effect, self.primitive, self.frames)
+
+    @classmethod
+    def deserialize(cls, raw: SerializedEvent) -> "EffectEvent":
+        effect, primitive, frames = raw
+        return cls(
+            effect=effect, primitive=primitive, frames=tuple(frames)
+        )
+
+
+@dataclass(slots=True)
+class EffectTrace:
+    """Actual-effect log of one sanitized region."""
+
+    events: list[EffectEvent] = field(default_factory=list)
+
+    def observed(self) -> dict[str, frozenset[str]]:
+        """Frame qname → set of effects observed under that frame."""
+        out: dict[str, set[str]] = {}
+        for event in self.events:
+            for frame in event.frames:
+                out.setdefault(frame, set()).add(event.effect)
+        return {q: frozenset(out[q]) for q in sorted(out)}
+
+    def serialized(self) -> tuple[SerializedEvent, ...]:
+        return tuple(e.serialize() for e in self.events)
+
+
+# ----------------------------------------------------------------------
+# Trace stack + monkeypatch lifecycle
+# ----------------------------------------------------------------------
+# The active-trace stack is intentionally module-level mutable state:
+# the wrapped primitives must find it without threading a handle through
+# every call signature.  It is parent-process bookkeeping — run_shard
+# opens a *fresh* trace inside each worker and ships events back by
+# value — so fork/spawn divergence of the stack itself is harmless.
+_TRACES: list[EffectTrace] = []
+_ORIGINALS: dict[str, Callable[..., Any]] = {}
+
+_REPRO_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+_SELF_FILE = os.path.abspath(__file__)
+
+
+def _frame_qnames() -> tuple[str, ...]:
+    """Qualified names of repro-owned frames on the stack, innermost
+    first — skipping this module and synthetic scopes (``<module>``,
+    ``<listcomp>``, lambdas), whose work the static model attributes to
+    the enclosing function."""
+    qnames: list[str] = []
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if (
+            filename.startswith(_REPRO_ROOT + os.sep)
+            and filename != _SELF_FILE
+        ):
+            qualname = frame.f_code.co_qualname
+            if not qualname.rsplit(".", 1)[-1].startswith("<"):
+                module = _module_of_file(filename)
+                qnames.append(f"{module}.{qualname}")
+        frame = frame.f_back
+    return tuple(qnames)
+
+
+def _module_of_file(filename: str) -> str:
+    rel = os.path.relpath(filename, os.path.dirname(_REPRO_ROOT))
+    parts = rel.replace(os.sep, "/").split("/")
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _record(effect: str, primitive: str) -> None:
+    if not _TRACES:
+        return
+    event = EffectEvent(
+        effect=effect, primitive=primitive, frames=_frame_qnames()
+    )
+    for trace in _TRACES:
+        trace.events.append(event)
+
+
+def _wrap(
+    owner: type, method: str, effect: str, primitive: str
+) -> None:
+    original = getattr(owner, method)
+    _ORIGINALS[primitive] = original
+
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        _record(effect, primitive)
+        return original(*args, **kwargs)
+
+    wrapper.__name__ = method
+    wrapper.__qualname__ = original.__qualname__
+    setattr(owner, method, wrapper)
+
+
+def _patch() -> None:
+    from repro.analysis.dataflow import JOURNALS, MUTATES, TRANSACTION
+    from repro.db.design import Design
+    from repro.db.journal import Journal, Transaction
+
+    _wrap(Design, "place", MUTATES, "Design.place")
+    _wrap(Design, "unplace", MUTATES, "Design.unplace")
+    _wrap(Design, "shift_x", MUTATES, "Design.shift_x")
+    _wrap(Design, "add_cell", MUTATES, "Design.add_cell")
+    _wrap(Journal, "_record", JOURNALS, "Journal._record")
+    _wrap(Transaction, "__enter__", TRANSACTION, "Transaction.__enter__")
+
+
+def _unpatch() -> None:
+    from repro.db.design import Design
+    from repro.db.journal import Journal, Transaction
+
+    owners = {
+        "Design.place": (Design, "place"),
+        "Design.unplace": (Design, "unplace"),
+        "Design.shift_x": (Design, "shift_x"),
+        "Design.add_cell": (Design, "add_cell"),
+        "Journal._record": (Journal, "_record"),
+        "Transaction.__enter__": (Transaction, "__enter__"),
+    }
+    for primitive in sorted(_ORIGINALS):
+        owner, method = owners[primitive]
+        setattr(owner, method, _ORIGINALS[primitive])
+    _ORIGINALS.clear()
+
+
+class Sanitizer:
+    """Context manager: record actual effects within the block.
+
+    Nesting is supported (each level sees the events of everything
+    below it); the primitives are patched on the first entry and
+    restored on the last exit, so an un-sanitized process never pays
+    the wrapper cost.
+    """
+
+    def __init__(self) -> None:
+        self.trace = EffectTrace()
+
+    def __enter__(self) -> EffectTrace:
+        if not _TRACES:
+            _patch()
+        _TRACES.append(self.trace)
+        return self.trace
+
+    def __exit__(self, *exc_info: object) -> None:
+        # Remove by *identity*: EffectTrace has dataclass value equality
+        # and a nested trace that saw exactly the same events would
+        # otherwise evict the outer one.
+        for index, trace in enumerate(_TRACES):
+            if trace is self.trace:
+                del _TRACES[index]
+                break
+        if not _TRACES:
+            _unpatch()
+
+
+def absorb_events(serialized: Sequence[SerializedEvent]) -> None:
+    """Merge worker-side events (from ``ShardOutcome.sanitizer_events``)
+    into every active trace of this process — the parent half of the
+    shard-boundary instrumentation."""
+    if not _TRACES or not serialized:
+        return
+    events = [EffectEvent.deserialize(raw) for raw in serialized]
+    for trace in _TRACES:
+        trace.events.extend(events)
+
+
+def absorb_outcomes(outcomes: "Sequence[ShardOutcome]") -> None:
+    """Absorb the sanitizer events of every shard outcome."""
+    for outcome in outcomes:
+        absorb_events(outcome.sanitizer_events)
+
+
+# ----------------------------------------------------------------------
+# The differential check
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Gap:
+    """One observed effect the static model failed to predict."""
+
+    qname: str
+    effect: str | None
+    reason: str
+
+    def render(self) -> str:
+        detail = f" [{self.effect}]" if self.effect is not None else ""
+        return f"{self.qname}{detail}: {self.reason}"
+
+
+def static_summaries() -> "dict[str, EffectSummary]":
+    """Effect summaries of the installed ``repro`` tree (memoized)."""
+    global _STATIC_MEMO
+    if _STATIC_MEMO is None:
+        from repro.analysis.callgraph import Program
+        from repro.analysis.dataflow import infer_effects
+        from repro.analysis.runner import discover_files
+
+        program = Program.from_paths(discover_files([_REPRO_ROOT]))
+        _STATIC_MEMO = infer_effects(program)
+    return _STATIC_MEMO
+
+
+_STATIC_MEMO: "dict[str, EffectSummary] | None" = None
+
+
+def check_trace(
+    trace: EffectTrace,
+    summaries: "dict[str, EffectSummary] | None" = None,
+) -> list[Gap]:
+    """Every observed ``(frame, effect)`` must be statically predicted.
+
+    Returns the list of gaps (empty when the static model covers the
+    runtime behavior).  A repro frame the static model does not know at
+    all is itself a gap: it means the symbol table missed a function
+    that demonstrably runs.
+    """
+    model = static_summaries() if summaries is None else summaries
+    gaps: list[Gap] = []
+    for qname, effects in sorted(trace.observed().items()):
+        summary = model.get(qname)
+        if summary is None:
+            gaps.append(
+                Gap(
+                    qname=qname,
+                    effect=None,
+                    reason="frame missing from the static model",
+                )
+            )
+            continue
+        for effect in sorted(effects - summary.transitive):
+            gaps.append(
+                Gap(
+                    qname=qname,
+                    effect=effect,
+                    reason="observed effect not statically predicted",
+                )
+            )
+    return gaps
+
+
+# ----------------------------------------------------------------------
+# ``python -m repro.testing.sanitizer`` — CI differential smoke
+# ----------------------------------------------------------------------
+def _differential_run(
+    num_cells: int, seed: int, workers: int
+) -> tuple[str, str, list[Gap], int]:
+    """(digest sanitized, digest bare, gaps, events) for one config."""
+    from repro.bench import GeneratorConfig, generate_design
+    from repro.core import LegalizerConfig
+    from repro.engine import EngineConfig, legalize_sharded
+    from repro.testing.faults import design_state_digest
+
+    gen = GeneratorConfig(num_cells=num_cells, target_density=0.5, seed=seed)
+    cfg = LegalizerConfig(seed=1)
+    eng = EngineConfig(workers=workers, shards=2, serial_threshold=0)
+
+    bare = generate_design(gen)
+    legalize_sharded(bare, cfg, eng)
+    bare_digest = design_state_digest(bare)
+
+    sanitized = generate_design(gen)
+    with Sanitizer() as trace:
+        legalize_sharded(sanitized, cfg, eng)
+    sanitized_digest = design_state_digest(sanitized)
+    gaps = check_trace(trace)
+    return sanitized_digest, bare_digest, gaps, len(trace.events)
+
+
+def run(argv: Sequence[str] | None = None) -> int:
+    """Differential smoke: serial + workers=N, gaps and digests."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.sanitizer",
+        description=(
+            "differential sanitizer smoke: legalize with and without "
+            "instrumentation, assert byte-identical placements and "
+            "zero statically-unpredicted effects"
+        ),
+    )
+    parser.add_argument("--cells", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="parallel arm worker count (serial arm always runs too)",
+    )
+    args = parser.parse_args(argv)
+
+    os.environ[ENV_FLAG] = "1"  # arm run_shard's worker-side tracing
+    failed = False
+    for workers in (1, args.workers):
+        san_digest, bare_digest, gaps, events = _differential_run(
+            args.cells, args.seed, workers
+        )
+        label = f"workers={workers}"
+        if san_digest != bare_digest:
+            print(
+                f"sanitizer[{label}]: FAIL placement digest diverged "
+                f"({san_digest[:12]} != {bare_digest[:12]})"
+            )
+            failed = True
+        if gaps:
+            print(
+                f"sanitizer[{label}]: FAIL {len(gaps)} "
+                "statically-unpredicted effect(s):"
+            )
+            for gap in gaps:
+                print(f"  {gap.render()}")
+            failed = True
+        if san_digest == bare_digest and not gaps:
+            print(
+                f"sanitizer[{label}]: OK {events} event(s), "
+                f"digest {san_digest[:12]}, zero gaps"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shell
+    sys.exit(run())

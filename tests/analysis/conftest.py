@@ -1,0 +1,19 @@
+"""Shared fixtures: the whole-program view of the real ``src/repro``
+tree is expensive to build, so callgraph/dataflow tests share one."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import Program
+from repro.analysis.runner import discover_files
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture(scope="session")
+def real_program() -> Program:
+    """Linked whole-program view of the installed ``repro`` tree."""
+    return Program.from_paths(discover_files([str(SRC_REPRO)]))

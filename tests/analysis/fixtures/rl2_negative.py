@@ -25,3 +25,35 @@ def fingerprint(name: str) -> str:
 
 def count_matching(pending: set[str], prefix: str) -> int:
     return sum(1 for name in pending if name.startswith(prefix))
+
+
+def sorted_rebind(ids: set[int]) -> list[int]:
+    """Dataflow-lite regression: the rebind establishes an order."""
+    pending = set(ids)
+    pending = sorted(pending)
+    out: list[int] = []
+    for item in pending:  # list now, not a set
+        out.append(item)
+    return out
+
+
+def multiline_alias(seen: set[str], extra: set[str]) -> list[str]:
+    """Aliased + multiline ``sorted(...)`` over a set expression."""
+    merged = seen | extra
+    merged = sorted(
+        merged
+    )
+    return [name for name in merged]
+
+
+def producer() -> set[int]:
+    nodes = {1, 2, 3}
+    return nodes
+
+
+def cross_scope(nodes: list[int]) -> list[int]:
+    """``nodes`` is a list here; the sibling scope must not leak."""
+    out: list[int] = []
+    for node in nodes:
+        out.append(node)
+    return out

@@ -1,0 +1,32 @@
+"""RL6 negative: the blessed protocol — a module-level worker function
+fed frozen value-object tasks, results merged from the outcomes."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkTask:
+    task_id: int
+    width: int
+
+
+@dataclass(frozen=True)
+class WorkOutcome:
+    task_id: int
+    area: int
+
+
+def compute(task: WorkTask) -> WorkOutcome:
+    return WorkOutcome(task_id=task.task_id, area=task.width * task.width)
+
+
+def launch(tasks: list[WorkTask]) -> list[WorkOutcome]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(compute, tasks))
+
+
+def submit_one(task: WorkTask) -> WorkOutcome:
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(compute, task)
+        return future.result()

@@ -1,0 +1,53 @@
+"""RL6 positive: payloads and arguments that cannot cross a process
+boundary — lambda, closure, bound method, live Design argument, and an
+open file handle constructed at the spawn site."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Process
+
+from repro.db.design import Design
+
+
+def compute(task: int) -> int:
+    return task * 2
+
+
+def compute_on(design: Design) -> int:
+    return len(design.name)
+
+
+def ship_lambda(tasks: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda t: t * 2, tasks))
+
+
+def ship_closure(tasks: list[int]) -> list[int]:
+    def helper(t: int) -> int:
+        return t * 2
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(helper, tasks))
+
+
+def ship_design(design: Design) -> None:
+    with ProcessPoolExecutor() as pool:
+        pool.submit(compute_on, design)
+
+
+def ship_handle(path: str) -> None:
+    with ProcessPoolExecutor() as pool:
+        pool.submit(compute, open(path))
+
+
+def ship_process_lambda() -> None:
+    proc = Process(target=lambda: compute(1))
+    proc.start()
+
+
+class Supervisor:
+    def step(self, task: int) -> int:
+        return task
+
+    def launch(self, tasks: list[int]) -> list[int]:
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(self.step, tasks))

@@ -1,0 +1,16 @@
+"""RL7 negative: the root owns the transaction, so the helper's bare
+primitive call is covered interprocedurally — the blessed layering
+(helpers stay lean, the commit-or-restore decision lives at the top)."""
+
+from repro.db.design import Design
+from repro.db.journal import Transaction
+
+
+def nudge(design: Design, x: int, y: int) -> None:
+    cell = design.cells[0]
+    design.place(cell, x, y)  # repro-lint: disable=RL3 -- caller owns the transaction (see optimize)
+
+
+def optimize(design: Design) -> None:
+    with Transaction(design):
+        nudge(design, 0, 0)

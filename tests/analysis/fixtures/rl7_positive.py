@@ -1,0 +1,18 @@
+"""RL7 positive: a call-graph root reaches ``design.place`` through a
+helper with no ``Transaction`` scope anywhere on the path.
+
+The helper's bare primitive call is the RL3-visible half; the *chain*
+``optimize -> nudge -> design.place`` with no transaction at either
+level is what only the interprocedural rule can see.
+"""
+
+from repro.db.design import Design
+
+
+def nudge(design: Design, x: int, y: int) -> None:
+    cell = design.cells[0]
+    design.place(cell, x, y)  # repro-lint: disable=RL3 -- the caller is expected to own the transaction (it does not: RL7's job)
+
+
+def optimize(design: Design) -> None:
+    nudge(design, 0, 0)

@@ -1,0 +1,28 @@
+"""RL8 negative: the blessed protocol — worker state is function-local,
+inputs travel in the task, results come back in the return value and
+are merged by the parent (which is *not* worker-reachable)."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+SCALE = 3  # immutable module constant: reads are always fine
+
+
+@dataclass(frozen=True)
+class Item:
+    key: int
+
+
+def worker(item: Item) -> dict[int, int]:
+    local_cache: dict[int, int] = {}
+    local_cache[item.key] = item.key * SCALE
+    return local_cache
+
+
+def launch(items: list[Item]) -> dict[int, int]:
+    with ProcessPoolExecutor() as pool:
+        results = list(pool.map(worker, items))
+    merged: dict[int, int] = {}
+    for result in results:
+        merged.update(result)
+    return merged

@@ -1,0 +1,35 @@
+"""RL8 positive: worker-reachable writes to shared-looking state — a
+module-level dict cache, a module-level list, a ``global`` rebind, and
+a class-attribute tally — all of which silently diverge per process."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE: dict[int, int] = {}
+SEEN: list[int] = []
+COUNT = 0
+
+
+class Tally:
+    totals: dict[str, int] = {}
+
+    def record(self, key: str) -> None:
+        Tally.totals[key] = Tally.totals.get(key, 0) + 1
+
+
+def bump() -> None:
+    global COUNT
+    COUNT += 1
+
+
+def worker(task: int) -> int:
+    CACHE[task] = task * 2
+    SEEN.append(task)
+    bump()
+    tally = Tally()
+    tally.record("calls")
+    return CACHE[task]
+
+
+def launch(tasks: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, tasks))

@@ -1,0 +1,126 @@
+"""Incremental lint cache: correctness, invalidation, and the warm-run
+speedup contract (ISSUE acceptance: warm ≥ 5× faster than cold)."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from pathlib import Path
+
+from repro.analysis.cache import (
+    LintCache,
+    content_hash,
+    ruleset_fingerprint,
+)
+from repro.analysis.runner import lint_paths
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def as_dicts(diags):
+    return [d.to_dict() for d in diags]
+
+
+class TestCacheCorrectness:
+    def test_warm_run_reproduces_cold_diagnostics(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        for name in ("rl1_positive.py", "rl2_positive.py", "rl5_negative.py"):
+            shutil.copy(FIXTURES / name, work / name)
+        cache = str(tmp_path / "cache.json")
+        cold, _ = lint_paths([str(work)], cache_path=cache)
+        warm, _ = lint_paths([str(work)], cache_path=cache)
+        assert as_dicts(warm) == as_dicts(cold)
+        assert cold  # the positives actually produce findings
+
+    def test_interprocedural_warm_run_reproduces(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        shutil.copy(FIXTURES / "rl8_positive.py", work / "rl8_positive.py")
+        cache = str(tmp_path / "cache.json")
+        cold, _ = lint_paths(
+            [str(work)], interprocedural=True, cache_path=cache
+        )
+        warm, _ = lint_paths(
+            [str(work)], interprocedural=True, cache_path=cache
+        )
+        assert as_dicts(warm) == as_dicts(cold)
+        assert any(d.code == "RL8" for d in cold)
+
+    def test_edited_file_is_relinted(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        target = work / "m.py"
+        target.write_text("def ok() -> int:\n    return 1\n")
+        cache = str(tmp_path / "cache.json")
+        clean, _ = lint_paths([str(work)], cache_path=cache)
+        assert clean == []
+        target.write_text(
+            "import random\n"
+            "def bad() -> float:\n"
+            "    return random.random()\n"
+        )
+        dirty, _ = lint_paths([str(work)], cache_path=cache)
+        assert any(d.code == "RL2" for d in dirty)
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_discards_cache(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = LintCache(str(path), fingerprint="fp-one")
+        cache.put_file("a.py", "hash", "RL1", [], [])
+        cache.save()
+        assert path.exists()
+        stale = LintCache(str(path), fingerprint="fp-two")
+        assert stale.get_file("a.py", "hash", "RL1") is None
+        fresh = LintCache(str(path), fingerprint="fp-one")
+        assert fresh.get_file("a.py", "hash", "RL1") == ([], [])
+
+    def test_content_hash_mismatch_misses(self, tmp_path):
+        cache = LintCache(str(tmp_path / "cache.json"), fingerprint="fp")
+        cache.put_file("a.py", "hash-one", "RL1", [], [])
+        assert cache.get_file("a.py", "hash-two", "RL1") is None
+
+    def test_ruleset_fingerprint_is_stable(self):
+        assert ruleset_fingerprint() == ruleset_fingerprint()
+
+    def test_content_hash_tracks_bytes(self):
+        assert content_hash(b"a") != content_hash(b"b")
+        assert content_hash(b"a") == content_hash(b"a")
+
+    def test_corrupt_cache_file_is_discarded(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = LintCache(str(path), fingerprint="fp")
+        assert cache.get_file("a.py", "hash", "RL1") is None
+
+    def test_cache_file_is_json(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = LintCache(str(path), fingerprint="fp")
+        cache.put_file("a.py", "hash", "RL1", [], [])
+        cache.save()
+        doc = json.loads(path.read_text())
+        assert doc["fingerprint"] == "fp"
+
+
+class TestSpeedup:
+    def test_warm_run_is_at_least_5x_faster(self, tmp_path):
+        """The ISSUE acceptance bar, with the real tree as workload."""
+        cache = str(tmp_path / "cache.json")
+        t0 = time.perf_counter()
+        cold, _ = lint_paths(
+            [str(SRC_REPRO)], interprocedural=True, cache_path=cache
+        )
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm, _ = lint_paths(
+            [str(SRC_REPRO)], interprocedural=True, cache_path=cache
+        )
+        warm_s = time.perf_counter() - t0
+        assert as_dicts(warm) == as_dicts(cold)
+        assert cold_s >= 5 * warm_s, (
+            f"warm cached lint not >=5x faster: cold {cold_s:.3f}s, "
+            f"warm {warm_s:.3f}s"
+        )

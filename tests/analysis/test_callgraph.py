@@ -1,0 +1,202 @@
+"""Unit tests for the whole-program symbol table and call graph.
+
+Two layers: precise assertions on a small synthetic program written to
+``tmp_path`` (qualnames, edge resolution, transaction marking), and
+smoke-level assertions on the real ``src/repro`` tree (the shared
+``real_program`` fixture) that pin the cross-module resolution the
+interprocedural rules depend on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.callgraph import Program, module_name_of
+
+
+def build(tmp_path: Path, files: dict[str, str]) -> Program:
+    paths = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.write_text(source)
+        paths.append(str(path))
+    return Program.from_paths(paths)
+
+
+class TestModuleNames:
+    def test_repro_package_path(self):
+        assert module_name_of("src/repro/db/design.py") == "repro.db.design"
+
+    def test_package_init_collapses(self):
+        assert module_name_of("src/repro/engine/__init__.py") == "repro.engine"
+
+    def test_foreign_file_keeps_stem(self):
+        assert module_name_of("/tmp/fixture.py") == "fixture"
+
+
+class TestSymbolTable:
+    def test_nested_function_qualname(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def outer() -> int:\n"
+                    "    def inner() -> int:\n"
+                    "        return 1\n"
+                    "    return inner()\n"
+                )
+            },
+        )
+        assert "m.outer" in program.table.functions
+        inner = program.table.functions["m.outer.<locals>.inner"]
+        assert inner.nested
+
+    def test_method_qualname_and_class(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Box:\n"
+                    "    def get(self) -> int:\n"
+                    "        return 1\n"
+                )
+            },
+        )
+        info = program.table.functions["m.Box.get"]
+        assert info.class_qname == "m.Box"
+        assert "get" in program.table.classes["m.Box"].methods
+
+
+class TestCallResolution:
+    def test_direct_call_edge(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def helper() -> int:\n"
+                    "    return 1\n"
+                    "def top() -> int:\n"
+                    "    return helper()\n"
+                )
+            },
+        )
+        assert "m.helper" in program.graph.callees_of("m.top")
+
+    def test_method_call_via_annotation(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Box:\n"
+                    "    def get(self) -> int:\n"
+                    "        return 1\n"
+                    "def use(box: Box) -> int:\n"
+                    "    return box.get()\n"
+                )
+            },
+        )
+        assert "m.Box.get" in program.graph.callees_of("m.use")
+
+    def test_transaction_scope_marks_sites(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def mutate() -> None:\n"
+                    "    pass\n"
+                    "def covered(design: object) -> None:\n"
+                    "    with Transaction(design):\n"
+                    "        mutate()\n"
+                    "def bare() -> None:\n"
+                    "    mutate()\n"
+                )
+            },
+        )
+        by_caller = {
+            s.caller: s.in_transaction
+            for s in program.graph.sites
+            if s.callee == "m.mutate"
+        }
+        assert by_caller == {"m.covered": True, "m.bare": False}
+
+    def test_reachability_and_roots(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def leaf() -> int:\n"
+                    "    return 1\n"
+                    "def mid() -> int:\n"
+                    "    return leaf()\n"
+                    "def root() -> int:\n"
+                    "    return mid()\n"
+                )
+            },
+        )
+        reach = set(program.graph.reachable_from(["m.root"]))
+        assert {"m.root", "m.mid", "m.leaf"} <= reach
+        assert program.graph.is_root("m.root")
+        assert not program.graph.is_root("m.leaf")
+
+    def test_value_reference_disqualifies_root(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def payload() -> int:\n"
+                    "    return 1\n"
+                    "def launch(pool: object) -> None:\n"
+                    "    pool.submit(payload)\n"
+                )
+            },
+        )
+        assert not program.graph.is_root("m.payload")
+
+
+class TestExports:
+    def test_json_export_shape(self, tmp_path):
+        program = build(
+            tmp_path,
+            {"m.py": "def f() -> int:\n    return 1\n"},
+        )
+        doc = json.loads(program.to_json())
+        assert "functions" in doc and "edges" in doc
+        assert any(f["qname"] == "m.f" for f in doc["functions"])
+
+    def test_dot_export_mentions_nodes(self, tmp_path):
+        program = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def a() -> int:\n"
+                    "    return b()\n"
+                    "def b() -> int:\n"
+                    "    return 1\n"
+                )
+            },
+        )
+        dot = program.to_dot()
+        assert dot.startswith("digraph")
+        assert "m.a" in dot and "m.b" in dot
+
+
+class TestRealTree:
+    def test_primitives_are_resolved(self, real_program):
+        fns = real_program.table.functions
+        assert "repro.db.design.Design.place" in fns
+        assert "repro.engine.shard_worker.run_shard" in fns
+
+    def test_place_has_callers(self, real_program):
+        callers = real_program.graph.callers_of(
+            "repro.db.design.Design.place"
+        )
+        assert callers  # the legalizer realization path at minimum
+
+    def test_worker_reachability_crosses_modules(self, real_program):
+        reach = set(
+            real_program.graph.reachable_from(
+                ["repro.engine.shard_worker.run_shard"]
+            )
+        )
+        assert "repro.engine.shard_worker.build_shard_design" in reach

@@ -1,0 +1,142 @@
+"""Unit tests for the summary-based effect inference.
+
+Synthetic programs pin each lattice element's local detector and the
+transitive fixpoint; real-tree assertions pin the summaries the RL7
+rule and the runtime sanitizer rely on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.callgraph import Program
+from repro.analysis.dataflow import (
+    IO,
+    JOURNALS,
+    MUTATES,
+    NONDET,
+    TRANSACTION,
+    infer_effects,
+)
+
+
+def summaries_of(tmp_path: Path, source: str):
+    path = tmp_path / "m.py"
+    path.write_text(source)
+    return infer_effects(Program.from_paths([str(path)]))
+
+
+class TestLocalEffects:
+    def test_placement_attr_store_mutates(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def move(cell: object, x: int) -> None:\n"
+            "    cell.x = x\n",
+        )
+        assert MUTATES in out["m.move"].local
+
+    def test_journal_note_call(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def log(journal: object) -> None:\n"
+            "    journal.note_place(1)\n",
+        )
+        assert JOURNALS in out["m.log"].local
+
+    def test_transaction_with_block(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def scoped(design: object) -> None:\n"
+            "    with Transaction(design):\n"
+            "        pass\n",
+        )
+        assert TRANSACTION in out["m.scoped"].local
+
+    def test_ambient_random_is_nondet(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "import random\n"
+            "def roll() -> float:\n"
+            "    return random.random()\n",
+        )
+        assert NONDET in out["m.roll"].local
+
+    def test_seeded_random_is_deterministic(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "import random\n"
+            "def rng(seed: int) -> object:\n"
+            "    return random.Random(seed)\n",
+        )
+        assert NONDET not in out["m.rng"].local
+
+    def test_open_is_io(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def read(path: str) -> str:\n"
+            "    with open(path) as f:\n"
+            "        return f.read()\n",
+        )
+        assert IO in out["m.read"].local
+
+    def test_unresolved_primitive_name_fallback(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def nudge(design: object, cell: object) -> None:\n"
+            "    design.place(cell, 0, 0)\n",
+        )
+        assert {MUTATES, JOURNALS} <= out["m.nudge"].local
+
+
+class TestTransitiveFixpoint:
+    def test_effects_propagate_up_the_chain(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def leaf(design: object, cell: object) -> None:\n"
+            "    design.place(cell, 0, 0)\n"
+            "def mid(design: object, cell: object) -> None:\n"
+            "    leaf(design, cell)\n"
+            "def top(design: object, cell: object) -> None:\n"
+            "    mid(design, cell)\n",
+        )
+        assert MUTATES not in out["m.top"].local
+        assert {MUTATES, JOURNALS} <= out["m.top"].transitive
+        assert {MUTATES, JOURNALS} <= out["m.mid"].transitive
+
+    def test_recursion_reaches_fixpoint(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "import random\n"
+            "def ping(n: int) -> int:\n"
+            "    return pong(n - 1) if n else 0\n"
+            "def pong(n: int) -> int:\n"
+            "    random.random()\n"
+            "    return ping(n)\n",
+        )
+        assert NONDET in out["m.ping"].transitive
+        assert NONDET in out["m.pong"].transitive
+
+    def test_transitive_is_superset_of_local(self, tmp_path):
+        out = summaries_of(
+            tmp_path,
+            "def a(design: object, cell: object) -> None:\n"
+            "    design.place(cell, 0, 0)\n"
+            "def b() -> None:\n"
+            "    a(None, None)\n",
+        )
+        for summary in out.values():
+            assert summary.local <= summary.transitive
+
+
+class TestRealTree:
+    def test_seeded_primitives(self, real_program):
+        out = infer_effects(real_program)
+        place = out["repro.db.design.Design.place"]
+        assert {MUTATES, JOURNALS} <= place.transitive
+        enter = out["repro.db.journal.Transaction.__enter__"]
+        assert TRANSACTION in enter.transitive
+
+    def test_run_shard_reaches_mutation(self, real_program):
+        out = infer_effects(real_program)
+        shard = out["repro.engine.shard_worker.run_shard"]
+        assert {MUTATES, JOURNALS} <= shard.transitive

@@ -7,14 +7,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import lint_file
+from repro.analysis import lint_file, lint_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
 CODES = ("RL1", "RL2", "RL3", "RL4", "RL5")
+PROGRAM_CODES = ("RL6", "RL7", "RL8")
 
 
 def codes_in(path: Path) -> set[str]:
     return {d.code for d in lint_file(str(path))}
+
+
+def program_lint(path: Path):
+    diags, _ = lint_paths([str(path)], interprocedural=True)
+    return diags
 
 
 @pytest.mark.parametrize("code", CODES)
@@ -26,6 +32,18 @@ def test_positive_fixture_fires(code):
 @pytest.mark.parametrize("code", CODES)
 def test_negative_fixture_is_clean(code):
     diags = lint_file(str(FIXTURES / f"{code.lower()}_negative.py"))
+    assert diags == []
+
+
+@pytest.mark.parametrize("code", PROGRAM_CODES)
+def test_program_positive_fixture_fires(code):
+    diags = program_lint(FIXTURES / f"{code.lower()}_positive.py")
+    assert code in {d.code for d in diags}
+
+
+@pytest.mark.parametrize("code", PROGRAM_CODES)
+def test_program_negative_fixture_is_clean(code):
+    diags = program_lint(FIXTURES / f"{code.lower()}_negative.py")
     assert diags == []
 
 
@@ -82,3 +100,92 @@ class TestRuleDetail:
     def test_parse_error_is_a_diagnostic_not_a_crash(self):
         diags = lint_file("broken.py", source="def f(:\n")
         assert [d.code for d in diags] == ["E999"]
+
+    # ------------------------------------------------------------------
+    # RL2 dataflow-lite regressions (scope fences + ordering demotion)
+    def test_rl2_sorted_rebind_is_not_flagged(self):
+        diags = lint_file(
+            "probe.py",
+            source=(
+                "def drain(ids: set[int]) -> list[int]:\n"
+                "    pending = set(ids)\n"
+                "    pending = sorted(pending)\n"
+                "    out: list[int] = []\n"
+                "    for item in pending:\n"
+                "        out.append(item)\n"
+                "    return out\n"
+            ),
+        )
+        assert [d for d in diags if d.code == "RL2"] == []
+
+    def test_rl2_multiline_sorted_alias_is_not_flagged(self):
+        diags = lint_file(
+            "probe.py",
+            source=(
+                "def merge(seen: set[str], extra: set[str]) -> list[str]:\n"
+                "    merged = seen | extra\n"
+                "    merged = sorted(\n"
+                "        merged\n"
+                "    )\n"
+                "    return [name for name in merged]\n"
+            ),
+        )
+        assert [d for d in diags if d.code == "RL2"] == []
+
+    def test_rl2_set_names_do_not_leak_across_scopes(self):
+        diags = lint_file(
+            "probe.py",
+            source=(
+                "def produce() -> set[int]:\n"
+                "    nodes = {1, 2}\n"
+                "    return nodes\n"
+                "def consume(nodes: list[int]) -> list[int]:\n"
+                "    return [n for n in nodes]\n"
+            ),
+        )
+        assert [d for d in diags if d.code == "RL2"] == []
+
+    def test_rl2_true_positive_still_fires(self):
+        diags = lint_file(
+            "probe.py",
+            source=(
+                "def drain(pending: set[str]) -> list[str]:\n"
+                "    out: list[str] = []\n"
+                "    for item in pending:\n"
+                "        out.append(item)\n"
+                "    return out\n"
+            ),
+        )
+        assert any(d.code == "RL2" for d in diags)
+
+    # ------------------------------------------------------------------
+    # Program-rule message detail
+    def test_rl6_names_each_violation_kind(self):
+        diags = program_lint(FIXTURES / "rl6_positive.py")
+        messages = " ".join(d.message for d in diags if d.code == "RL6")
+        assert "lambda" in messages
+        assert "closure" in messages
+        assert "bound method" in messages
+        assert "live Design" in messages
+        assert "open file handle" in messages
+
+    def test_rl7_reports_the_chain_at_the_root(self):
+        diags = [
+            d for d in program_lint(FIXTURES / "rl7_positive.py")
+            if d.code == "RL7"
+        ]
+        assert len(diags) == 1
+        assert "optimize" in diags[0].message
+        assert "->" in diags[0].message
+        assert "Transaction" in diags[0].message
+
+    def test_rl8_covers_global_and_class_state(self):
+        messages = " ".join(
+            d.message
+            for d in program_lint(FIXTURES / "rl8_positive.py")
+            if d.code == "RL8"
+        )
+        assert "subscript" in messages
+        assert "`global COUNT`" in messages
+        assert "class-level mutable attribute" in messages
+        assert ".append()" in messages

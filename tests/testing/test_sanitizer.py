@@ -1,0 +1,157 @@
+"""Differential runtime sanitizer tests.
+
+The core contract, asserted three ways:
+
+1. **Soundness (property)**: for randomized designs, every effect the
+   runtime trace observes under a frame is contained in that frame's
+   static transitive summary — static ⊇ runtime, the over-approximation
+   direction the whole analysis is built on.
+2. **Transparency**: an instrumented run produces byte-identical
+   placements to an uninstrumented one (serial *and* ``workers=2``,
+   which additionally exercises the shard-boundary event shipping).
+3. **Plumbing units**: event serialization round-trips, absorption
+   merges into active traces, the env toggle parses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.core import LegalizerConfig, legalize
+from repro.testing.faults import design_state_digest
+from repro.testing.sanitizer import (
+    EffectEvent,
+    EffectTrace,
+    Sanitizer,
+    _differential_run,
+    absorb_events,
+    check_trace,
+    sanitizer_enabled,
+    static_summaries,
+)
+
+SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPlumbing:
+    def test_event_roundtrip(self):
+        event = EffectEvent(
+            effect="mutates-design",
+            primitive="Design.place",
+            frames=("repro.core.legalizer.Legalizer.run",),
+        )
+        assert EffectEvent.deserialize(event.serialize()) == event
+
+    def test_env_toggle(self):
+        assert not sanitizer_enabled(env="")
+        assert not sanitizer_enabled(env="0")
+        assert sanitizer_enabled(env="1")
+        assert sanitizer_enabled(env="yes")
+
+    def test_absorb_merges_into_active_trace(self):
+        raw = ("journals", "Journal._record", ("repro.db.journal.x",))
+        with Sanitizer() as trace:
+            absorb_events([raw])
+        assert EffectEvent.deserialize(raw) in trace.events
+
+    def test_absorb_without_active_trace_is_noop(self):
+        absorb_events([("journals", "Journal._record", ())])  # no crash
+
+    def test_observed_charges_every_frame(self):
+        trace = EffectTrace(
+            events=[
+                EffectEvent("mutates-design", "Design.place", ("a", "b")),
+                EffectEvent("journals", "Journal._record", ("b",)),
+            ]
+        )
+        observed = trace.observed()
+        assert observed["a"] == frozenset({"mutates-design"})
+        assert observed["b"] == frozenset({"mutates-design", "journals"})
+
+    def test_unknown_frame_is_a_gap(self):
+        trace = EffectTrace(
+            events=[
+                EffectEvent(
+                    "mutates-design",
+                    "Design.place",
+                    ("repro.no.such.function",),
+                )
+            ]
+        )
+        gaps = check_trace(trace, summaries={})
+        assert len(gaps) == 1
+        assert "missing from the static model" in gaps[0].reason
+
+    def test_patching_is_transparent_and_restored(self):
+        from repro.db.design import Design
+
+        original = Design.place
+        with Sanitizer():
+            assert Design.place is not original
+        assert Design.place is original
+
+
+class TestStaticCoversRuntime:
+    @SETTINGS
+    @given(
+        num_cells=st.integers(min_value=20, max_value=80),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_serial_legalization_within_static_model(self, num_cells, seed):
+        """Property: runtime trace ⊆ static transitive summaries."""
+        gen = GeneratorConfig(
+            num_cells=num_cells, target_density=0.5, seed=seed
+        )
+        design = generate_design(gen)
+        with Sanitizer() as trace:
+            legalize(design, LegalizerConfig(seed=1))
+        assert trace.events  # the run demonstrably mutated the design
+        gaps = check_trace(trace)
+        assert gaps == [], "\n".join(g.render() for g in gaps)
+
+    def test_summaries_are_memoized(self):
+        assert static_summaries() is static_summaries()
+
+
+class TestDifferentialTransparency:
+    def test_serial_digest_identical_and_gap_free(self):
+        san, bare, gaps, events = _differential_run(
+            num_cells=120, seed=7, workers=1
+        )
+        assert san == bare
+        assert gaps == []
+        assert events > 0
+
+    def test_workers2_ships_events_across_the_boundary(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        san, bare, gaps, events = _differential_run(
+            num_cells=120, seed=7, workers=2
+        )
+        assert san == bare
+        assert gaps == []
+        assert events > 0
+
+    def test_serial_and_parallel_agree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        san1, _, _, _ = _differential_run(num_cells=120, seed=7, workers=1)
+        san2, _, _, _ = _differential_run(num_cells=120, seed=7, workers=2)
+        assert san1 == san2
+
+
+class TestCliSmoke:
+    def test_run_exits_zero(self, monkeypatch, capsys):
+        from repro.testing import sanitizer
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        rc = sanitizer.run(["--cells", "80", "--seed", "3", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+        assert "zero gaps" in out
