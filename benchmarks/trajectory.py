@@ -1,0 +1,134 @@
+"""Perf-trajectory writer: append-only ``BENCH_<kind>.json`` files.
+
+The ROADMAP notes that the repo has 15+ bench scripts but zero durable
+perf history — every run's numbers die with the pytest-benchmark
+session.  This module is the fix: one tiny append-only JSON file per
+benchmark *kind* at the repo root, committed alongside the code, so the
+trajectory of wall time / displacement / serving throughput across PRs
+is diffable in review like any other artifact.
+
+File shape (``BENCH_serving.json``, ``BENCH_table1_summary.json``)::
+
+    {
+      "kind": "serving",
+      "schema": 1,
+      "runs": [
+        {"recorded": "2026-08-08T12:00:00Z", "rev": "8fc6983",
+         "params": {...}, "metrics": {...}},
+        ...
+      ]
+    }
+
+``record_run`` reads-modifies-writes atomically (temp file + rename)
+and keeps the newest ``MAX_RUNS`` entries so the files stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+import time
+
+#: Bump on any incompatible change to the run-entry shape.
+SCHEMA = 1
+
+#: Trajectory files keep the newest N runs (diffs stay readable).
+MAX_RUNS = 50
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def trajectory_path(kind: str, directory: str | None = None) -> str:
+    """Where ``record_run(kind, ...)`` writes."""
+    base = directory if directory is not None else _REPO_ROOT
+    return os.path.join(base, f"BENCH_{kind}.json")
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _load(path: str, kind: str) -> dict:
+    if not os.path.exists(path):
+        return {"kind": kind, "schema": SCHEMA, "runs": []}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        # A torn or hand-mangled file must not fail the benchmark run;
+        # start a fresh trajectory (the old one lives in git history).
+        return {"kind": kind, "schema": SCHEMA, "runs": []}
+    if (
+        not isinstance(data, dict)
+        or data.get("schema") != SCHEMA
+        or not isinstance(data.get("runs"), list)
+    ):
+        return {"kind": kind, "schema": SCHEMA, "runs": []}
+    return data
+
+
+def record_run(
+    kind: str,
+    metrics: dict[str, object],
+    params: dict[str, object] | None = None,
+    directory: str | None = None,
+) -> str:
+    """Append one run entry to ``BENCH_<kind>.json``; returns the path."""
+    path = trajectory_path(kind, directory)
+    data = _load(path, kind)
+    entry = {
+        "recorded": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "rev": _git_rev(),
+        "params": params or {},
+        "metrics": metrics,
+    }
+    runs = data["runs"]
+    runs.append(entry)
+    del runs[:-MAX_RUNS]
+    payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    target_dir = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=target_dir, prefix=".bench-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def percentiles(
+    samples: list[float], points: tuple[float, ...] = (50.0, 90.0, 99.0)
+) -> dict[str, float]:
+    """Nearest-rank percentiles, keyed ``p50``/``p90``/... in ms-friendly
+    float form (no numpy; benchmarks must not grow dependencies)."""
+    if not samples:
+        return {f"p{int(p)}": 0.0 for p in points}
+    ordered = sorted(samples)
+    out: dict[str, float] = {}
+    for p in points:
+        rank = max(
+            0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1)
+        )
+        out[f"p{int(p)}"] = ordered[rank]
+    return out

@@ -226,7 +226,7 @@ class DeterminismRule(BaseRule):
         "iteration without sorted(), ambient random, wall-clock in "
         "control flow, os.urandom/uuid4/builtin hash"
     )
-    enforced = ("core", "engine", "checker", "analysis")
+    enforced = ("core", "engine", "checker", "analysis", "serve")
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         yield from self._check_set_iteration(ctx)

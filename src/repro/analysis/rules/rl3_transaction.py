@@ -38,7 +38,7 @@ MUTATION_PRIMITIVES = frozenset(
 )
 
 #: Where check 3 (lexical transaction scoping) is contractual.
-_SCOPED_SUBPACKAGES = frozenset({"apps"})
+_SCOPED_SUBPACKAGES = frozenset({"apps", "serve"})
 _SCOPED_MODULES = frozenset({"reconcile.py"})
 
 

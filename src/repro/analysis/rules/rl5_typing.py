@@ -71,7 +71,7 @@ class StrictTypingRule(BaseRule):
         "bare list/dict/set/tuple generics, in the mypy --strict "
         "packages (core, engine, db, analysis)"
     )
-    enforced = ("core", "engine", "db", "analysis")
+    enforced = ("core", "engine", "db", "analysis", "serve")
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
         for node in ast.walk(ctx.tree):

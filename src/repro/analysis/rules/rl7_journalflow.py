@@ -72,7 +72,7 @@ class JournalFlowRule(BaseProgramRule):
         "call chains reaching a mutation primitive must pass through "
         "a Transaction scope somewhere on the path"
     )
-    enforced = ("", "core", "engine", "apps", "io", "checker")
+    enforced = ("", "core", "engine", "apps", "io", "checker", "serve")
 
     def check_program(self, program: Program) -> Iterator[Diagnostic]:
         graph = program.graph

@@ -17,9 +17,12 @@ synthetic designs:
   (cell counts scaled down for a pure-Python testbed).
 * :mod:`repro.bench.paper_data` — the numbers the paper reports, for
   paper-vs-measured comparison in the harness and EXPERIMENTS.md.
+* :mod:`repro.bench.traffic` — deterministic synthetic ECO request
+  traces for the serving layer (seeded arrival order and mix via
+  :func:`~repro.bench.generator.derived_rng`; no ambient ``random``).
 """
 
-from repro.bench.generator import GeneratorConfig, generate_design
+from repro.bench.generator import GeneratorConfig, derived_rng, generate_design
 from repro.bench.ispd2015 import (
     ISPD2015_BENCHMARKS,
     BenchmarkSpec,
@@ -27,14 +30,25 @@ from repro.bench.ispd2015 import (
     make_benchmark,
 )
 from repro.bench.paper_data import PAPER_TABLE1, PaperRow
+from repro.bench.traffic import (
+    DEFAULT_MIX,
+    TrafficConfig,
+    TrafficRequest,
+    generate_traffic,
+)
 
 __all__ = [
     "BenchmarkSpec",
+    "DEFAULT_MIX",
     "GeneratorConfig",
     "ISPD2015_BENCHMARKS",
     "PAPER_TABLE1",
     "PaperRow",
+    "TrafficConfig",
+    "TrafficRequest",
     "benchmark_names",
+    "derived_rng",
     "generate_design",
+    "generate_traffic",
     "make_benchmark",
 ]

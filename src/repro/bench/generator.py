@@ -22,6 +22,7 @@ reproducible.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
@@ -29,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.db.cell import Cell
 from repro.db.design import Design
 from repro.db.floorplan import Floorplan
+from repro.db.journal import Transaction
 from repro.db.library import Library, Rail
 from repro.db.netlist import Net, Netlist, Pin
 from repro.geometry import Rect
@@ -125,6 +127,24 @@ class _CellSpec:
     seed_y: int = 0
 
 
+def derived_rng(base_seed: int, stream: str, index: int = 0) -> random.Random:
+    """A named, independent RNG stream derived from one base seed.
+
+    Hash-derived (SHA-256 over ``base_seed/stream/index``) rather than
+    offset-derived (``Random(base_seed + index)``): nearby base seeds
+    never produce overlapping streams, and each named stream is
+    statistically independent of every other.  This is the bench-side
+    sibling of the engine's :func:`~repro.engine.shard_worker.shard_seed`
+    — every consumer of randomness names its stream, nothing touches the
+    ambient ``random`` module, and a run is a pure function of
+    ``base_seed`` (RL2-clean by construction).
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}/{stream}/{index}".encode()
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
 def generate_design(config: GeneratorConfig) -> Design:
     """Generate a design per *config*; cells are unplaced, with GP set.
 
@@ -141,7 +161,11 @@ def generate_design(config: GeneratorConfig) -> Design:
     )
     for attempt in range(8):
         try:
-            _seed_placement(design, specs, rng)
+            # Commit-or-restore at the level that owns the retry: a
+            # stranded-cell failure rolls the partial seed back before
+            # the manual reset below rebuilds the attempt's inputs.
+            with Transaction(design):
+                _seed_placement(design, specs, rng)
             break
         except RuntimeError:
             if attempt == 7:

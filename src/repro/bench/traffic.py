@@ -1,0 +1,145 @@
+"""Deterministic synthetic request traffic for the serving layer.
+
+The load harness (``benchmarks/bench_serving.py``) and the serving
+tests need *mixed* ECO traffic — moves, swaps, resizes, buffer
+insertions, HPWL passes — whose arrival order and parameters are a pure
+function of one seed.  Each request draws from its own
+:func:`~repro.bench.generator.derived_rng` stream (``traffic/<index>``),
+so the i-th request is identical no matter how many clients replay the
+trace, which thread fires it, or what happened to requests 0..i-1 —
+ambient ``random`` is never touched (RL2-clean by construction).
+
+The trace references cells and nets by the generator's naming scheme
+(``c<i>`` / ``n<i>``), so it can be produced *before* the designs are
+resident and shipped to a server that generated them from the same
+seeds.  Requests that land on an infeasible target (a move off the die,
+a swap of incompatible cells) are valid traffic: the server answers
+``committed: false`` after rolling back, exactly the path worth load
+testing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.generator import derived_rng
+
+#: Default ECO mix: mostly local moves/swaps (the paper's incremental
+#: use case), a sprinkle of sizing, buffering, and batch passes.
+DEFAULT_MIX: tuple[tuple[str, float], ...] = (
+    ("move", 0.45),
+    ("swap", 0.20),
+    ("resize", 0.12),
+    ("buffer", 0.08),
+    ("improve", 0.08),
+    ("swap_pass", 0.07),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficConfig:
+    """Shape of one synthetic traffic trace."""
+
+    seed: int = 0
+    num_requests: int = 64
+    sessions: tuple[str, ...] = ("chipA", "chipB")
+    cells_per_session: int = 400
+    """Generator ``num_cells`` of each resident design (bounds the
+    ``c<i>`` names the trace may reference)."""
+    nets_per_session: int = 0
+    """Bound for ``n<i>`` names; 0 disables buffer-insertion traffic."""
+    extent_um: tuple[float, float] = (50.0, 50.0)
+    """Approximate die extent move targets are drawn from."""
+    mix: tuple[tuple[str, float], ...] = DEFAULT_MIX
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        if not self.sessions:
+            raise ValueError("traffic needs at least one session")
+        if self.cells_per_session < 2:
+            raise ValueError("traffic needs at least two cells")
+        if not self.mix:
+            raise ValueError("mix must not be empty")
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficRequest:
+    """One wire-ready ECO request of the trace."""
+
+    index: int
+    session: str
+    op: str
+    params: dict[str, object] = field(default_factory=dict)
+
+
+def generate_traffic(config: TrafficConfig) -> list[TrafficRequest]:
+    """The full trace, in arrival order, as a pure function of the seed."""
+    total = sum(weight for _, weight in config.mix)
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    requests: list[TrafficRequest] = []
+    for index in range(config.num_requests):
+        rng = derived_rng(config.seed, "traffic", index)
+        session = config.sessions[rng.randrange(len(config.sessions))]
+        kind = _pick_kind(config, rng.random() * total)
+        if kind == "buffer" and config.nets_per_session <= 0:
+            kind = "move"
+        params = _params_for(kind, config, rng)
+        requests.append(
+            TrafficRequest(
+                index=index, session=session, op="eco", params=params
+            )
+        )
+    return requests
+
+
+def _pick_kind(config: TrafficConfig, ticket: float) -> str:
+    acc = 0.0
+    for kind, weight in config.mix:
+        acc += weight
+        if ticket < acc:
+            return kind
+    return config.mix[-1][0]
+
+
+def _params_for(
+    kind: str, config: TrafficConfig, rng: random.Random
+) -> dict[str, object]:
+    cells = config.cells_per_session
+    width_um, height_um = config.extent_um
+    if kind == "move":
+        return {
+            "kind": "move",
+            "cell": f"c{rng.randrange(cells)}",
+            "x": round(rng.random() * width_um, 3),
+            "y": round(rng.random() * height_um, 3),
+        }
+    if kind == "swap":
+        a = rng.randrange(cells)
+        b = rng.randrange(cells - 1)
+        if b >= a:
+            b += 1
+        return {"kind": "swap", "cell": f"c{a}", "other": f"c{b}"}
+    if kind == "resize":
+        return {
+            "kind": "resize",
+            "cell": f"c{rng.randrange(cells)}",
+            "width": rng.randint(1, 3),
+        }
+    if kind == "buffer":
+        return {
+            "kind": "buffer",
+            "net": f"n{rng.randrange(config.nets_per_session)}",
+            "split_at": 1,
+        }
+    if kind == "improve":
+        return {
+            "kind": "improve",
+            "passes": 1,
+            "max_moves": rng.randint(8, 32),
+        }
+    if kind == "swap_pass":
+        return {"kind": "swap_pass", "max_pairs": rng.randint(8, 32)}
+    raise ValueError(f"unknown traffic kind {kind!r}")

@@ -16,6 +16,8 @@ Subcommands::
                     [--interprocedural] [--no-cache]
                     [--cache-file PATH]                       # repro-lint
     repro callgraph [paths...] [--dot | --json] [--effects]   # program model
+    repro serve     [--port N] [--max-sessions N] [--max-inflight N]
+                    [--snapshot-dir DIR] [--relaxed]          # service
 
 Also available as ``python -m repro ...``.
 
@@ -388,6 +390,30 @@ def _cmd_callgraph(args: argparse.Namespace) -> int:
     return callgraph.run(argv)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        fault_budget=args.fault_budget,
+        snapshot_dir=args.snapshot_dir,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+    legalizer = LegalizerConfig(
+        rx=args.rx,
+        ry=args.ry,
+        seed=args.seed,
+        power_aligned=not args.relaxed,
+    )
+    return asyncio.run(run_server(config, legalizer))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="multi-row height legalization toolkit"
@@ -517,6 +543,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the legalization service (NDJSON over TCP): multiple "
+             "resident designs, concurrent legalize/ECO requests with "
+             "per-design FIFO serialization and commit-or-rollback "
+             "isolation — see docs/serving.md",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7333,
+                   help="TCP port (0 = ephemeral, printed on startup)")
+    p.add_argument("--max-sessions", type=int, default=8,
+                   help="resident designs before open/generate is "
+                        "rejected with `busy`")
+    p.add_argument("--max-inflight", type=int, default=4,
+                   help="global cap on concurrently executing requests")
+    p.add_argument("--queue-depth", type=int, default=16,
+                   help="per-design FIFO depth before admission control "
+                        "rejects with `busy`")
+    p.add_argument("--fault-budget", type=int, default=3,
+                   help="consecutive unexpected faults before a session "
+                        "is quarantined")
+    p.add_argument("--snapshot-dir", default=None,
+                   help="directory for session snapshots (flushed for "
+                        "every resident design on SIGTERM)")
+    p.add_argument("--allow-fault-injection", action="store_true",
+                   help="honor the fault_at test parameter on ECO "
+                        "requests (tests/CI only)")
+    p.add_argument("--rx", type=int, default=30)
+    p.add_argument("--ry", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--relaxed", action="store_true",
+                   help="serve with power-rail alignment disabled")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "callgraph",

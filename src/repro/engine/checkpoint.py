@@ -47,6 +47,7 @@ import pickle
 import tempfile
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.config import LegalizerConfig
 from repro.db.design import Design
@@ -199,12 +200,19 @@ class CheckpointManager:
     :attr:`completed` and are never re-dispatched.
     """
 
-    def __init__(self, path: str, every: int = 1, resume: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        every: int = 1,
+        resume: bool = False,
+        on_record: "Callable[[CheckpointState], None] | None" = None,
+    ) -> None:
         if every < 1:
             raise ValueError("checkpoint cadence must be >= 1 shard")
         self.path = path
         self.every = every
         self.resume = resume
+        self.on_record = on_record
         self.state: CheckpointState | None = None
         self._pending = 0
 
@@ -266,6 +274,8 @@ class CheckpointManager:
         self._pending += 1
         if self._pending >= self.every:
             self.flush()
+        if self.on_record is not None:
+            self.on_record(self.state)
 
     def flush(self) -> None:
         """Write the current state to disk now (atomic, idempotent)."""

@@ -31,6 +31,7 @@ import os
 
 from repro.db.design import Design, PlacementError
 from repro.db.floorplan import Floorplan
+from repro.db.journal import Transaction
 from repro.db.library import Library, Rail
 from repro.db.netlist import Net, Netlist, Pin
 
@@ -264,29 +265,34 @@ def _read_nodes(design: Design, path: str) -> None:
 
 def _read_pl(design: Design, path: str) -> None:
     by_name = {c.name: c for c in design.cells}
-    with open(path) as f:
-        for raw in f:
-            line = raw.strip()
-            if not line or line.startswith(("#", "UCLA")):
-                continue
-            body, _, comment = line.partition("#")
-            parts = body.split()
-            if len(parts) < 3 or parts[0] not in by_name:
-                continue
-            cell = by_name[parts[0]]
-            x, y = float(parts[1]), float(parts[2])
-            ctoks = comment.split()
-            if len(ctoks) >= 3 and ctoks[0] == "gp":
-                cell.gp_x, cell.gp_y = float(ctoks[1]), float(ctoks[2])
-            else:
-                cell.gp_x, cell.gp_y = x, y
-            if "unplaced" in ctoks:
-                continue
-            if x == int(x) and y == int(y):
-                try:
-                    design.place(cell, int(x), int(y), validate=False)
-                except PlacementError:
-                    pass  # place() raises before mutating: cell stays unplaced
+    # The read owns the commit-or-restore decision: a parse error
+    # mid-file rolls the partial placement back instead of leaving a
+    # half-placed design.
+    with Transaction(design):
+        with open(path) as f:
+            for raw in f:
+                line = raw.strip()
+                if not line or line.startswith(("#", "UCLA")):
+                    continue
+                body, _, comment = line.partition("#")
+                parts = body.split()
+                if len(parts) < 3 or parts[0] not in by_name:
+                    continue
+                cell = by_name[parts[0]]
+                x, y = float(parts[1]), float(parts[2])
+                ctoks = comment.split()
+                if len(ctoks) >= 3 and ctoks[0] == "gp":
+                    cell.gp_x, cell.gp_y = float(ctoks[1]), float(ctoks[2])
+                else:
+                    cell.gp_x, cell.gp_y = x, y
+                if "unplaced" in ctoks:
+                    continue
+                if x == int(x) and y == int(y):
+                    try:
+                        design.place(cell, int(x), int(y), validate=False)
+                    except PlacementError:
+                        # place() raises before mutating: stays unplaced
+                        pass
 
 
 def _read_nets(design: Design, path: str) -> None:

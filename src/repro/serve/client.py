@@ -1,0 +1,211 @@
+"""Client-side plumbing: a blocking socket client and an in-process server.
+
+:class:`Client` is deliberately synchronous — the load harness and the
+tests drive concurrency with one client per thread, which exercises the
+server's real socket path without an async test framework.  A client
+instance is **not** thread-safe; share nothing, open one per worker.
+
+:class:`ServerHandle` runs a :class:`~repro.serve.server.LegalizationServer`
+on its own event loop in a daemon thread, so tests and benchmarks can
+stand up a real TCP server in-process (ephemeral port, no subprocess,
+no signal handling) and tear it down deterministically.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import BinaryIO
+
+from repro.core.config import LegalizerConfig
+from repro.serve import protocol
+from repro.serve.protocol import Event, Response
+from repro.serve.server import LegalizationServer, ServeConfig
+
+
+class RequestFailed(Exception):
+    """An error response, surfaced with its wire code intact."""
+
+    def __init__(self, code: str, message: str, rid: str) -> None:
+        super().__init__(f"[{code}] {message} (request {rid})")
+        self.code = code
+        self.message = message
+        self.rid = rid
+
+
+class Client:
+    """A blocking NDJSON client over one TCP connection."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 120.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        raw: BinaryIO = self._sock.makefile("rwb")
+        self._file = raw
+        self._next = 0
+        self._responses: dict[str, Response] = {}
+        self._events: dict[str, list[Event]] = {}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        op: str,
+        session: str | None = None,
+        params: dict[str, object] | None = None,
+    ) -> str:
+        """Fire one request without waiting; returns its id (pipelining)."""
+        self._next += 1
+        rid = str(self._next)
+        request = protocol.Request(
+            id=rid, op=op, session=session, params=params or {}
+        )
+        self._file.write(protocol.encode(request))
+        self._file.flush()
+        return rid
+
+    def recv(self, rid: str) -> Response:
+        """Block until the response for *rid* arrives.
+
+        Out-of-order responses for other pipelined requests are
+        buffered; progress events are collected per request id and
+        available via :meth:`events`.
+        """
+        buffered = self._responses.pop(rid, None)
+        if buffered is not None:
+            return buffered
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError(
+                    f"server closed the connection while request "
+                    f"{rid!r} was pending"
+                )
+            message = protocol.decode_reply(line)
+            if isinstance(message, Event):
+                self._events.setdefault(message.id, []).append(message)
+                continue
+            if message.id == rid:
+                return message
+            self._responses[message.id] = message
+
+    def events(self, rid: str) -> list[Event]:
+        """Progress events observed so far for request *rid*."""
+        return list(self._events.get(rid, []))
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        op: str,
+        session: str | None = None,
+        params: dict[str, object] | None = None,
+    ) -> Response:
+        """Send one request and wait for its response."""
+        return self.recv(self.send(op, session, params))
+
+    def result(
+        self,
+        op: str,
+        session: str | None = None,
+        params: dict[str, object] | None = None,
+    ) -> dict[str, object]:
+        """Like :meth:`request` but unwrap, raising on error responses."""
+        response = self.request(op, session, params)
+        if not response.ok:
+            raise RequestFailed(
+                response.error_code or "internal",
+                response.error_message or "",
+                response.id,
+            )
+        return response.result
+
+
+class ServerHandle:
+    """A real server on a private event loop in a daemon thread."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        legalizer_config: LegalizerConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self._legalizer_config = legalizer_config
+        self.server: LegalizationServer | None = None
+        self.port: int | None = None
+        self.flushed: list[str] = []
+        self._started = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="serve-handle", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerHandle":
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("in-process server failed to start")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"in-process server died on startup: {self._failure}"
+            )
+        return self
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def main() -> None:
+            server = LegalizationServer(
+                self.config, self._legalizer_config
+            )
+            try:
+                await server.start()
+            except BaseException as exc:
+                self._failure = exc
+                self._started.set()
+                raise
+            self.server = server
+            self.port = server.port
+            self._started.set()
+            self.flushed = await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    # ------------------------------------------------------------------
+    def stop(self, timeout: float = 60.0) -> list[str]:
+        """Request graceful shutdown and join; returns flushed paths."""
+        server = self.server
+        if server is not None:
+            # request_shutdown only touches an asyncio.Event; hop onto
+            # the server's loop to do it from this foreign thread.
+            loop = server.loop
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(server.request_shutdown)
+            else:  # pragma: no cover - loop not yet spinning
+                server.request_shutdown()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - hung shutdown
+            raise RuntimeError("in-process server did not shut down")
+        return self.flushed
+
+    def client(self, timeout: float = 120.0) -> Client:
+        if self.port is None:
+            raise RuntimeError("server not started")
+        return Client(self.config.host, self.port, timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

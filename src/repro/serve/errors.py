@@ -1,0 +1,79 @@
+"""Error taxonomy of the legalization service.
+
+Every failure a request can hit maps to exactly one subclass, and every
+subclass carries a stable wire ``code`` so clients can branch without
+parsing messages.  The hierarchy mirrors the engine's
+(:mod:`repro.engine.errors`): one root, one class per failure domain,
+nothing generic.
+
+Fault-domain note: none of these ever tears down the server or another
+tenant's session.  A :class:`SessionQuarantinedError` is the worst
+case, and it is scoped to the one session whose fault budget ran out.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Root of the serving-layer failure taxonomy."""
+
+    #: Stable machine-readable code sent in error responses.
+    code: str = "internal"
+
+
+class ProtocolError(ServeError):
+    """The client sent a line the protocol cannot interpret."""
+
+    code = "protocol"
+
+
+class UnknownOpError(ServeError):
+    """The request named an operation the server does not implement."""
+
+    code = "unknown_op"
+
+
+class UnknownSessionError(ServeError):
+    """The request targeted a session that is not resident."""
+
+    code = "unknown_session"
+
+
+class SessionExistsError(ServeError):
+    """``open``/``generate`` targeted a name that is already resident."""
+
+    code = "session_exists"
+
+
+class AdmissionError(ServeError):
+    """Admission control rejected the request (queue or session full).
+
+    The request was **not** enqueued; the client may retry later.
+    Rejecting at the door keeps an overloaded server's latency bounded
+    instead of letting queues grow without limit.
+    """
+
+    code = "busy"
+
+
+class SessionQuarantinedError(ServeError):
+    """The session exhausted its fault budget and no longer accepts work.
+
+    The design is left in its last committed state (every faulted
+    request rolled back first); ``snapshot``/``close`` are still
+    honored so the tenant can salvage the placement.
+    """
+
+    code = "quarantined"
+
+
+class EcoError(ServeError):
+    """An ECO request was malformed (unknown cell, bad parameters)."""
+
+    code = "eco"
+
+
+class ShuttingDownError(ServeError):
+    """The server is draining and no longer admits new work."""
+
+    code = "shutting_down"

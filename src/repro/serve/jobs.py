@@ -1,0 +1,182 @@
+"""Admission-controlled job queue with per-design FIFO serialization.
+
+Concurrency model (the heart of the serving tentpole):
+
+* Every session-keyed request becomes a :class:`Job` on its design's
+  own FIFO queue; **one worker task per design** drains that queue, so
+  requests against the same design execute strictly one at a time in
+  submission order — this is what makes concurrent conflicting ECOs
+  equivalent to *some* serial order, verifiable by digest replay.
+* Jobs from *different* designs run concurrently, bounded by a global
+  ``max_inflight`` semaphore sized to the machine (the blocking
+  legalize/ECO work itself runs in worker threads via
+  ``asyncio.to_thread``; the event loop only shuttles messages).
+* Admission control happens **at submit time, on the event loop**: a
+  per-design queue deeper than ``queue_depth`` rejects with ``busy``
+  instead of enqueueing — bounded queues mean bounded latency, and an
+  overloaded server says so instead of stalling everyone.
+
+Fault domain: a job that raises poisons only its own future (and its
+session's fault budget, handled by the session itself).  The per-design
+worker task survives every job exception; a worker that somehow dies is
+restarted on the next submit for that design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.serve.errors import AdmissionError, ShuttingDownError
+
+#: A job body: synchronous, runs in a worker thread.
+JobFn = Callable[[], dict[str, object]]
+
+
+@dataclass(slots=True)
+class Job:
+    """One unit of admitted work bound to a per-design queue."""
+
+    key: str
+    fn: JobFn
+    future: "asyncio.Future[dict[str, object]]"
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Counters exposed by the ``stats`` op (monotonic per process)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    inflight: int = 0
+    queued: dict[str, int] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "inflight": self.inflight,
+            "queued": {k: self.queued[k] for k in sorted(self.queued)},
+        }
+
+
+class JobQueue:
+    """Per-design FIFO queues under one global concurrency bound."""
+
+    def __init__(self, max_inflight: int = 4, queue_depth: int = 16) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._queues: dict[str, asyncio.Queue[Job]] = {}
+        self._workers: dict[str, asyncio.Task[None]] = {}
+        self._pending: list[asyncio.Future[dict[str, object]]] = []
+        self._closing = False
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.inflight = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, key: str, fn: JobFn
+    ) -> "asyncio.Future[dict[str, object]]":
+        """Admit one job onto *key*'s FIFO queue (event-loop only).
+
+        Raises :class:`ShuttingDownError` while draining and
+        :class:`AdmissionError` when *key*'s queue is full; on success
+        returns the future that will carry the job's result.
+        """
+        if self._closing:
+            raise ShuttingDownError(
+                "server is shutting down; no new work admitted"
+            )
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[key] = queue
+        if queue.qsize() >= self.queue_depth:
+            self.rejected += 1
+            raise AdmissionError(
+                f"queue for {key!r} is full "
+                f"({self.queue_depth} requests deep); retry later"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[dict[str, object]] = loop.create_future()
+        job = Job(key=key, fn=fn, future=future)
+        queue.put_nowait(job)
+        self.submitted += 1
+        self._pending.append(future)
+        future.add_done_callback(self._prune)
+        worker = self._workers.get(key)
+        if worker is None or worker.done():
+            self._workers[key] = loop.create_task(
+                self._drain(key, queue), name=f"serve-worker-{key}"
+            )
+        return future
+
+    def _prune(self, done: "asyncio.Future[dict[str, object]]") -> None:
+        try:
+            self._pending.remove(done)
+        except ValueError:  # pragma: no cover - double callback
+            pass
+
+    # ------------------------------------------------------------------
+    async def _drain(self, key: str, queue: "asyncio.Queue[Job]") -> None:
+        """The per-design worker: strict FIFO, one job at a time."""
+        while True:
+            job = await queue.get()
+            async with self._semaphore:
+                self.inflight += 1
+                try:
+                    result = await asyncio.to_thread(job.fn)
+                except BaseException as exc:
+                    self.failed += 1
+                    if not job.future.cancelled():
+                        job.future.set_exception(exc)
+                    if isinstance(exc, asyncio.CancelledError):
+                        raise
+                else:
+                    self.completed += 1
+                    if not job.future.cancelled():
+                        job.future.set_result(result)
+                finally:
+                    self.inflight -= 1
+                    queue.task_done()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> QueueStats:
+        return QueueStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            failed=self.failed,
+            rejected=self.rejected,
+            inflight=self.inflight,
+            queued={
+                key: q.qsize() for key, q in self._queues.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Stop admitting, drain everything in flight, stop workers."""
+        self._closing = True
+        pending = list(self._pending)
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for key in sorted(self._workers):
+            self._workers[key].cancel()
+        workers = [self._workers[key] for key in sorted(self._workers)]
+        if workers:
+            await asyncio.gather(*workers, return_exceptions=True)
+        self._workers.clear()
+        self._queues.clear()

@@ -1,0 +1,109 @@
+"""Derived-seed plumbing and the synthetic traffic trace."""
+
+import random
+
+import pytest
+
+from repro.bench import (
+    TrafficConfig,
+    TrafficRequest,
+    derived_rng,
+    generate_traffic,
+)
+
+
+class TestDerivedRng:
+    def test_deterministic(self):
+        a = derived_rng(7, "traffic", 3).random()
+        b = derived_rng(7, "traffic", 3).random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = {
+            derived_rng(7, "traffic", 0).random(),
+            derived_rng(7, "traffic", 1).random(),
+            derived_rng(7, "arrival", 0).random(),
+            derived_rng(8, "traffic", 0).random(),
+        }
+        assert len(streams) == 4
+
+    def test_returns_plain_random_instance(self):
+        assert isinstance(derived_rng(0, "x"), random.Random)
+
+    def test_nearby_base_seeds_do_not_collide(self):
+        # The classic offset-seed bug: Random(seed+i) streams overlap
+        # across nearby base seeds. Hash derivation must not.
+        a = [derived_rng(100, "traffic", i).random() for i in range(8)]
+        b = [derived_rng(101, "traffic", i).random() for i in range(8)]
+        assert not set(a) & set(b)
+
+
+class TestGenerateTraffic:
+    def test_trace_is_a_pure_function_of_the_seed(self):
+        config = TrafficConfig(seed=5, num_requests=40)
+        assert generate_traffic(config) == generate_traffic(config)
+        other = generate_traffic(TrafficConfig(seed=6, num_requests=40))
+        assert generate_traffic(config) != other
+
+    def test_trace_shape(self):
+        config = TrafficConfig(
+            seed=1,
+            num_requests=60,
+            sessions=("a", "b"),
+            cells_per_session=50,
+            nets_per_session=40,
+        )
+        trace = generate_traffic(config)
+        assert len(trace) == 60
+        assert [t.index for t in trace] == list(range(60))
+        kinds = {t.params["kind"] for t in trace}
+        assert "move" in kinds and len(kinds) >= 3
+        assert {t.session for t in trace} == {"a", "b"}
+        for request in trace:
+            assert isinstance(request, TrafficRequest)
+            assert request.op == "eco"
+
+    def test_cell_and_net_names_stay_in_bounds(self):
+        config = TrafficConfig(
+            seed=2,
+            num_requests=80,
+            cells_per_session=10,
+            nets_per_session=5,
+        )
+        for request in generate_traffic(config):
+            for key in ("cell", "other"):
+                name = request.params.get(key)
+                if name is not None:
+                    assert 0 <= int(str(name)[1:]) < 10
+            net = request.params.get("net")
+            if net is not None:
+                assert 0 <= int(str(net)[1:]) < 5
+
+    def test_no_buffer_traffic_without_nets(self):
+        config = TrafficConfig(
+            seed=3, num_requests=80, nets_per_session=0
+        )
+        kinds = {
+            t.params["kind"] for t in generate_traffic(config)
+        }
+        assert "buffer" not in kinds
+
+    def test_swap_picks_distinct_cells(self):
+        config = TrafficConfig(
+            seed=4, num_requests=120, cells_per_session=3
+        )
+        for request in generate_traffic(config):
+            if request.params["kind"] == "swap":
+                assert request.params["cell"] != request.params["other"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(sessions=())
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=-1)
+        with pytest.raises(ValueError):
+            TrafficConfig(cells_per_session=1)
+        with pytest.raises(ValueError):
+            generate_traffic(
+                TrafficConfig(mix=(("move", 0.0),))
+            )

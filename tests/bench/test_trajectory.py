@@ -1,0 +1,68 @@
+"""The perf-trajectory writer behind the BENCH_*.json files."""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from benchmarks.trajectory import (  # noqa: E402
+    MAX_RUNS,
+    SCHEMA,
+    percentiles,
+    record_run,
+    trajectory_path,
+)
+
+
+class TestRecordRun:
+    def test_creates_and_appends(self, tmp_path):
+        directory = str(tmp_path)
+        path = record_run(
+            "unit", {"wall_s": 1.0}, {"n": 3}, directory=directory
+        )
+        assert path == trajectory_path("unit", directory)
+        record_run("unit", {"wall_s": 2.0}, directory=directory)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["kind"] == "unit"
+        assert data["schema"] == SCHEMA
+        assert [r["metrics"]["wall_s"] for r in data["runs"]] == [1.0, 2.0]
+        assert data["runs"][0]["params"] == {"n": 3}
+        assert data["runs"][0]["rev"]
+        assert "T" in data["runs"][0]["recorded"]
+
+    def test_bounded_history(self, tmp_path):
+        directory = str(tmp_path)
+        for i in range(MAX_RUNS + 5):
+            record_run("unit", {"i": i}, directory=directory)
+        with open(
+            trajectory_path("unit", directory), encoding="utf-8"
+        ) as handle:
+            data = json.load(handle)
+        assert len(data["runs"]) == MAX_RUNS
+        assert data["runs"][-1]["metrics"]["i"] == MAX_RUNS + 4
+        assert data["runs"][0]["metrics"]["i"] == 5
+
+    def test_torn_file_restarts_trajectory(self, tmp_path):
+        directory = str(tmp_path)
+        path = trajectory_path("unit", directory)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ torn")
+        record_run("unit", {"ok": 1}, directory=directory)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert len(data["runs"]) == 1
+
+
+class TestPercentiles:
+    def test_basic(self):
+        samples = [float(i) for i in range(1, 101)]
+        stats = percentiles(samples)
+        assert stats["p50"] == 50.0
+        assert stats["p90"] == 90.0
+        assert stats["p99"] == 99.0
+
+    def test_empty_and_single(self):
+        assert percentiles([]) == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        assert percentiles([4.2])["p99"] == 4.2

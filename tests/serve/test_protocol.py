@@ -1,0 +1,135 @@
+"""Wire-protocol unit tests: decode validation, deterministic encode."""
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.errors import ProtocolError
+from repro.serve.protocol import (
+    Event,
+    Request,
+    Response,
+    decode_reply,
+    decode_request,
+    encode,
+    param_bool,
+    param_float,
+    param_int,
+    param_opt_int,
+    param_str,
+)
+
+
+class TestDecodeRequest:
+    def test_roundtrip(self):
+        request = Request(
+            id="7",
+            op="eco",
+            session="chipA",
+            params={"kind": "move", "cell": "c1", "x": 4.0, "y": 2.0},
+        )
+        decoded = decode_request(encode(request))
+        assert decoded == request
+
+    def test_encode_is_deterministic(self):
+        a = encode(Request(id="1", op="ping", params={"b": 1, "a": 2}))
+        b = encode(Request(id="1", op="ping", params={"a": 2, "b": 1}))
+        assert a == b
+        assert a.endswith(b"\n")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b"[1, 2]",
+            b'{"op": "ping"}',  # missing id
+            b'{"id": "", "op": "ping"}',  # empty id
+            b'{"id": "1"}',  # missing op
+            b'{"id": "1", "op": "frobnicate"}',  # unknown op
+            b'{"id": "1", "op": "eco"}',  # session op without session
+            b'{"id": "1", "op": "ping", "params": 3}',
+            b'{"id": "1", "op": "ping", "session": 9}',
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_every_session_op_requires_session(self):
+        for op in protocol.SESSION_OPS:
+            with pytest.raises(ProtocolError):
+                decode_request(f'{{"id": "1", "op": "{op}"}}'.encode())
+
+    def test_non_session_ops_decode_bare(self):
+        for op in ("ping", "sessions", "shutdown"):
+            request = decode_request(f'{{"id": "1", "op": "{op}"}}')
+            assert request.op == op
+            assert request.session is None
+
+
+class TestDecodeReply:
+    def test_ok_response(self):
+        reply = decode_reply(
+            encode(Response(id="3", ok=True, result={"seq": 1}))
+        )
+        assert isinstance(reply, Response)
+        assert reply.ok and reply.result == {"seq": 1}
+
+    def test_error_response(self):
+        reply = decode_reply(
+            encode(
+                Response(
+                    id="3",
+                    ok=False,
+                    error_code="busy",
+                    error_message="queue full",
+                )
+            )
+        )
+        assert isinstance(reply, Response)
+        assert not reply.ok
+        assert reply.error_code == "busy"
+
+    def test_event(self):
+        reply = decode_reply(
+            encode(Event(id="3", kind="progress", data={"done": 2}))
+        )
+        assert isinstance(reply, Event)
+        assert reply.kind == "progress"
+        assert reply.data == {"done": 2}
+
+    def test_garbage_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_reply(b'{"id": "1"}')
+
+
+class TestTypedParams:
+    def test_required_and_defaults(self):
+        params = {"s": "x", "i": 3, "f": 1.5, "b": True, "n": None}
+        assert param_str(params, "s") == "x"
+        assert param_int(params, "i") == 3
+        assert param_float(params, "f") == 1.5
+        assert param_float(params, "i") == 3.0  # int accepted as number
+        assert param_bool(params, "b") is True
+        assert param_opt_int(params, "n") is None
+        assert param_opt_int(params, "missing") is None
+        assert param_int(params, "missing", 9) == 9
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ProtocolError):
+            param_int({"i": True}, "i")
+        with pytest.raises(ProtocolError):
+            param_float({"f": False}, "f")
+
+    def test_missing_required_raises(self):
+        with pytest.raises(ProtocolError):
+            param_str({}, "s")
+        with pytest.raises(ProtocolError):
+            param_int({}, "i")
+
+    def test_wrong_types_raise(self):
+        with pytest.raises(ProtocolError):
+            param_str({"s": 3}, "s")
+        with pytest.raises(ProtocolError):
+            param_bool({"b": 1}, "b")
+        with pytest.raises(ProtocolError):
+            param_opt_int({"n": "x"}, "n")

@@ -1,0 +1,217 @@
+"""DesignSession unit tests: commit-or-rollback, faults, quarantine."""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.core import LegalizerConfig
+from repro.serve import DesignSession, EcoError, SessionQuarantinedError
+from repro.serve.errors import ProtocolError
+from repro.testing.faults import InjectedFault
+
+
+def make_session(
+    name: str = "t", cells: int = 60, seed: int = 3, **kwargs
+) -> DesignSession:
+    design = generate_design(
+        GeneratorConfig(num_cells=cells, seed=seed, name=name)
+    )
+    return DesignSession(
+        name, design, LegalizerConfig(seed=seed), **kwargs
+    )
+
+
+def legalized_session(**kwargs) -> DesignSession:
+    session = make_session(**kwargs)
+    session.execute("legalize", {})
+    return session
+
+
+class TestLifecycle:
+    def test_legalize_commits_and_audits(self):
+        session = make_session()
+        result = session.execute("legalize", {})
+        assert result["committed"] is True
+        assert result["violations"] == 0
+        assert result["placed"] == len(session.design.cells)
+        assert result["seq"] == 1
+        assert result["digest"] == session.digest()
+
+    def test_stats_and_digest_do_not_advance_seq(self):
+        session = legalized_session()
+        seq = session.seq
+        stats = session.execute("stats", {})
+        digest = session.execute("digest", {})
+        assert session.seq == seq
+        assert stats["seq"] == seq
+        assert digest["digest"] == session.digest()
+        assert len(stats["die_um"]) == 2
+
+    def test_snapshot_roundtrips_a_legal_design(self, tmp_path):
+        from repro.checker import verify_placement
+        from repro.io import read_bookshelf
+
+        session = legalized_session()
+        aux = session.snapshot(str(tmp_path))
+        reread = read_bookshelf(aux)
+        assert verify_placement(reread, require_all_placed=False) == []
+        assert sum(1 for c in reread.cells if c.is_placed) == len(
+            session.design.cells
+        )
+
+    def test_snapshot_without_directory_fails(self):
+        session = make_session()
+        with pytest.raises(EcoError):
+            session.snapshot()
+
+
+class TestEcoCommitOrRollback:
+    def test_committed_move_changes_digest(self):
+        session = legalized_session()
+        before = session.digest()
+        cell = next(c for c in session.design.cells if not c.fixed)
+        result = session.execute(
+            "eco",
+            {
+                "kind": "move",
+                "cell": cell.name,
+                "x": cell.x + 2.0,
+                "y": float(cell.y),
+            },
+        )
+        assert result["committed"] is True
+        assert result["digest"] != before
+        assert result["seq"] == 2
+
+    def test_infeasible_move_rolls_back(self):
+        session = legalized_session()
+        before = session.digest()
+        cell = next(c for c in session.design.cells if not c.fixed)
+        result = session.execute(
+            "eco",
+            {"kind": "move", "cell": cell.name, "x": 1e6, "y": 1e6},
+        )
+        assert result["committed"] is False
+        assert result["rolled_back"] is True
+        assert result["digest"] == before
+        # A rolled-back request still advances seq: it executed.
+        assert result["seq"] == 2
+
+    def test_unknown_cell_is_client_error_not_fault(self):
+        session = legalized_session()
+        before = session.digest()
+        with pytest.raises(EcoError):
+            session.execute(
+                "eco", {"kind": "move", "cell": "zzz", "x": 1, "y": 1}
+            )
+        assert session.digest() == before
+        assert session.consecutive_faults == 0
+        assert session.seq == 1
+
+    def test_unknown_kind_rejected(self):
+        session = legalized_session()
+        with pytest.raises(EcoError):
+            session.execute("eco", {"kind": "teleport"})
+
+    def test_unknown_op_rejected(self):
+        session = legalized_session()
+        with pytest.raises(ProtocolError):
+            session.execute("frobnicate", {})
+
+    def test_improve_and_swap_pass_commit(self):
+        session = legalized_session()
+        improved = session.execute(
+            "eco", {"kind": "improve", "passes": 1, "max_moves": 10}
+        )
+        assert improved["committed"] is True
+        swapped = session.execute(
+            "eco", {"kind": "swap_pass", "max_pairs": 8}
+        )
+        assert swapped["committed"] is True
+        assert swapped["seq"] == 3
+
+
+class TestSerializedReplay:
+    def test_same_eco_order_gives_identical_digest(self):
+        trace = [
+            {"kind": "improve", "passes": 1, "max_moves": 12},
+            {"kind": "swap_pass", "max_pairs": 10},
+            {"kind": "move", "cell": "c3", "x": 10.0, "y": 4.0},
+            {"kind": "move", "cell": "c7", "x": 1e6, "y": 1e6},
+            {"kind": "resize", "cell": "c5", "width": 2},
+        ]
+        digests = []
+        for _ in range(2):
+            session = legalized_session()
+            for params in trace:
+                session.execute("eco", dict(params))
+            digests.append(session.digest())
+        assert digests[0] == digests[1]
+
+
+class TestFaultDomain:
+    def test_injected_fault_rolls_back_without_poisoning(self):
+        session = legalized_session(allow_fault_injection=True)
+        before = session.digest()
+        cell = next(c for c in session.design.cells if not c.fixed)
+        with pytest.raises(InjectedFault):
+            session.execute(
+                "eco",
+                {
+                    "kind": "move",
+                    "cell": cell.name,
+                    "x": cell.x + 2.0,
+                    "y": float(cell.y),
+                    "fault_at": 1,
+                },
+            )
+        # Rolled back to the byte, charged to the budget, not fatal.
+        assert session.digest() == before
+        assert session.consecutive_faults == 1
+        assert not session.quarantined
+        # A clean request resets the consecutive-fault counter.
+        result = session.execute(
+            "eco",
+            {
+                "kind": "move",
+                "cell": cell.name,
+                "x": cell.x + 2.0,
+                "y": float(cell.y),
+            },
+        )
+        assert result["seq"] == 2
+        assert session.consecutive_faults == 0
+
+    def test_fault_injection_disabled_by_default(self):
+        session = legalized_session()
+        with pytest.raises(EcoError):
+            session.execute(
+                "eco",
+                {"kind": "move", "cell": "c1", "x": 1.0, "y": 1.0,
+                 "fault_at": 1},
+            )
+
+    def test_budget_exhaustion_quarantines(self):
+        session = legalized_session(
+            allow_fault_injection=True, fault_budget=2
+        )
+        cell = next(c for c in session.design.cells if not c.fixed)
+        params = {
+            "kind": "move",
+            "cell": cell.name,
+            "x": cell.x + 2.0,
+            "y": float(cell.y),
+            "fault_at": 1,
+        }
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                session.execute("eco", dict(params))
+        assert session.quarantined
+        assert "budget" in (session.quarantine_reason or "")
+        with pytest.raises(SessionQuarantinedError):
+            session.execute(
+                "eco",
+                {"kind": "move", "cell": cell.name, "x": 1.0, "y": 1.0},
+            )
+        # Salvage paths stay open.
+        assert session.execute("digest", {})["digest"] == session.digest()
+        assert session.execute("stats", {})["seq"] == session.seq
