@@ -132,7 +132,15 @@ class JobQueue:
 
     # ------------------------------------------------------------------
     async def _drain(self, key: str, queue: "asyncio.Queue[Job]") -> None:
-        """The per-design worker: strict FIFO, one job at a time."""
+        """The per-design worker: strict FIFO, one job at a time.
+
+        A worker whose queue drains empty retires, dropping both the
+        queue and its own task entry, so a long-lived server does not
+        accumulate an idle worker plus a stale ``stats().queued`` row
+        for every session name ever used.  The next submit for the key
+        recreates both; FIFO order is unaffected because retirement and
+        submission both happen on the event loop.
+        """
         while True:
             job = await queue.get()
             async with self._semaphore:
@@ -152,6 +160,12 @@ class JobQueue:
                 finally:
                     self.inflight -= 1
                     queue.task_done()
+            if queue.qsize() == 0:
+                if self._queues.get(key) is queue:
+                    del self._queues[key]
+                if self._workers.get(key) is asyncio.current_task():
+                    del self._workers[key]
+                return
 
     # ------------------------------------------------------------------
     def stats(self) -> QueueStats:

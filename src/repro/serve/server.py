@@ -256,7 +256,17 @@ class LegalizationServer:
             # Reserve synchronously so a racing open fails fast and the
             # build job below is the queue's first entry for this name.
             self.manager.reserve(name)
-        future = self.jobs.submit(name, fn)
+            try:
+                future = self.jobs.submit(name, fn)
+            except BaseException:
+                # A rejected submit (full queue, shutting down) must not
+                # strand the reserved placeholder: the name would read
+                # as resident forever and the dead slot would count
+                # against max_sessions.
+                self.manager.release(name)
+                raise
+        else:
+            future = self.jobs.submit(name, fn)
         responder = asyncio.get_running_loop().create_task(
             self._respond(request.id, future, out),
             name=f"serve-respond-{request.id}",

@@ -291,8 +291,7 @@ class DesignSession:
         self, params: dict[str, object], progress: ProgressFn | None
     ) -> dict[str, object]:
         design = self.design
-        if param_bool(params, "reset", False):
-            design.reset_placement()
+        reset = param_bool(params, "reset", False)
         workers = param_int(params, "workers", 1)
         shards = param_opt_int(params, "shards")
         quarantine = param_bool(params, "quarantine", False)
@@ -301,12 +300,20 @@ class DesignSession:
             from dataclasses import replace
 
             config = replace(config, quarantine=quarantine)
-        todo = sum(
-            1 for c in design.movable_cells() if not c.is_placed
-        )
-        if progress is not None:
-            progress({"stage": "started", "todo": todo})
         with Transaction(design):
+            if reset:
+                # Journaled equivalent of Design.reset_placement():
+                # the reset must sit inside the transaction so a
+                # failed reset+legalize rolls back to the exact
+                # pre-request placement, not to a fully unplaced
+                # design.
+                for cell in list(design.placed_cells()):
+                    design.unplace(cell)
+            todo = sum(
+                1 for c in design.movable_cells() if not c.is_placed
+            )
+            if progress is not None:
+                progress({"stage": "started", "todo": todo})
             if workers > 1 or (shards is not None and shards > 1):
                 result = self._legalize_sharded(
                     config, workers, shards, progress
@@ -557,8 +564,33 @@ class DesignSession:
         directory = params.get("dir")
         if directory is not None and not isinstance(directory, str):
             raise ProtocolError("param 'dir' must be a string")
-        path = self.snapshot(directory)
+        path = self.snapshot(self._confine_snapshot_dir(directory))
         return {"path": path, "seq": self.seq, "digest": self.digest()}
+
+    def _confine_snapshot_dir(self, directory: str | None) -> str | None:
+        """Resolve a client-supplied ``dir`` inside ``snapshot_dir``.
+
+        The wire op must not let a tenant write Bookshelf files to
+        arbitrary paths with the server's privileges: ``params.dir`` is
+        interpreted relative to the configured snapshot directory and
+        rejected if it resolves outside it.
+        """
+        if directory is None:
+            return None
+        if self.snapshot_dir is None:
+            raise EcoError(
+                "snapshot targets require a server snapshot directory "
+                "(start the server with --snapshot-dir); params.dir is "
+                "confined to it"
+            )
+        base = os.path.realpath(self.snapshot_dir)
+        resolved = os.path.realpath(os.path.join(base, directory))
+        if resolved != base and not resolved.startswith(base + os.sep):
+            raise EcoError(
+                f"snapshot dir {directory!r} resolves outside the "
+                f"configured snapshot directory"
+            )
+        return resolved
 
     def snapshot(self, directory: str | None = None) -> str:
         """Write the design as a Bookshelf bundle; returns the .aux path.
@@ -571,7 +603,7 @@ class DesignSession:
         target = directory if directory is not None else self.snapshot_dir
         if target is None:
             raise EcoError(
-                "no snapshot directory configured (pass params.dir or "
-                "start the server with --snapshot-dir)"
+                "no snapshot directory configured (start the server "
+                "with --snapshot-dir)"
             )
         return write_bookshelf(self.design, target, self.name)

@@ -1,0 +1,94 @@
+"""JobQueue unit tests: retirement, stats hygiene, rejected submits."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import ServeConfig
+from repro.serve.errors import ShuttingDownError
+from repro.serve.jobs import JobQueue
+from repro.serve.protocol import Request
+from repro.serve.server import LegalizationServer
+
+
+async def _settle(queue: JobQueue, rounds: int = 20) -> None:
+    """Yield the loop until every idle worker has retired."""
+    for _ in range(rounds):
+        if not queue._workers and not queue._queues:
+            return
+        await asyncio.sleep(0)
+
+
+class TestWorkerRetirement:
+    def test_drained_queues_are_pruned(self):
+        """A long-lived server must not keep an idle worker task and a
+        stale ``stats().queued`` row for every session name ever used."""
+
+        async def scenario() -> None:
+            queue = JobQueue(max_inflight=2, queue_depth=4)
+            for name in ("a", "b", "c"):
+                result = await queue.submit(name, lambda: {"ok": True})
+                assert result == {"ok": True}
+            await _settle(queue)
+            assert queue.stats().queued == {}
+            assert queue._workers == {}
+            assert queue.completed == 3
+
+        asyncio.run(scenario())
+
+    def test_key_is_reusable_after_retirement(self):
+        async def scenario() -> None:
+            queue = JobQueue(max_inflight=1, queue_depth=4)
+            assert await queue.submit("a", lambda: {"n": 1}) == {"n": 1}
+            await _settle(queue)
+            # Same key again: a fresh queue/worker pair, FIFO intact.
+            first = queue.submit("a", lambda: {"n": 2})
+            second = queue.submit("a", lambda: {"n": 3})
+            assert await first == {"n": 2}
+            assert await second == {"n": 3}
+            await _settle(queue)
+            assert queue.stats().queued == {}
+
+        asyncio.run(scenario())
+
+    def test_retirement_survives_a_failing_job(self):
+        async def scenario() -> None:
+            queue = JobQueue(max_inflight=1, queue_depth=4)
+
+            def boom() -> dict[str, object]:
+                raise RuntimeError("job exploded")
+
+            with pytest.raises(RuntimeError):
+                await queue.submit("a", boom)
+            await _settle(queue)
+            assert queue.stats().queued == {}
+            assert queue.failed == 1
+
+        asyncio.run(scenario())
+
+
+class TestReservationRelease:
+    def test_rejected_open_releases_the_name(self):
+        """If jobs.submit rejects an open/generate after the name was
+        reserved, the placeholder must be released — otherwise the name
+        reads as resident forever and eats a max_sessions slot."""
+
+        async def scenario() -> None:
+            server = LegalizationServer(ServeConfig(max_sessions=1))
+            out: asyncio.Queue = asyncio.Queue()
+            request = Request(
+                id="r1",
+                op="generate",
+                session="chipA",
+                params={"cells": 10},
+            )
+            server.jobs._closing = True
+            with pytest.raises(ShuttingDownError):
+                server._dispatch(request, out)
+            assert "chipA" not in server.manager
+            assert len(server.manager) == 0
+            # The slot is genuinely free: a later reserve succeeds.
+            server.manager.reserve("chipA")
+            server.manager.release("chipA")
+
+        asyncio.run(scenario())

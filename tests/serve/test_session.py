@@ -63,6 +63,24 @@ class TestLifecycle:
         with pytest.raises(EcoError):
             session.snapshot()
 
+    def test_snapshot_op_confines_dir_to_snapshot_dir(self, tmp_path):
+        snap = tmp_path / "snap"
+        session = legalized_session(snapshot_dir=str(snap))
+        result = session.execute("snapshot", {"dir": "sub"})
+        assert result["path"].startswith(str(snap))
+        for escape in ("../outside", str(tmp_path / "elsewhere")):
+            with pytest.raises(EcoError):
+                session.execute("snapshot", {"dir": escape})
+        assert not (tmp_path / "outside").exists()
+        assert not (tmp_path / "elsewhere").exists()
+
+    def test_snapshot_op_dir_requires_configured_snapshot_dir(
+        self, tmp_path
+    ):
+        session = legalized_session()
+        with pytest.raises(EcoError):
+            session.execute("snapshot", {"dir": str(tmp_path)})
+
 
 class TestEcoCommitOrRollback:
     def test_committed_move_changes_digest(self):
@@ -128,6 +146,36 @@ class TestEcoCommitOrRollback:
         )
         assert swapped["committed"] is True
         assert swapped["seq"] == 3
+
+
+class TestResetRollback:
+    @pytest.mark.parametrize("trip_at", [1, 30, 70])
+    def test_failed_reset_legalize_restores_prior_placement(
+        self, trip_at
+    ):
+        """A fault mid reset+legalize must roll back to the exact
+        pre-request placement — the reset is journaled, so a failure
+        cannot leave the design unplaced (trip_at 1/30 land inside the
+        reset itself, 70 inside the re-legalization)."""
+        from repro.testing.faults import FaultInjector
+
+        session = legalized_session()
+        before = session.digest()
+        with FaultInjector(session.design, trip_at=trip_at):
+            with pytest.raises(InjectedFault):
+                session.execute("legalize", {"reset": True})
+        assert session.digest() == before
+        assert not session.quarantined
+        assert session.consecutive_faults == 1
+        assert session.seq == 1
+
+    def test_reset_legalize_commits_a_full_replacement(self):
+        session = legalized_session()
+        result = session.execute("legalize", {"reset": True})
+        assert result["committed"] is True
+        assert result["violations"] == 0
+        assert result["placed"] == len(session.design.cells)
+        assert result["seq"] == 2
 
 
 class TestSerializedReplay:
