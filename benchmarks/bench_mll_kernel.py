@@ -1,0 +1,339 @@
+"""Gate benchmark for the vectorized SoA kernel (ROADMAP item 1).
+
+Two parts, both required to pass:
+
+* **Parity** — every Table-1 quick-suite design legalized with
+  ``kernel="soa"`` must reach a ``design_state_digest`` byte-identical
+  to the object kernel's, both serially and through the sharded engine
+  with two workers.  A mismatch is a hard failure: the SoA kernel's
+  contract is bit-identity, not approximate equivalence.
+* **Speedup** — the bounds + evaluation hot path, timed on a large
+  synthetic region, must run at least ``--min-speedup`` (default 2×)
+  faster end-to-end than the object kernel.
+
+Results append to ``BENCH_mll_kernel.json`` via
+:mod:`benchmarks.trajectory` (same schema as ``BENCH_serving.json``),
+so the kernel's speed trajectory is diffable in review across PRs.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_mll_kernel.py          # full
+    PYTHONPATH=src python benchmarks/bench_mll_kernel.py --quick  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+# Standalone invocation (`python benchmarks/bench_mll_kernel.py`) puts
+# the script's own directory on sys.path, not the repo root that makes
+# the `benchmarks` package importable; pytest runs from the root already.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.ispd2015 import QUICK_SUITE, make_benchmark
+from repro.core import (
+    Kernel,
+    Legalizer,
+    LegalizerConfig,
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    evaluate_insertion_point,
+    extract_local_region,
+)
+from repro.core.soa import (
+    RegionSoA,
+    soa_compute_bounds,
+    soa_enumerate_insertion_points,
+    soa_evaluate_points,
+)
+from repro.db import Design, Floorplan, Library
+from repro.engine import legalize_sharded
+from repro.engine.config import EngineConfig
+from repro.geometry import Rect
+from repro.testing.faults import design_state_digest
+
+from benchmarks.trajectory import record_run
+
+
+# ----------------------------------------------------------------------
+# Part 1: digest parity over the Table-1 quick suite
+# ----------------------------------------------------------------------
+def run_parity(scale: float, seed: int) -> tuple[list[dict], bool]:
+    """Legalize each quick-suite design with both kernels, serially and
+    sharded; return per-case records and overall pass/fail."""
+    cases = []
+    all_ok = True
+    for name in QUICK_SUITE:
+        for workers in (1, 2):
+            digests = {}
+            placed = {}
+            for kernel in (Kernel.OBJECT, Kernel.SOA):
+                design = make_benchmark(name, scale=scale, seed=seed)
+                config = LegalizerConfig(seed=seed, kernel=kernel)
+                if workers == 1:
+                    result = Legalizer(design, config).run()
+                    placed[kernel] = result.placed
+                else:
+                    engine_result = legalize_sharded(
+                        design,
+                        config,
+                        engine=EngineConfig(workers=2, serial_threshold=0),
+                    )
+                    placed[kernel] = engine_result.result.placed
+                digests[kernel] = design_state_digest(design)
+            ok = (
+                digests[Kernel.OBJECT] == digests[Kernel.SOA]
+                and placed[Kernel.OBJECT] == placed[Kernel.SOA]
+            )
+            all_ok = all_ok and ok
+            cases.append(
+                {
+                    "name": name,
+                    "workers": workers,
+                    "identical": ok,
+                    "digest": digests[Kernel.OBJECT][:16],
+                    "placed": placed[Kernel.OBJECT],
+                }
+            )
+            status = "ok" if ok else "MISMATCH"
+            print(
+                f"  parity {name:>16} workers={workers}: {status} "
+                f"({placed[Kernel.OBJECT]} placed, "
+                f"{digests[Kernel.OBJECT][:12]})"
+            )
+    return cases, all_ok
+
+
+# ----------------------------------------------------------------------
+# Part 2: hot-path microbenchmark
+# ----------------------------------------------------------------------
+def build_packed_design(num_rows: int, row_width: int) -> Design:
+    """A deterministic, densely packed legal placement with single- and
+    multi-row cells and regular gaps (so insertion points abound)."""
+    fp = Floorplan(num_rows=num_rows, row_width=row_width)
+    design = Design(fp, Library(), name="kernel_bench")
+    k = 0
+    for row in range(num_rows):
+        x = 0
+        while x < row_width - 12:
+            w = 4 + (k * 7 + row * 3) % 5
+            h = 1
+            if k % 9 == 4 and row + 2 <= num_rows:
+                h = 2
+            elif k % 17 == 11 and row + 3 <= num_rows:
+                h = 3
+            rail = fp.rows[row].bottom_rail if h % 2 == 0 else None
+            master = design.library.get_or_create(w, h, rail)
+            cell = design.add_cell(
+                master, gp_x=float(x), gp_y=float(row)
+            )
+            if design.can_place(cell, x, row):
+                design.place(cell, x, row)
+                gap = 2 + (k % 3)
+                x += w + gap
+            else:
+                design.cells.pop()
+                design._next_cell_id -= 1
+                x += 2
+            k += 1
+    return design
+
+
+def _best_of(reps: int, fn) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_microbench(rx: int, num_rows: int, reps: int) -> dict:
+    """Time the bounds+evaluation pipeline of one huge MLL region with
+    each kernel; returns timings and speedups."""
+    row_width = 2 * rx + 400
+    design = build_packed_design(num_rows=num_rows, row_width=row_width)
+    target = design.add_cell(design.library.get_or_create(4, 1, None))
+    window = Rect(row_width // 2 - rx, 0, 2 * rx + target.width, num_rows)
+    region = extract_local_region(design, window)
+    fp = design.floorplan
+    desired_x = float(row_width // 2)
+    desired_y = float(num_rows // 2)
+
+    # Shared fixtures for the stage timings (each stage timed on equal
+    # inputs; the pipeline timings below include every stage).
+    bounds = compute_bounds(region)
+    feasible, discarded = build_insertion_intervals(
+        region, bounds, target.width
+    )
+    points = enumerate_insertion_points(
+        region, feasible, discarded, target.height
+    )
+    rsoa = RegionSoA.from_region(region)
+
+    # The SoA build happens once per MLL call and serves all three
+    # stages, so it is timed as its own stage and charged once in the
+    # combined ratio (the pipeline timings below include it naturally).
+    t_build_soa = _best_of(reps, lambda: RegionSoA.from_region(region))
+    t_bounds_obj = _best_of(reps, lambda: compute_bounds(region))
+    t_bounds_soa = _best_of(reps, lambda: soa_compute_bounds(rsoa))
+
+    def eval_obj():
+        for point in points:
+            evaluate_insertion_point(
+                region, point, target,
+                desired_x=desired_x, desired_y=desired_y,
+                site_width_um=fp.site_width_um,
+                site_height_um=fp.site_height_um,
+            )
+
+    t_eval_obj = _best_of(reps, eval_obj)
+    t_eval_soa = _best_of(
+        reps,
+        lambda: soa_evaluate_points(
+            rsoa, points, target, desired_x, desired_y,
+            fp.site_width_um, fp.site_height_um,
+        ),
+    )
+
+    def pipeline_obj():
+        b = compute_bounds(region)
+        f, d = build_insertion_intervals(region, b, target.width)
+        pts = enumerate_insertion_points(region, f, d, target.height)
+        for point in pts:
+            evaluate_insertion_point(
+                region, point, target,
+                desired_x=desired_x, desired_y=desired_y,
+                site_width_um=fp.site_width_um,
+                site_height_um=fp.site_height_um,
+            )
+
+    def pipeline_soa():
+        rs = RegionSoA.from_region(region)
+        b = soa_compute_bounds(rs)
+        f, d = build_insertion_intervals(region, b, target.width)
+        pts = soa_enumerate_insertion_points(rs, f, d, target.height)
+        soa_evaluate_points(
+            rs, pts, target, desired_x, desired_y,
+            fp.site_width_um, fp.site_height_um,
+        )
+
+    t_pipe_obj = _best_of(reps, pipeline_obj)
+    t_pipe_soa = _best_of(reps, pipeline_soa)
+
+    metrics = {
+        "region_cells": len(region.cells),
+        "insertion_points": len(points),
+        "build_soa_s": round(t_build_soa, 6),
+        "bounds_object_s": round(t_bounds_obj, 6),
+        "bounds_soa_s": round(t_bounds_soa, 6),
+        "eval_object_s": round(t_eval_obj, 6),
+        "eval_soa_s": round(t_eval_soa, 6),
+        "pipeline_object_s": round(t_pipe_obj, 6),
+        "pipeline_soa_s": round(t_pipe_soa, 6),
+        "speedup_bounds": round(t_bounds_obj / t_bounds_soa, 2),
+        "speedup_eval": round(t_eval_obj / t_eval_soa, 2),
+        "speedup_bounds_eval": round(
+            (t_bounds_obj + t_eval_obj)
+            / (t_build_soa + t_bounds_soa + t_eval_soa),
+            2,
+        ),
+        "speedup_pipeline": round(t_pipe_obj / t_pipe_soa, 2),
+    }
+    print(
+        f"  microbench: {metrics['region_cells']} cells, "
+        f"{metrics['insertion_points']} points | "
+        f"bounds {metrics['speedup_bounds']}x, "
+        f"eval {metrics['speedup_eval']}x, "
+        f"bounds+eval {metrics['speedup_bounds_eval']}x, "
+        f"pipeline {metrics['speedup_pipeline']}x"
+    )
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SoA kernel parity + speedup gate"
+    )
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="Table-1 cell-count scale for the parity runs")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rx", type=int, default=400,
+                        help="microbench window half-width in sites")
+    parser.add_argument("--rows", type=int, default=10,
+                        help="microbench row count")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required pipeline speedup (0 disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller parity scale (the microbench is "
+                             "sub-second and keeps its full window: the "
+                             "object kernel's quadratic bounds only "
+                             "separate from the SoA sweep on large "
+                             "regions)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip the BENCH_mll_kernel.json append")
+    parser.add_argument("--trajectory-dir", default=None,
+                        help="write the trajectory file here instead of "
+                             "the repo root")
+    args = parser.parse_args(argv)
+
+    scale = 0.04 if args.quick else args.scale
+    rx = args.rx
+
+    print("kernel parity (object vs soa):")
+    cases, parity_ok = run_parity(scale, args.seed)
+    print("hot-path microbenchmark:")
+    micro = run_microbench(rx=rx, num_rows=args.rows, reps=args.reps)
+
+    metrics: dict[str, object] = dict(micro)
+    metrics["parity_cases"] = len(cases)
+    metrics["parity_identical"] = parity_ok
+    params = {
+        "scale": scale,
+        "seed": args.seed,
+        "rx": rx,
+        "rows": args.rows,
+        "reps": args.reps,
+        "suite": QUICK_SUITE,
+    }
+    if not args.no_trajectory:
+        path = record_run(
+            "mll_kernel", metrics, params, directory=args.trajectory_dir
+        )
+        print(f"trajectory: {path}")
+
+    if not parity_ok:
+        bad = [c for c in cases if not c["identical"]]
+        print(f"FAIL: kernel digests diverge on {len(bad)} cases: "
+              + ", ".join(f"{c['name']}/w{c['workers']}" for c in bad))
+        return 1
+    gated = min(micro["speedup_bounds_eval"], micro["speedup_pipeline"])
+    if args.min_speedup > 0 and gated < args.min_speedup:
+        print(
+            f"FAIL: speedup {gated}x (bounds+eval "
+            f"{micro['speedup_bounds_eval']}x, pipeline "
+            f"{micro['speedup_pipeline']}x) is below the required "
+            f"{args.min_speedup}x"
+        )
+        return 1
+    print(
+        f"PASS: {len(cases)} parity cases identical, bounds+eval "
+        f"{micro['speedup_bounds_eval']}x, pipeline "
+        f"{micro['speedup_pipeline']}x (>= {args.min_speedup}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,8 +28,17 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import sys
 import tempfile
 import time
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:  # pragma: no cover - import bootstrap
+    sys.path.insert(0, _SRC)
+
+from repro.core.stats import percentiles as _shared_percentiles
 
 #: Bump on any incompatible change to the run-entry shape.
 SCHEMA = 1
@@ -120,15 +129,10 @@ def record_run(
 def percentiles(
     samples: list[float], points: tuple[float, ...] = (50.0, 90.0, 99.0)
 ) -> dict[str, float]:
-    """Nearest-rank percentiles, keyed ``p50``/``p90``/... in ms-friendly
-    float form (no numpy; benchmarks must not grow dependencies)."""
-    if not samples:
-        return {f"p{int(p)}": 0.0 for p in points}
-    ordered = sorted(samples)
-    out: dict[str, float] = {}
-    for p in points:
-        rank = max(
-            0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1)
-        )
-        out[f"p{int(p)}"] = ordered[rank]
-    return out
+    """Nearest-rank percentiles, keyed ``p50``/``p90``/...
+
+    Delegates to :func:`repro.core.stats.percentiles` so the benchmark
+    trajectories and the MLL telemetry summaries share one percentile
+    definition (no numpy there either; benchmarks must not grow
+    dependencies)."""
+    return _shared_percentiles(samples, points)

@@ -45,6 +45,13 @@ def compute_bounds(region: LocalRegion) -> PlacementBounds:
     legal (a bound crosses the cell's current position), which would
     indicate database corruption.
     """
+    for cell in region.cells:
+        if cell.x is None:
+            raise ValueError(
+                f"local cell {cell.name!r} is unplaced; "
+                f"region placement is not legal"
+            )
+
     cells = sorted(region.cells, key=lambda c: (c.x, c.id))  # type: ignore[arg-type,return-value]
 
     left: dict[int, int] = {}

@@ -212,11 +212,15 @@ def _optimal_x(
     endpoints = sorted(v for pair in pairs for v in pair)
     n = len(endpoints)
     if n == 0:
-        best = min(max(desired_x, x_lo), x_hi)
-        return int(round(best))
-    # Lower median; any point of [endpoints[n//2-1], endpoints[n//2]] is
-    # optimal for even n, and endpoints[n//2] for odd n.
-    med = endpoints[(n - 1) // 2]
+        # No curves: every x costs 0, so only the desired-x tie-break
+        # matters.  Fall through to the shared floor/ceil candidate
+        # selection — `int(round(...))` here would banker's-round x.5
+        # to the even neighbor, diverging from the main path's snap.
+        med = desired_x
+    else:
+        # Lower median; any point of [endpoints[n//2-1], endpoints[n//2]]
+        # is optimal for even n, and endpoints[n//2] for odd n.
+        med = endpoints[(n - 1) // 2]
     if med == -_INF:
         med = x_lo
     elif med == _INF:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.core.stats import nearest_rank
+
 
 @dataclass(frozen=True, slots=True)
 class MllCallRecord:
@@ -34,7 +36,25 @@ class MllCallRecord:
 
 @dataclass(frozen=True, slots=True)
 class TelemetrySummary:
-    """Aggregates over all recorded calls."""
+    """Aggregates over all recorded calls.
+
+    Two denominators are in play, deliberately and explicitly:
+
+    * the structural means (``mean_local_cells``,
+      ``mean_insertion_points``, ``mean_cells_pushed``) average over
+      **all** ``calls`` records — a failed call observed a real local
+      population and enumerated real insertion points, so it counts;
+    * the cost aggregates (``mean_cost_um``, ``p95_cost_um``) average
+      over the ``cost_records`` records with a **finite** cost.  Failed
+      calls record ``cost_um = NaN`` by contract (there is no realized
+      insertion to cost), so cost statistics are per *successful* call.
+
+    ``p95_cost_um`` is the nearest-rank 95th percentile
+    (:func:`repro.core.stats.nearest_rank` — the same math the
+    ``BENCH_*.json`` trajectory files use), so serial summaries,
+    merged-shard summaries and benchmark reports agree on one
+    percentile definition.
+    """
 
     calls: int
     successes: int
@@ -45,6 +65,10 @@ class TelemetrySummary:
     mean_cost_um: float
     p95_cost_um: float
     total_runtime_s: float
+    cost_records: int = 0
+    """Denominator of the cost aggregates: records with a finite
+    ``cost_um`` (successful calls).  Everything else divides by
+    ``calls``."""
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return (
@@ -107,7 +131,14 @@ class MllTelemetry:
         return [(lo + i * width, c) for i, c in enumerate(counts)]
 
     def summary(self) -> TelemetrySummary:
-        """Aggregate statistics over all records."""
+        """Aggregate statistics over all records.
+
+        See :class:`TelemetrySummary` for the two denominators:
+        structural means are over all records, cost statistics are over
+        the finite-cost (successful) records only.  Both are pure
+        functions of the record multiset, so merged-shard summaries
+        equal single-process summaries exactly.
+        """
         n = len(self.records)
         if n == 0:
             return TelemetrySummary(0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
@@ -118,7 +149,6 @@ class MllTelemetry:
         costs = sorted(
             r.cost_um for r in self.records if math.isfinite(r.cost_um)
         )
-        p95 = costs[min(len(costs) - 1, int(0.95 * len(costs)))] if costs else 0.0
         return TelemetrySummary(
             calls=n,
             successes=sum(1 for r in self.records if r.success),
@@ -127,6 +157,7 @@ class MllTelemetry:
             max_insertion_points=max(r.insertion_points for r in self.records),
             mean_cells_pushed=mean("cells_pushed"),
             mean_cost_um=sum(costs) / len(costs) if costs else 0.0,
-            p95_cost_um=p95,
+            p95_cost_um=nearest_rank(costs, 95.0),
             total_runtime_s=sum(r.runtime_s for r in self.records),
+            cost_records=len(costs),
         )

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.bounds import compute_bounds
-from repro.core.config import EvaluationMode, LegalizerConfig
+from repro.core.config import EvaluationMode, Kernel, LegalizerConfig
 from repro.core.enumeration import enumerate_insertion_points
 from repro.core.evaluation import EvaluatedPoint, evaluate_insertion_point
 from repro.core.intervals import build_insertion_intervals
@@ -38,6 +38,7 @@ from repro.geometry import Rect
 
 if TYPE_CHECKING:
     from repro.checker.legality import Violation
+    from repro.core.soa import SoaKernel
 
 
 class AuditError(Exception):
@@ -81,6 +82,12 @@ class MultiRowLocalLegalizer:
         self.design = design
         self.config = config if config is not None else LegalizerConfig()
         self.telemetry = None
+        self._soa_kernel: "SoaKernel | None" = None
+        if self.config.kernel is Kernel.SOA:
+            # Lazy import: the object kernel must work without numpy.
+            from repro.core.soa import SoaKernel as _SoaKernel
+
+            self._soa_kernel = _SoaKernel(design)
 
     def window_for(self, target: Cell, x: float, y: float) -> Rect:
         """The local-region window of Section 3: lower-left corner at
@@ -153,35 +160,18 @@ class MultiRowLocalLegalizer:
             on_region(region)
         if not region.segments:
             return MllResult(success=False)
-        bounds = compute_bounds(region)
-        feasible, discarded = build_insertion_intervals(region, bounds, target.width)
-        row_ok = self._row_predicate(target)
-
-        points = enumerate_insertion_points(
-            region, feasible, discarded, target.height, row_ok
-        )
-        if not points:
+        evaluated = self._evaluate_region(region, target, x, y, cfg.evaluation)
+        if not evaluated:
             return MllResult(success=False)
 
-        fp = design.floorplan
         best: EvaluatedPoint | None = None
-        for point in points:
-            ev = evaluate_insertion_point(
-                region,
-                point,
-                target,
-                desired_x=x,
-                desired_y=y,
-                site_width_um=fp.site_width_um,
-                site_height_um=fp.site_height_um,
-                mode=cfg.evaluation,
-            )
+        for ev in evaluated:
             if self._exceeds_displacement_cap(ev, x, y):
                 continue
             if best is None or ev.cost < best.cost:
                 best = ev
         if best is None:
-            return MllResult(success=False, num_insertion_points=len(points))
+            return MllResult(success=False, num_insertion_points=len(evaluated))
         # Transactional realization: any exception below (a
         # RealizationError, an audit violation, an injected fault, even a
         # KeyboardInterrupt) rolls the design back to the exact pre-call
@@ -191,8 +181,55 @@ class MultiRowLocalLegalizer:
             if cfg.audit:
                 self._audit(region, target)
         return MllResult(
-            success=True, num_insertion_points=len(points), chosen=best
+            success=True, num_insertion_points=len(evaluated), chosen=best
         )
+
+    def _evaluate_region(
+        self,
+        region: LocalRegion,
+        target: Cell,
+        desired_x: float,
+        desired_y: float,
+        mode: EvaluationMode,
+    ) -> list[EvaluatedPoint]:
+        """bounds → intervals → enumeration → evaluation, one
+        :class:`EvaluatedPoint` per insertion point in enumeration order,
+        via the configured kernel.  The two kernels are bit-identical —
+        the SoA path is a vectorized sweep over the numpy mirror, the
+        object path doubles as its differential oracle."""
+        fp = self.design.floorplan
+        row_ok = self._row_predicate(target)
+        if self._soa_kernel is not None:
+            return self._soa_kernel.evaluate_region(
+                region,
+                target,
+                desired_x,
+                desired_y,
+                fp.site_width_um,
+                fp.site_height_um,
+                mode,
+                row_ok,
+            )
+        bounds = compute_bounds(region)
+        feasible, discarded = build_insertion_intervals(
+            region, bounds, target.width
+        )
+        points = enumerate_insertion_points(
+            region, feasible, discarded, target.height, row_ok
+        )
+        return [
+            evaluate_insertion_point(
+                region,
+                point,
+                target,
+                desired_x=desired_x,
+                desired_y=desired_y,
+                site_width_um=fp.site_width_um,
+                site_height_um=fp.site_height_um,
+                mode=mode,
+            )
+            for point in points
+        ]
 
     def _audit(self, region: LocalRegion, target: Cell) -> None:
         """Re-check the realized region with the independent checker.
@@ -274,25 +311,9 @@ class MultiRowLocalLegalizer:
         )
         if not region.segments:
             return []
-        bounds = compute_bounds(region)
-        feasible, discarded = build_insertion_intervals(region, bounds, target.width)
-        points = enumerate_insertion_points(
-            region, feasible, discarded, target.height, self._row_predicate(target)
+        evaluated = self._evaluate_region(
+            region, target, x, y, mode if mode is not None else cfg.evaluation
         )
-        fp = design.floorplan
-        evaluated = [
-            evaluate_insertion_point(
-                region,
-                point,
-                target,
-                desired_x=x,
-                desired_y=y,
-                site_width_um=fp.site_width_um,
-                site_height_um=fp.site_height_um,
-                mode=mode if mode is not None else cfg.evaluation,
-            )
-            for point in points
-        ]
         if apply_displacement_cap:
             evaluated = [
                 ev

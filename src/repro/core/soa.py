@@ -1,0 +1,956 @@
+"""Struct-of-arrays mirror of the placement database + vectorized MLL
+kernels (ROADMAP item 1).
+
+The object model (:class:`~repro.db.design.Design`,
+:class:`~repro.db.cell.Cell`, per-segment cell lists) stays
+authoritative; this module maintains a numpy *mirror* of the placement
+state — per-cell ``x``/``y``/``width``/``height`` int64 arrays indexed
+by cell id, plus CSR-style segment→cell-id membership arrays — and
+reimplements the three MLL inner loops as vectorized sweeps over it:
+
+* :func:`soa_compute_bounds` — the leftmost/rightmost compaction of
+  :mod:`repro.core.bounds` as per-row prefix scans iterated to a
+  fixpoint (multi-row cells couple rows, so one pass per coupling
+  level);
+* :func:`soa_enumerate_insertion_points` — the scanline of
+  :mod:`repro.core.enumeration` over integer interval indices and
+  array-backed row lookups;
+* :func:`soa_evaluate_points` — the median-of-criticals evaluation of
+  :mod:`repro.core.evaluation` batched across *all* insertion points of
+  one MLL call (one sort for every median, one broadcast for every
+  candidate cost).
+
+**Bit-identity contract.**  ``LegalizerConfig.kernel = Kernel.SOA``
+must produce byte-identical placements to the object kernel; the
+property tests and ``benchmarks/bench_mll_kernel.py`` enforce it via
+``design_state_digest``.  Three properties make exact float equality
+possible: every non-target critical-position pair has integer-valued
+endpoints, so their cost contributions sum exactly in float64 in any
+order; the target's (possibly fractional) ``|x - desired_x|`` term is
+added last with a single rounding, exactly like the object kernel's
+sequential sum; and the candidate tie-break is a lexicographic argmin
+on ``(cost, |x - desired_x|, x)``, matching the object kernel's stable
+``min`` over ascending candidates.
+
+**Sync contract (the journal is the bus).**  The mirror attaches to a
+design via :func:`attach_soa` (``design.soa``).  It is kept current by
+O(1) notifications from the journaled primitives: the ``Design``
+mutators (``place``/``unplace``/``shift_x``/``add_cell``) call
+:meth:`SoaMirror.sync_cell` directly, and
+:class:`~repro.db.journal.Journal` forwards every recorded entry
+(:meth:`SoaMirror.on_journal_record`) and every undo
+(:meth:`SoaMirror.on_journal_undo`) — which covers realization's raw
+``note_set_pos``/``note_list_insert`` writes and transactional
+rollback.  Whole-placement rewrites outside the journal
+(``reset_placement``/``restore_positions``) call
+:meth:`SoaMirror.invalidate`, and the mirror lazily rebuilds.  This is
+why ``repro lint`` RL1 treats ``core/soa.py`` as a primitive home (like
+``db/``) rather than a journal bypass — see docs/static_analysis.md.
+
+**Error parity caveat.**  On corrupt input :func:`soa_compute_bounds`
+raises the same ``ValueError`` messages as the object kernel, but when
+a region exhibits *several distinct* corruption kinds at once the two
+kernels may surface different (equally true) ones first: the object
+sweep interleaves its checks per cell, the vectorized sweep validates
+in phases (unplaced → row order → bound legality).
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import TYPE_CHECKING, Final, Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.bounds import PlacementBounds
+from repro.core.config import EvaluationMode
+from repro.core.enumeration import InsertionPoint, RowPredicate, _combo_is_valid
+from repro.core.evaluation import EvaluatedPoint
+from repro.core.intervals import InsertionInterval
+from repro.core.local_region import LocalRegion
+from repro.db.cell import Cell
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.design import Design
+    from repro.db.journal import JournalEntry
+
+IntArray = NDArray[np.int64]
+FloatArray = NDArray[np.float64]
+
+#: Sentinel stored in the mirror's x/y arrays for unplaced cells.
+UNPLACED: Final[int] = np.iinfo(np.int64).min
+
+#: Longest-path sentinels of the bounds sweeps.  Far beyond any site
+#: coordinate yet far from int64 overflow when widths are added.
+_NEG: Final[int] = -(2**62)
+_POS: Final[int] = 2**62
+
+_INF = math.inf
+
+
+def attach_soa(design: "Design") -> "SoaMirror":
+    """The design's :class:`SoaMirror`, creating and attaching one if
+    absent.  Attaching is idempotent; the mirror stays subscribed to the
+    design's mutation primitives for the life of the design."""
+    if design.soa is None:
+        design.soa = SoaMirror(design)
+    return design.soa
+
+
+class SoaMirror:
+    """Numpy mirror of one design's placement state.
+
+    Arrays are indexed by **cell id** (they grow geometrically as ids
+    appear).  ``epoch`` increments on every observed mutation; derived
+    caches (the segment CSR, per-region views) key on it.
+    """
+
+    __slots__ = (
+        "design", "x", "y", "w", "h", "epoch",
+        "_stale", "_csr_epoch", "_csr_indptr", "_csr_cells",
+    )
+
+    def __init__(self, design: "Design") -> None:
+        self.design = design
+        self.x: IntArray = np.empty(0, dtype=np.int64)
+        self.y: IntArray = np.empty(0, dtype=np.int64)
+        self.w: IntArray = np.empty(0, dtype=np.int64)
+        self.h: IntArray = np.empty(0, dtype=np.int64)
+        self.epoch = 0
+        self._stale = True
+        self._csr_epoch = -1
+        self._csr_indptr: IntArray = np.empty(0, dtype=np.int64)
+        self._csr_cells: IntArray = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Mark the whole mirror stale (a non-journaled bulk rewrite
+        happened); the next :meth:`ensure` rebuilds from the objects."""
+        self._stale = True
+        self.epoch += 1
+
+    def ensure(self) -> None:
+        """Rebuild from the object model if stale; no-op otherwise."""
+        if self._stale:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Full resync from the design's cells."""
+        cells = self.design.cells
+        size = max((c.id for c in cells), default=-1) + 1
+        self.x = np.full(size, UNPLACED, dtype=np.int64)
+        self.y = np.full(size, UNPLACED, dtype=np.int64)
+        self.w = np.zeros(size, dtype=np.int64)
+        self.h = np.zeros(size, dtype=np.int64)
+        for c in cells:
+            cid = c.id
+            self.w[cid] = c.width
+            self.h[cid] = c.height
+            if c.x is not None and c.y is not None:
+                self.x[cid] = c.x
+                self.y[cid] = c.y
+        self._stale = False
+        self.epoch += 1
+
+    def _grow_to(self, cid: int) -> None:
+        old = len(self.x)
+        if cid < old:
+            return
+        size = max(cid + 1, 2 * old, 16)
+        for name, fill in (("x", UNPLACED), ("y", UNPLACED), ("w", 0), ("h", 0)):
+            arr: IntArray = getattr(self, name)
+            grown = np.full(size, fill, dtype=np.int64)
+            grown[:old] = arr
+            setattr(self, name, grown)
+
+    # ------------------------------------------------------------------
+    # O(1) sync notifications (the journaled primitives call these)
+    # ------------------------------------------------------------------
+    def sync_cell(self, cell: Cell) -> None:
+        """Refresh one cell's row from the object model."""
+        if self._stale:
+            return  # the pending rebuild will pick it up
+        self._grow_to(cell.id)
+        cid = cell.id
+        self.w[cid] = cell.width
+        self.h[cid] = cell.height
+        if cell.x is not None and cell.y is not None:
+            self.x[cid] = cell.x
+            self.y[cid] = cell.y
+        else:
+            self.x[cid] = UNPLACED
+            self.y[cid] = UNPLACED
+        self.epoch += 1
+
+    def forget_cell(self, cell: Cell) -> None:
+        """The cell no longer exists (a ``CELL_ADD`` was undone)."""
+        if self._stale or cell.id >= len(self.x):
+            return
+        cid = cell.id
+        self.x[cid] = UNPLACED
+        self.y[cid] = UNPLACED
+        self.w[cid] = 0
+        self.h[cid] = 0
+        self.epoch += 1
+
+    def on_journal_record(self, entry: "JournalEntry") -> None:
+        """A journaled mutation was just applied (mutate-first,
+        record-second, so the object model is already current)."""
+        from repro.db.journal import Op
+
+        if entry.op is Op.LIST_INSERT:
+            # Segment membership changed (realization's raw insert);
+            # coordinates are covered by the SET_POS entry next to it.
+            self.epoch += 1
+        elif entry.cell is not None:
+            self.sync_cell(entry.cell)
+
+    def on_journal_undo(self, entry: "JournalEntry") -> None:
+        """A journal entry was just rolled back."""
+        from repro.db.journal import Op
+
+        if entry.op is Op.CELL_ADD:
+            if entry.cell is not None:
+                self.forget_cell(entry.cell)
+        elif entry.op is Op.LIST_INSERT:
+            self.epoch += 1
+        elif entry.cell is not None:
+            self.sync_cell(entry.cell)
+
+    # ------------------------------------------------------------------
+    # Segment membership (CSR)
+    # ------------------------------------------------------------------
+    def segment_csr(self) -> tuple[IntArray, IntArray]:
+        """``(indptr, cell_ids)`` over ``floorplan.segments`` in order.
+
+        ``cell_ids[indptr[s]:indptr[s+1]]`` are segment ``s``'s cells in
+        their in-segment (x-sorted) order.  Rebuilt lazily, keyed on
+        ``epoch`` — any placement mutation invalidates it.
+        """
+        self.ensure()
+        if self._csr_epoch != self.epoch:
+            segments = self.design.floorplan.segments
+            indptr = np.zeros(len(segments) + 1, dtype=np.int64)
+            chunks: list[int] = []
+            for i, seg in enumerate(segments):
+                chunks.extend(c.id for c in seg.cells)
+                indptr[i + 1] = len(chunks)
+            self._csr_indptr = indptr
+            self._csr_cells = np.array(chunks, dtype=np.int64)
+            self._csr_epoch = self.epoch
+        return self._csr_indptr, self._csr_cells
+
+
+class RegionSoA:
+    """Dense per-call view of one :class:`LocalRegion`.
+
+    Index space is the position in ``region.cells`` (the *dense* index);
+    ``row_cells[row]`` lists dense indices in the row's in-segment
+    order, and ``pos[row]`` maps cell id → position in that list — the
+    O(1) replacement for ``LocalRegion.cell_index``'s linear scan.
+    """
+
+    __slots__ = (
+        "cells", "ids", "x", "y", "w", "h", "dense",
+        "rows", "row_cells", "_pos", "seg_x0", "seg_x1",
+    )
+
+    def __init__(
+        self,
+        cells: list[Cell],
+        ids: IntArray,
+        x: IntArray,
+        y: IntArray,
+        w: IntArray,
+        h: IntArray,
+        dense: dict[int, int],
+        rows: list[int],
+        row_cells: dict[int, IntArray],
+        seg_x0: dict[int, int],
+        seg_x1: dict[int, int],
+    ) -> None:
+        self.cells = cells
+        self.ids = ids
+        self.x = x
+        self.y = y
+        self.w = w
+        self.h = h
+        self.dense = dense
+        self.rows = rows
+        self.row_cells = row_cells
+        self._pos: dict[int, dict[int, int]] | None = None
+        self.seg_x0 = seg_x0
+        self.seg_x1 = seg_x1
+
+    @property
+    def pos(self) -> dict[int, dict[int, int]]:
+        """Per-row cell id → in-row index maps, built on first use
+        (only the exact evaluation mode walks them)."""
+        if self._pos is None:
+            ids = self.ids
+            self._pos = {
+                row: {int(ids[d]): i for i, d in enumerate(idx.tolist())}
+                for row, idx in self.row_cells.items()
+            }
+        return self._pos
+
+    @classmethod
+    def from_region(
+        cls, region: LocalRegion, mirror: SoaMirror | None = None
+    ) -> "RegionSoA":
+        """Gather the region's cells into dense arrays.
+
+        With *mirror* the coordinates come from one fancy-indexed gather
+        on the mirror arrays; without, from the objects directly (the
+        standalone path used by tests)."""
+        cells = region.cells
+        n = len(cells)
+        ids = np.fromiter((c.id for c in cells), dtype=np.int64, count=n)
+        if mirror is not None:
+            mirror.ensure()
+            x = mirror.x[ids]
+            y = mirror.y[ids]
+            w = mirror.w[ids]
+            h = mirror.h[ids]
+        else:
+            x = np.fromiter(
+                (UNPLACED if c.x is None else c.x for c in cells),
+                dtype=np.int64, count=n,
+            )
+            y = np.fromiter(
+                (UNPLACED if c.y is None else c.y for c in cells),
+                dtype=np.int64, count=n,
+            )
+            w = np.fromiter((c.width for c in cells), dtype=np.int64, count=n)
+            h = np.fromiter((c.height for c in cells), dtype=np.int64, count=n)
+        dense = {c.id: i for i, c in enumerate(cells)}
+        rows = region.rows()
+        row_cells: dict[int, IntArray] = {}
+        seg_x0: dict[int, int] = {}
+        seg_x1: dict[int, int] = {}
+        for row in rows:
+            seg = region.segments[row]
+            row_cells[row] = np.fromiter(
+                (dense[c.id] for c in seg.cells),
+                dtype=np.int64, count=len(seg.cells),
+            )
+            seg_x0[row] = seg.x0
+            seg_x1[row] = seg.x1
+        return cls(cells, ids, x, y, w, h, dense, rows, row_cells, seg_x0, seg_x1)
+
+    def rows_of(self, d: int) -> range:
+        """Rows spanned by the cell at dense index *d*."""
+        lo = int(self.y[d])
+        return range(lo, lo + int(self.h[d]))
+
+    def multirow(self) -> dict[int, list[tuple[int, int]]]:
+        """Per row: (cell id, in-row index) of every multi-row cell —
+        the array-backed equivalent of ``enumeration._multirow_indices``."""
+        out: dict[int, list[tuple[int, int]]] = {}
+        ids = self.ids
+        h = self.h
+        for row in self.rows:
+            idx = self.row_cells[row]
+            multi = np.nonzero(h[idx] > 1)[0]
+            if len(multi):
+                out[row] = [(int(ids[idx[i]]), int(i)) for i in multi]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Kernel 1: leftmost/rightmost bounds
+# ----------------------------------------------------------------------
+def soa_compute_bounds(rsoa: RegionSoA) -> PlacementBounds:
+    """Vectorized :func:`repro.core.bounds.compute_bounds`.
+
+    Per row the longest-path relaxation collapses into one prefix scan:
+    with ``P`` the exclusive prefix widths of the row's cells,
+    ``maximum.accumulate(bound - P) + P`` relaxes every left-neighbor
+    constraint of the row at once (symmetrically for the right sweep).
+    Multi-row cells couple rows, so the row scans iterate to a fixpoint
+    — at most one pass per coupling level, and a single pass (no
+    confirm) when the region has no multi-row cells.
+
+    Raises the same ``ValueError`` messages as the object kernel on
+    illegal input (see the module docstring for the error-precedence
+    caveat).
+    """
+    cells = rsoa.cells
+    x = rsoa.x
+    w = rsoa.w
+    ids = rsoa.ids
+    n = len(cells)
+    if n == 0:
+        return PlacementBounds(left={}, right={})
+
+    unplaced = x == UNPLACED
+    if bool(unplaced.any()):
+        d = int(np.argmax(unplaced))
+        raise ValueError(
+            f"local cell {cells[d].name!r} is unplaced; "
+            f"region placement is not legal"
+        )
+
+    # Row order must be strictly increasing by (x, id) — the order the
+    # object kernel's topological sweep requires.  Report the first
+    # violation in that sweep's own (x, id, row) order.
+    worst: tuple[int, int, int, int, int] | None = None
+    for row in rsoa.rows:
+        idx = rsoa.row_cells[row]
+        if len(idx) < 2:
+            continue
+        xs = x[idx]
+        rid = ids[idx]
+        bad = np.nonzero(
+            (xs[:-1] > xs[1:]) | ((xs[:-1] == xs[1:]) & (rid[:-1] > rid[1:]))
+        )[0]
+        for j in bad:
+            key = (int(xs[j + 1]), int(rid[j + 1]), row)
+            if worst is None or key < worst[:3]:
+                worst = (*key, int(idx[j]), int(idx[j + 1]))
+    if worst is not None:
+        _, _, row, pred_d, cell_d = worst
+        raise ValueError(
+            f"cells {cells[pred_d].name!r} and {cells[cell_d].name!r} are "
+            f"out of order in row {row}; region placement is not legal"
+        )
+
+    # Without multi-row cells the rows are uncoupled and one prefix
+    # scan per row is already the exact fixpoint — no confirm pass.
+    has_multi = bool((rsoa.h > 1).any())
+    max_iter = n + 2 if has_multi else 1
+    rowdat: list[tuple[IntArray, IntArray, int, int]] = []
+    for row in rsoa.rows:
+        idx = rsoa.row_cells[row]
+        if len(idx) == 0:
+            continue
+        wr = w[idx]
+        prefix = np.zeros(len(idx), dtype=np.int64)
+        np.cumsum(wr[:-1], out=prefix[1:])
+        rowdat.append((idx, prefix, rsoa.seg_x0[row], int(rsoa.seg_x1[row])))
+
+    # Left sweep: least fixpoint of bnd[i] >= bnd[i-1] + w[i-1] (per
+    # row), bnd[first] >= seg.x0 — identical to the object kernel's
+    # longest path over the adjacency DAG.
+    bnd = np.full(n, _NEG, dtype=np.int64)
+    for _ in range(max_iter):
+        prev = bnd
+        bnd = bnd.copy()
+        for idx, prefix, sx0, _sx1 in rowdat:
+            base = bnd[idx]
+            if base[0] < sx0:
+                base[0] = sx0
+            row_bound = np.maximum.accumulate(base - prefix) + prefix
+            np.maximum(bnd[idx], row_bound, out=base)
+            bnd[idx] = base
+        if not has_multi or np.array_equal(bnd, prev):
+            break
+    else:  # pragma: no cover - unreachable for a validated DAG
+        raise ValueError(
+            "leftmost-bound sweep did not converge; "
+            "region placement is not legal"
+        )
+    bad_left = np.nonzero(bnd > x)[0]
+    if len(bad_left):
+        first = int(bad_left[np.lexsort((ids[bad_left], x[bad_left]))[0]])
+        raise ValueError(
+            f"leftmost bound {int(bnd[first])} of cell "
+            f"{cells[first].name!r} exceeds its current x {int(x[first])}; "
+            f"region placement is not legal"
+        )
+    left = dict(zip(ids.tolist(), bnd.tolist()))
+
+    # Right sweep: the mirror image, via a reversed minimum.accumulate.
+    bnd = np.full(n, _POS, dtype=np.int64)
+    for _ in range(max_iter):
+        prev = bnd
+        bnd = bnd.copy()
+        for idx, prefix, _sx0, sx1 in rowdat:
+            base = bnd[idx]
+            ceiling = sx1 - int(w[idx[-1]])
+            if base[-1] > ceiling:
+                base[-1] = ceiling
+            shifted = base - prefix
+            row_bound = np.minimum.accumulate(shifted[::-1])[::-1] + prefix
+            np.minimum(bnd[idx], row_bound, out=base)
+            bnd[idx] = base
+        if not has_multi or np.array_equal(bnd, prev):
+            break
+    else:  # pragma: no cover - unreachable for a validated DAG
+        raise ValueError(
+            "rightmost-bound sweep did not converge; "
+            "region placement is not legal"
+        )
+    bad_right = np.nonzero(bnd < x)[0]
+    if len(bad_right):
+        first = int(bad_right[np.lexsort((ids[bad_right], x[bad_right]))[-1]])
+        raise ValueError(
+            f"rightmost bound {int(bnd[first])} of cell "
+            f"{cells[first].name!r} is below its current x {int(x[first])}; "
+            f"region placement is not legal"
+        )
+    right = dict(zip(ids.tolist(), bnd.tolist()))
+    return PlacementBounds(left=left, right=right)
+
+
+# ----------------------------------------------------------------------
+# Kernel 2: scanline insertion-point enumeration
+# ----------------------------------------------------------------------
+def soa_enumerate_insertion_points(
+    rsoa: RegionSoA,
+    feasible: list[InsertionInterval],
+    discarded: list[InsertionInterval],
+    target_height: int,
+    row_ok: RowPredicate | None = None,
+) -> list[InsertionPoint]:
+    """Index-based scanline, emission-order identical to
+    :func:`repro.core.enumeration.enumerate_insertion_points`.
+
+    Queues hold integer indices into *feasible* (cheap compares, no
+    attribute chasing); a blocker's spanned rows and the multi-row side
+    map come from the region arrays instead of cell objects.
+    """
+    ht = target_height
+    if ht == 1:
+        # Single-row target: the scanline degenerates.  There are no
+        # partner queues (every (a, s) pair needs |a - s| <= ht - 1 = 0
+        # with a != s), so CLEAR and CLOSE events are no-ops and each
+        # OPEN emits exactly its own interval; a one-interval combo can
+        # set each multi-row cell's side at most once, so the Figure-8
+        # check is vacuous.  Emission order is the stable (x_lo,
+        # append-order) sort of the OPEN events.
+        order = sorted(range(len(feasible)), key=lambda i: feasible[i].x_lo)
+        return [
+            InsertionPoint(
+                intervals=(feasible[i],),
+                x_lo=feasible[i].x_lo,
+                x_hi=feasible[i].x_hi,
+            )
+            for i in order
+            if row_ok is None or row_ok(feasible[i].row_index)
+        ]
+    rows_sorted = rsoa.rows
+    rows_present = set(rows_sorted)
+    multirow = rsoa.multirow()
+    dense = rsoa.dense
+
+    queues: dict[tuple[int, int], list[int]] = {}
+    for a in rows_sorted:
+        for s in rows_sorted:
+            if a != s and abs(a - s) <= ht - 1:
+                queues[(a, s)] = []
+
+    # Same event stream and the same stable (x, kind) sort as the object
+    # scanline: CLEAR(0) < OPEN(1) < CLOSE(2), ties in append order.
+    clear, open_, close = 0, 1, 2
+    events: list[tuple[int, int, int]] = []
+    for i, iv in enumerate(feasible):
+        events.append((iv.x_lo, open_, i))
+        events.append((iv.x_hi, close, i))
+    nfeas = len(feasible)
+    for i, iv in enumerate(feasible + discarded):
+        if iv.left is not None and iv.left.is_multi_row:
+            events.append((iv.x_lo, clear, i))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    points: list[InsertionPoint] = []
+    for _x, kind, i in events:
+        iv = feasible[i] if i < nfeas else discarded[i - nfeas]
+        a = iv.row_index
+        if kind == clear:
+            blocker = iv.left
+            assert blocker is not None
+            for s in rsoa.rows_of(dense[blocker.id]):
+                q = queues.get((a, s))
+                if q is not None:
+                    q.clear()
+        elif kind == open_:
+            _soa_generate_for(
+                i, feasible, ht, rows_present, queues, multirow, row_ok, points
+            )
+            for r in rows_sorted:
+                q = queues.get((r, a))
+                if q is not None:
+                    q.append(i)
+        else:  # close
+            for r in rows_sorted:
+                q = queues.get((r, a))
+                if q is not None:
+                    try:
+                        q.remove(i)
+                    except ValueError:
+                        pass  # already removed by a clearing event
+    return points
+
+
+def _soa_generate_for(
+    i: int,
+    feasible: list[InsertionInterval],
+    ht: int,
+    rows_present: set[int],
+    queues: dict[tuple[int, int], list[int]],
+    multirow: dict[int, list[tuple[int, int]]],
+    row_ok: RowPredicate | None,
+    points: list[InsertionPoint],
+) -> None:
+    """Emit every insertion point whose last-opened interval is
+    ``feasible[i]`` (the index twin of ``enumeration._generate_for``)."""
+    iv = feasible[i]
+    a = iv.row_index
+    for bottom in range(a - ht + 1, a + 1):
+        window = range(bottom, bottom + ht)
+        if any(r not in rows_present for r in window):
+            continue
+        if row_ok is not None and not row_ok(bottom):
+            continue
+        partner_lists = [queues[(a, s)] for s in window if s != a]
+        if any(not lst for lst in partner_lists):
+            continue
+        iv_slot = a - bottom
+        for parts in product(*partner_lists):
+            combo_idx = list(parts)
+            combo_idx.insert(iv_slot, i)
+            combo = [feasible[j] for j in combo_idx]
+            if not _combo_is_valid(combo, multirow):
+                continue
+            lo = max(c.x_lo for c in combo)
+            hi = min(c.x_hi for c in combo)
+            points.append(
+                InsertionPoint(intervals=tuple(combo), x_lo=lo, x_hi=hi)
+            )
+
+
+# ----------------------------------------------------------------------
+# Kernel 3: batched insertion-point evaluation
+# ----------------------------------------------------------------------
+def _exact_pairs(
+    rsoa: RegionSoA, point: InsertionPoint, target_width: int
+) -> list[tuple[float, float]]:
+    """Full critical positions via longest-path propagation.
+
+    Structurally the twin of ``evaluation._critical_positions_exact``
+    (same discovery order, same stable ``-x`` sort, same float
+    arithmetic) with the O(n) ``cell_index`` scans replaced by the
+    region's O(1) position maps.
+    """
+    x = rsoa.x
+    w = rsoa.w
+    ids = rsoa.ids
+    row_cells = rsoa.row_cells
+    pos = rsoa.pos
+    dense = rsoa.dense
+    pairs: list[tuple[float, float]] = []
+
+    # --- left side: chain[d] = max total width from target to d inclusive.
+    seeds = [dense[iv.left.id] for iv in point.intervals if iv.left is not None]
+    seen: set[int] = set()
+    order: list[int] = []
+    for d in seeds:
+        if d not in seen:
+            seen.add(d)
+            order.append(d)
+    i = 0
+    while i < len(order):
+        d = order[i]
+        i += 1
+        cid = int(ids[d])
+        for row in rsoa.rows_of(d):
+            j = pos[row][cid]
+            if j > 0:
+                p = int(row_cells[row][j - 1])
+                if p not in seen:
+                    seen.add(p)
+                    order.append(p)
+    order.sort(key=lambda d: -int(x[d]))
+    seed_set = set(seeds)
+    pushers: dict[int, list[int]] = {}
+    for d in order:
+        cid = int(ids[d])
+        for row in rsoa.rows_of(d):
+            j = pos[row][cid]
+            if j > 0:
+                p = int(row_cells[row][j - 1])
+                if p in seen:
+                    pushers.setdefault(p, []).append(d)
+    chain: dict[int, float] = {}
+    for d in order:
+        width = float(int(w[d]))
+        base = width if d in seed_set else -_INF
+        via = max(
+            (chain[q] + width for q in pushers.get(d, ()) if q in chain),
+            default=-_INF,
+        )
+        val = max(base, via)
+        if val > -_INF:
+            chain[d] = val
+            pairs.append((int(x[d]) + val, _INF))
+
+    # --- right side: chain'[d] = max width strictly between target and d.
+    seeds_r = [
+        dense[iv.right.id] for iv in point.intervals if iv.right is not None
+    ]
+    seen_r: set[int] = set()
+    order_r: list[int] = []
+    for d in seeds_r:
+        if d not in seen_r:
+            seen_r.add(d)
+            order_r.append(d)
+    i = 0
+    while i < len(order_r):
+        d = order_r[i]
+        i += 1
+        cid = int(ids[d])
+        for row in rsoa.rows_of(d):
+            j = pos[row][cid]
+            nxt_row = row_cells[row]
+            if j + 1 < len(nxt_row):
+                nd = int(nxt_row[j + 1])
+                if nd not in seen_r:
+                    seen_r.add(nd)
+                    order_r.append(nd)
+    order_r.sort(key=lambda d: int(x[d]))
+    seed_set_r = set(seeds_r)
+    pushers_r: dict[int, list[int]] = {}
+    for d in order_r:
+        cid = int(ids[d])
+        for row in rsoa.rows_of(d):
+            j = pos[row][cid]
+            nxt_row = row_cells[row]
+            if j + 1 < len(nxt_row):
+                nd = int(nxt_row[j + 1])
+                if nd in seen_r:
+                    pushers_r.setdefault(nd, []).append(d)
+    chain_r: dict[int, float] = {}
+    for d in order_r:
+        base = 0.0 if d in seed_set_r else -_INF
+        via = max(
+            (
+                chain_r[p] + float(int(w[p]))
+                for p in pushers_r.get(d, ())
+                if p in chain_r
+            ),
+            default=-_INF,
+        )
+        val = max(base, via)
+        if val > -_INF:
+            chain_r[d] = val
+            pairs.append((-_INF, int(x[d]) - target_width - val))
+
+    return pairs
+
+
+def _approx_pair_matrices(
+    rsoa: RegionSoA, points: Sequence[InsertionPoint], target_width: int
+) -> tuple[FloatArray, FloatArray, NDArray[np.bool_], IntArray]:
+    """Pair matrices for APPROX mode without per-point list building.
+
+    A point contributes at most two pairs per interval slot (its left
+    neighbor and its right neighbor), and interval objects are shared
+    across points, so the per-interval values are computed once and
+    scattered to (point, slot) through one fancy-indexed gather.  Pad
+    slots hold the identity pair ``(-inf, +inf)`` (zero cost
+    contribution) and are masked out of the endpoint multiset by the
+    returned *valid* mask.  Pair order within a point differs from the
+    object kernel's left/right interleaving, which is immaterial:
+    costs are order-independent exact integer sums and the median only
+    sees the sorted endpoint multiset.
+    """
+    npts = len(points)
+    nslots = max(len(p.intervals) for p in points)
+    x = rsoa.x
+    w = rsoa.w
+    dense = rsoa.dense
+
+    iv_of: dict[int, int] = {}
+    a_left: list[float] = []
+    b_right: list[float] = []
+    has_l: list[bool] = []
+    has_r: list[bool] = []
+    slot_idx = np.full((npts, nslots), -1, dtype=np.int64)
+    for i, p in enumerate(points):
+        for s, iv in enumerate(p.intervals):
+            k = iv_of.get(id(iv))
+            if k is None:
+                k = iv_of[id(iv)] = len(a_left)
+                left, right = iv.left, iv.right
+                if left is not None:
+                    d = dense[left.id]
+                    a_left.append(float(int(x[d]) + int(w[d])))
+                    has_l.append(True)
+                else:
+                    a_left.append(-np.inf)
+                    has_l.append(False)
+                if right is not None:
+                    d = dense[right.id]
+                    b_right.append(float(int(x[d]) - target_width))
+                    has_r.append(True)
+                else:
+                    b_right.append(np.inf)
+                    has_r.append(False)
+            slot_idx[i, s] = k
+    # Sentinel reached through index -1: a slot the point does not use.
+    a_left.append(-np.inf)
+    b_right.append(np.inf)
+    has_l.append(False)
+    has_r.append(False)
+
+    aL = np.asarray(a_left, dtype=np.float64)[slot_idx]
+    bR = np.asarray(b_right, dtype=np.float64)[slot_idx]
+    width = 2 * nslots
+    a_mat = np.full((npts, width), -np.inf, dtype=np.float64)
+    b_mat = np.full((npts, width), np.inf, dtype=np.float64)
+    valid = np.empty((npts, width), dtype=bool)
+    a_mat[:, 0::2] = aL
+    b_mat[:, 1::2] = bR
+    valid[:, 0::2] = np.asarray(has_l, dtype=bool)[slot_idx]
+    valid[:, 1::2] = np.asarray(has_r, dtype=bool)[slot_idx]
+    counts = valid.sum(axis=1, dtype=np.int64)
+    return a_mat, b_mat, valid, counts
+
+
+def soa_evaluate_points(
+    rsoa: RegionSoA,
+    points: Sequence[InsertionPoint],
+    target: Cell,
+    desired_x: float,
+    desired_y: float,
+    site_width_um: float,
+    site_height_um: float,
+    mode: EvaluationMode = EvaluationMode.APPROX,
+) -> list[EvaluatedPoint]:
+    """Evaluate *all* insertion points of one MLL call in one batch.
+
+    Bit-identical to mapping ``evaluate_insertion_point`` over *points*:
+    medians come from one row-wise sort of the (+inf-padded) endpoint
+    matrix at index ``m-1`` (``m`` = pairs incl. the target, i.e. the
+    object kernel's ``endpoints[(2m-1)//2]``); candidate costs decompose
+    into an exactly-summable integer part (non-target pairs) plus the
+    target's fractional ``|x - desired_x|`` term added last with one
+    rounding; the winner is the lexicographic argmin on
+    ``(cost, |x - desired_x|, x)``.
+    """
+    npts = len(points)
+    if npts == 0:
+        return []
+    tw = target.width
+
+    if mode is EvaluationMode.EXACT:
+        pair_lists = [_exact_pairs(rsoa, p, tw) for p in points]
+        counts = np.fromiter(
+            (len(pr) for pr in pair_lists), dtype=np.int64, count=npts
+        )
+        width = int(counts.max()) if npts else 0
+        a_mat = np.full((npts, width), -np.inf, dtype=np.float64)
+        b_mat = np.full((npts, width), np.inf, dtype=np.float64)
+        for i, pr in enumerate(pair_lists):
+            if pr:
+                arr = np.array(pr, dtype=np.float64)
+                a_mat[i, : len(pr)] = arr[:, 0]
+                b_mat[i, : len(pr)] = arr[:, 1]
+        valid = np.arange(width, dtype=np.int64)[None, :] < counts[:, None]
+    else:
+        a_mat, b_mat, valid, counts = _approx_pair_matrices(rsoa, points, tw)
+
+    x_lo = np.fromiter((p.x_lo for p in points), dtype=np.float64, count=npts)
+    x_hi = np.fromiter((p.x_hi for p in points), dtype=np.float64, count=npts)
+    dx_col = np.full((npts, 1), desired_x, dtype=np.float64)
+
+    # Median of the endpoint multiset.  Pad slots become +inf so they
+    # sort past every real endpoint (real -inf/+inf entries are kept —
+    # the object kernel's multiset has them too); the lower median of
+    # the 2m real endpoints sits at sorted index m-1 = len(non-target).
+    endpoints = np.concatenate(
+        [
+            np.where(valid, a_mat, np.inf),
+            np.where(valid, b_mat, np.inf),
+            dx_col,
+            dx_col,
+        ],
+        axis=1,
+    )
+    endpoints.sort(axis=1)
+    med = np.take_along_axis(endpoints, counts[:, None], axis=1)[:, 0]
+    med = np.where(med == -np.inf, x_lo, med)
+    med = np.where(med == np.inf, x_hi, med)
+    clamped = np.minimum(np.maximum(med, x_lo), x_hi)
+
+    cand = np.stack(
+        [x_lo, x_hi, np.floor(clamped), np.ceil(clamped)], axis=1
+    )
+    # Integer-valued contributions sum exactly in float64; the target's
+    # fractional term is added last (one rounding), matching the object
+    # kernel's sequential sum with the target pair appended last.
+    int_cost = (
+        np.clip(a_mat[:, :, None] - cand[:, None, :], 0.0, None).sum(axis=1)
+        + np.clip(cand[:, None, :] - b_mat[:, :, None], 0.0, None).sum(axis=1)
+    )
+    absdx = np.abs(cand - desired_x)
+    cost = int_cost + absdx
+
+    best_cost = cost.min(axis=1, keepdims=True)
+    tie1 = np.where(cost == best_cost, absdx, np.inf)
+    best_tie1 = tie1.min(axis=1, keepdims=True)
+    tie2 = np.where(tie1 == best_tie1, cand, np.inf)
+    best_x = tie2.min(axis=1)
+
+    rows_arr = np.fromiter(
+        (p.bottom_row for p in points), dtype=np.float64, count=npts
+    )
+    cost_um = (
+        best_cost[:, 0] * site_width_um
+        + np.abs(rows_arr - desired_y) * site_height_um
+    )
+    return [
+        EvaluatedPoint(
+            point=points[i], target_x=int(best_x[i]), cost=float(cost_um[i])
+        )
+        for i in range(npts)
+    ]
+
+
+class SoaKernel:
+    """The SoA hot path bound to one design — what
+    :class:`~repro.core.mll.MultiRowLocalLegalizer` dispatches to when
+    ``config.kernel is Kernel.SOA``."""
+
+    __slots__ = ("mirror",)
+
+    def __init__(self, design: "Design") -> None:
+        self.mirror = attach_soa(design)
+
+    def evaluate_region(
+        self,
+        region: LocalRegion,
+        target: Cell,
+        desired_x: float,
+        desired_y: float,
+        site_width_um: float,
+        site_height_um: float,
+        mode: EvaluationMode,
+        row_ok: RowPredicate | None,
+    ) -> list[EvaluatedPoint]:
+        """bounds → intervals → scanline → batched evaluation."""
+        from repro.core.intervals import build_insertion_intervals
+
+        rsoa = RegionSoA.from_region(region, self.mirror)
+        bounds = soa_compute_bounds(rsoa)
+        feasible, discarded = build_insertion_intervals(
+            region, bounds, target.width
+        )
+        points = soa_enumerate_insertion_points(
+            rsoa, feasible, discarded, target.height, row_ok
+        )
+        return soa_evaluate_points(
+            rsoa,
+            points,
+            target,
+            desired_x,
+            desired_y,
+            site_width_um,
+            site_height_um,
+            mode,
+        )

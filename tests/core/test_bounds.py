@@ -109,3 +109,18 @@ class TestInvariants:
         a.x = 6  # manual corruption: overlaps b and breaks the order
         with pytest.raises(ValueError):
             compute_bounds(region)
+
+
+class TestUnplacedValidation:
+    def test_unplaced_cell_raises_value_error(self):
+        # Regression: an unplaced cell in the region used to surface as a
+        # bare TypeError from the (x, id) sort; it must be the same
+        # "region placement is not legal" ValueError as other corruption.
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 3, 1, 0, 0)
+        region = region_of(d, Rect(0, 0, 10, 1))
+        a.x = None  # manual corruption after extraction
+        with pytest.raises(ValueError, match="region placement is not legal"):
+            compute_bounds(region)
+        with pytest.raises(ValueError, match=repr(a.name)):
+            compute_bounds(region)

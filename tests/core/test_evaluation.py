@@ -176,3 +176,20 @@ class TestApproximation:
             a = evaluate(d, region, p, t, 8.0, 0.0, EvaluationMode.APPROX)
             assert a.cost == pytest.approx(e.cost)
             assert a.target_x == e.target_x
+
+
+class TestOptimalXNoCurves:
+    def test_empty_pairs_snaps_like_the_main_path(self):
+        # Regression: with no displacement curves the old code returned
+        # int(round(desired_x)), and banker's rounding sent 5.5 to the
+        # *even* neighbor 6; the shared floor/ceil candidate selection
+        # breaks the tie toward the smaller equally-near site, as the
+        # main path does.
+        from repro.core.evaluation import _optimal_x
+
+        assert _optimal_x([], 0, 10, 5.5) == 5
+        assert _optimal_x([], 0, 10, 4.5) == 4
+        assert _optimal_x([], 0, 10, 7.0) == 7
+        # Clamping still applies.
+        assert _optimal_x([], 3, 10, 0.5) == 3
+        assert _optimal_x([], 0, 4, 9.0) == 4

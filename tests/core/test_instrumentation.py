@@ -108,3 +108,47 @@ class TestSummary:
             MllCallRecord(True, 1, 1, 5, 5, 0, 0.0, 0.0)
         )
         assert tel.histogram("local_cells") == [(5.0, 1)]
+
+
+class TestSummaryPercentiles:
+    def _record(self, tel, cost):
+        from repro.core.instrumentation import MllCallRecord
+
+        tel.record(
+            MllCallRecord(
+                success=not math.isnan(cost),
+                target_width=1,
+                target_height=1,
+                local_cells=1,
+                insertion_points=1,
+                cells_pushed=0,
+                cost_um=cost,
+                runtime_s=0.0,
+            )
+        )
+
+    def test_p95_uses_shared_nearest_rank(self):
+        # Regression: the summary used to take index int(0.95 * n) --
+        # sorted[19] = 20.0 for 20 samples -- while the BENCH trajectory
+        # files used nearest-rank (sorted[18] = 19.0).  Both now share
+        # repro.core.stats.nearest_rank.
+        from repro.core.stats import nearest_rank
+
+        tel = MllTelemetry()
+        for c in range(1, 21):
+            self._record(tel, float(c))
+        s = tel.summary()
+        assert s.p95_cost_um == 19.0
+        assert s.p95_cost_um == nearest_rank(
+            [float(c) for c in range(1, 21)], 95.0
+        )
+
+    def test_cost_records_counts_only_finite_costs(self):
+        tel = MllTelemetry()
+        for c in (1.0, 2.0, float("nan"), 3.0, float("nan")):
+            self._record(tel, c)
+        s = tel.summary()
+        assert s.calls == 5
+        assert s.cost_records == 3
+        assert s.mean_cost_um == 2.0  # over finite-cost records only
+        assert s.successes == 3

@@ -1,0 +1,366 @@
+"""Unit tests for the struct-of-arrays mirror and vectorized kernels.
+
+The object kernel is the differential oracle throughout: every SoA
+result must be *bit-identical* (same digests, same floats, same error
+messages), not merely equivalent.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvaluationMode,
+    Kernel,
+    Legalizer,
+    LegalizerConfig,
+    MultiRowLocalLegalizer,
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    extract_local_region,
+)
+from repro.core.soa import (
+    UNPLACED,
+    RegionSoA,
+    attach_soa,
+    soa_compute_bounds,
+    soa_enumerate_insertion_points,
+)
+from repro.db import Rail
+from repro.db.journal import Transaction
+from repro.geometry import Rect
+from repro.testing.faults import design_state_digest
+from tests.conftest import (
+    add_placed,
+    add_unplaced,
+    make_design,
+    random_legal_design,
+)
+
+
+def assert_mirror_matches(design):
+    """The mirror agrees with the object model on every cell."""
+    mirror = design.soa
+    mirror.ensure()
+    for c in design.cells:
+        if c.is_placed:
+            assert int(mirror.x[c.id]) == c.x, c.name
+            assert int(mirror.y[c.id]) == c.y, c.name
+        else:
+            assert int(mirror.x[c.id]) == UNPLACED, c.name
+        assert int(mirror.w[c.id]) == c.width
+        assert int(mirror.h[c.id]) == c.height
+
+
+class TestMirrorSync:
+    def test_attach_is_idempotent(self):
+        d = make_design()
+        m1 = attach_soa(d)
+        m2 = attach_soa(d)
+        assert m1 is m2
+        assert d.soa is m1
+
+    def test_design_primitives_keep_mirror_current(self):
+        d = make_design(num_rows=4, row_width=20)
+        mirror = attach_soa(d)
+        mirror.ensure()
+        a = add_placed(d, 3, 1, 2, 0)
+        b = add_placed(d, 2, 2, 5, 0, rail=Rail.GND)
+        assert_mirror_matches(d)
+        d.shift_x(a, 7)
+        assert int(mirror.x[a.id]) == 7
+        d.unplace(b)
+        assert int(mirror.x[b.id]) == UNPLACED
+        d.place(b, 10, 2)
+        assert int(mirror.x[b.id]) == 10 and int(mirror.y[b.id]) == 2
+        assert_mirror_matches(d)
+
+    def test_transaction_rollback_resyncs_mirror(self):
+        d = make_design(num_rows=2, row_width=20)
+        a = add_placed(d, 3, 1, 2, 0)
+        mirror = attach_soa(d)
+        mirror.ensure()
+        with pytest.raises(RuntimeError):
+            with Transaction(d):
+                d.shift_x(a, 9)
+                d.unplace(a)
+                c = d.add_cell(d.library.get_or_create(2, 1, None))
+                d.place(c, 0, 1)
+                assert int(mirror.x[a.id]) == UNPLACED
+                raise RuntimeError("abort")
+        # Rolled back: a restored at x=2, c forgotten.
+        assert a.x == 2
+        assert int(mirror.x[a.id]) == 2
+        assert int(mirror.w[c.id]) == 0  # forgotten slot
+        assert_mirror_matches(d)
+
+    def test_bulk_rewrites_invalidate_and_lazily_rebuild(self):
+        d = make_design(num_rows=2, row_width=20)
+        a = add_placed(d, 3, 1, 2, 0)
+        add_placed(d, 2, 1, 8, 1)
+        mirror = attach_soa(d)
+        mirror.ensure()
+        snap = d.snapshot_positions()
+        d.reset_placement()
+        assert_mirror_matches(d)  # rebuilt lazily: everything unplaced
+        d.restore_positions(snap)
+        assert_mirror_matches(d)
+        assert int(mirror.x[a.id]) == 2
+
+    def test_sync_while_stale_is_deferred_to_rebuild(self):
+        d = make_design(num_rows=2, row_width=20)
+        a = add_placed(d, 3, 1, 2, 0)
+        mirror = attach_soa(d)
+        mirror.invalidate()
+        d.shift_x(a, 5)  # sync_cell is a no-op while stale
+        assert_mirror_matches(d)  # ensure() rebuilds with x=5
+
+    def test_segment_csr_matches_segment_lists(self):
+        rng = random.Random(7)
+        d = random_legal_design(rng, num_rows=6, row_width=24, n_cells=18)
+        mirror = attach_soa(d)
+        indptr, cell_ids = mirror.segment_csr()
+        segments = d.floorplan.segments
+        assert len(indptr) == len(segments) + 1
+        for i, seg in enumerate(segments):
+            got = cell_ids[indptr[i] : indptr[i + 1]].tolist()
+            assert got == [c.id for c in seg.cells]
+        # Cached until the next mutation...
+        assert mirror.segment_csr()[1] is cell_ids
+        # ...and rebuilt after one.
+        movable = next(c for c in d.cells if c.is_placed)
+        d.unplace(movable)
+        indptr2, cell_ids2 = mirror.segment_csr()
+        assert movable.id not in cell_ids2.tolist()
+
+
+def regions_for(design, rects):
+    return [extract_local_region(design, r) for r in rects]
+
+
+class TestBoundsParity:
+    def test_random_regions_match_object_kernel(self):
+        rng = random.Random(21)
+        for trial in range(30):
+            d = random_legal_design(
+                rng, num_rows=8, row_width=30, n_cells=18, max_height=3
+            )
+            region = extract_local_region(
+                d, Rect(rng.randint(0, 10), rng.randint(0, 4), 20, 6)
+            )
+            expected = compute_bounds(region)
+            got = soa_compute_bounds(RegionSoA.from_region(region))
+            assert got.left == expected.left, trial
+            assert got.right == expected.right, trial
+
+    def test_multirow_chain_matches(self):
+        d = make_design(num_rows=4, row_width=20)
+        add_placed(d, 3, 1, 0, 0)
+        add_placed(d, 2, 2, 4, 0, rail=Rail.GND)
+        add_placed(d, 2, 3, 8, 0)
+        add_placed(d, 4, 1, 12, 1)
+        region = extract_local_region(d, Rect(0, 0, 20, 4))
+        expected = compute_bounds(region)
+        got = soa_compute_bounds(RegionSoA.from_region(region))
+        assert got == expected
+
+    def test_mirror_backed_view_matches_objects(self):
+        rng = random.Random(5)
+        d = random_legal_design(rng, num_rows=6, row_width=24, n_cells=14)
+        mirror = attach_soa(d)
+        region = extract_local_region(d, Rect(0, 0, 24, 6))
+        via_mirror = soa_compute_bounds(RegionSoA.from_region(region, mirror))
+        via_objects = soa_compute_bounds(RegionSoA.from_region(region))
+        assert via_mirror == via_objects == compute_bounds(region)
+
+
+class TestBoundsErrorParity:
+    def _both_raise_same(self, region):
+        with pytest.raises(ValueError) as obj_err:
+            compute_bounds(region)
+        with pytest.raises(ValueError) as soa_err:
+            soa_compute_bounds(RegionSoA.from_region(region))
+        assert str(soa_err.value) == str(obj_err.value)
+
+    def test_unplaced_cell_message(self):
+        d = make_design(num_rows=1, row_width=10)
+        a = add_placed(d, 3, 1, 0, 0)
+        region = extract_local_region(d, Rect(0, 0, 10, 1))
+        a.x = None
+        self._both_raise_same(region)
+
+    def test_out_of_order_message(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 3, 1, 0, 0)
+        add_placed(d, 3, 1, 5, 0)
+        region = extract_local_region(d, Rect(0, 0, 20, 1))
+        a.x = 10  # jumps past b without reordering the segment list
+        self._both_raise_same(region)
+
+    def test_left_bound_violation_message(self):
+        d = make_design(num_rows=1, row_width=20)
+        add_placed(d, 3, 1, 0, 0)
+        b = add_placed(d, 3, 1, 5, 0)
+        region = extract_local_region(d, Rect(0, 0, 20, 1))
+        b.x = 1  # overlaps a but keeps the order
+        self._both_raise_same(region)
+
+    def test_right_bound_violation_message(self):
+        d = make_design(num_rows=1, row_width=20)
+        a = add_placed(d, 4, 1, 10, 0)
+        region = extract_local_region(d, Rect(0, 0, 20, 1))
+        a.x = 18  # sticks out past the segment end
+        self._both_raise_same(region)
+
+
+class TestEnumerationParity:
+    def test_random_regions_emit_identical_point_streams(self):
+        rng = random.Random(33)
+        for trial in range(25):
+            d = random_legal_design(
+                rng, num_rows=6, row_width=26, n_cells=14, max_height=3
+            )
+            region = extract_local_region(d, Rect(0, 0, 26, 6))
+            bounds = compute_bounds(region)
+            tw = rng.randint(1, 4)
+            th = rng.randint(1, 3)
+            feasible, discarded = build_insertion_intervals(region, bounds, tw)
+            expected = enumerate_insertion_points(
+                region, feasible, discarded, th
+            )
+            got = soa_enumerate_insertion_points(
+                RegionSoA.from_region(region), feasible, discarded, th
+            )
+            assert got == expected, trial
+
+    def test_row_predicate_is_honored_identically(self):
+        rng = random.Random(4)
+        d = random_legal_design(rng, num_rows=6, row_width=26, n_cells=12)
+        region = extract_local_region(d, Rect(0, 0, 26, 6))
+        bounds = compute_bounds(region)
+        feasible, discarded = build_insertion_intervals(region, bounds, 2)
+        row_ok = lambda r: r % 2 == 0  # noqa: E731
+        expected = enumerate_insertion_points(
+            region, feasible, discarded, 2, row_ok
+        )
+        got = soa_enumerate_insertion_points(
+            RegionSoA.from_region(region), feasible, discarded, 2, row_ok
+        )
+        assert got == expected
+
+
+class TestEvaluationParity:
+    @pytest.mark.parametrize("mode", [EvaluationMode.APPROX, EvaluationMode.EXACT])
+    def test_evaluate_candidates_bit_identical(self, mode):
+        rng = random.Random(17)
+        for trial in range(15):
+            d = random_legal_design(
+                rng, num_rows=8, row_width=30, n_cells=16, max_height=3
+            )
+            t = add_unplaced(
+                d, rng.randint(1, 4), rng.randint(1, 3),
+                rng.uniform(0, 26), rng.uniform(0, 5),
+            )
+            obj = MultiRowLocalLegalizer(
+                d, LegalizerConfig(kernel=Kernel.OBJECT, evaluation=mode)
+            )
+            soa = MultiRowLocalLegalizer(
+                d, LegalizerConfig(kernel=Kernel.SOA, evaluation=mode)
+            )
+            expected = obj.evaluate_candidates(t, t.gp_x, t.gp_y)
+            got = soa.evaluate_candidates(t, t.gp_x, t.gp_y)
+            assert len(got) == len(expected), trial
+            for ev_soa, ev_obj in zip(got, expected):
+                assert ev_soa.point == ev_obj.point
+                assert ev_soa.target_x == ev_obj.target_x
+                # Bit-identical, not approximately equal.
+                assert ev_soa.cost == ev_obj.cost
+            d.cells.remove(t)
+
+    def test_fractional_desired_position_costs_match_exactly(self):
+        # Forces the fractional |x - desired_x| term through both
+        # kernels' summation orders.
+        d = make_design(num_rows=2, row_width=16)
+        add_placed(d, 3, 1, 1, 0)
+        add_placed(d, 4, 1, 7, 0)
+        add_placed(d, 2, 1, 13, 0)
+        t = add_unplaced(d, 2, 1, 6.3, 0.4)
+        obj = MultiRowLocalLegalizer(d, LegalizerConfig(kernel="object"))
+        soa = MultiRowLocalLegalizer(d, LegalizerConfig(kernel="soa"))
+        expected = obj.evaluate_candidates(t, 6.3, 0.4)
+        got = soa.evaluate_candidates(t, 6.3, 0.4)
+        assert [(e.target_x, e.cost) for e in got] == [
+            (e.target_x, e.cost) for e in expected
+        ]
+
+
+class TestEndToEndParity:
+    def _build(self, seed):
+        rng = random.Random(seed)
+        d = random_legal_design(
+            rng, num_rows=8, row_width=30, n_cells=10, max_height=3
+        )
+        for _ in range(14):
+            w, h = rng.choice(((1, 1), (2, 1), (3, 1), (2, 2), (2, 3)))
+            add_unplaced(d, w, h, rng.uniform(0, 27), rng.uniform(0, 6))
+        return d
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_legalize_digest_parity(self, seed):
+        digests = {}
+        for kernel in (Kernel.OBJECT, Kernel.SOA):
+            d = self._build(seed)
+            result = Legalizer(
+                d, LegalizerConfig(seed=seed, kernel=kernel)
+            ).run()
+            digests[kernel] = (result.placed, design_state_digest(d))
+        assert digests[Kernel.OBJECT] == digests[Kernel.SOA]
+
+    def test_soa_kernel_survives_mll_rollbacks(self):
+        # Failed try_place calls and audit rollbacks go through the
+        # journal; the mirror must stay consistent across all of them.
+        d = self._build(3)
+        mll = MultiRowLocalLegalizer(d, LegalizerConfig(kernel=Kernel.SOA))
+        rng = random.Random(9)
+        for c in list(d.cells):
+            if not c.is_placed:
+                mll.try_place(c, rng.uniform(0, 27), rng.uniform(0, 6))
+        assert_mirror_matches(d)
+
+
+class TestConfigPlumbing:
+    def test_string_spelling_normalizes(self):
+        assert LegalizerConfig(kernel="soa").kernel is Kernel.SOA
+        assert LegalizerConfig(kernel="object").kernel is Kernel.OBJECT
+        assert LegalizerConfig().kernel is Kernel.OBJECT
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            LegalizerConfig(kernel="simd")
+
+    def test_object_kernel_does_not_attach_mirror(self):
+        d = make_design()
+        MultiRowLocalLegalizer(d, LegalizerConfig(kernel=Kernel.OBJECT))
+        assert d.soa is None
+
+    def test_soa_kernel_attaches_mirror(self):
+        d = make_design()
+        MultiRowLocalLegalizer(d, LegalizerConfig(kernel="soa"))
+        assert d.soa is not None
+
+
+class TestRegionSoA:
+    def test_dense_view_shapes(self):
+        rng = random.Random(2)
+        d = random_legal_design(rng, num_rows=4, row_width=20, n_cells=8)
+        region = extract_local_region(d, Rect(0, 0, 20, 4))
+        rsoa = RegionSoA.from_region(region)
+        assert len(rsoa.cells) == len(region.cells)
+        assert rsoa.x.dtype == np.int64
+        for row in rsoa.rows:
+            seg = region.segments[row]
+            assert [rsoa.cells[i] for i in rsoa.row_cells[row]] == seg.cells
+            for c in seg.cells:
+                assert rsoa.pos[row][c.id] == region.cell_index(row, c)

@@ -1,0 +1,151 @@
+"""Property-based differential test: object kernel vs SoA kernel.
+
+The SoA kernel's contract is *bit identity*, so the properties assert
+exact equality — of ``PlacementBounds`` dicts, of insertion-point
+streams, of evaluated target positions and float costs, and of the
+final placement digest after a full legalization — never approximate
+closeness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EvaluationMode,
+    Kernel,
+    Legalizer,
+    LegalizerConfig,
+    MultiRowLocalLegalizer,
+    build_insertion_intervals,
+    compute_bounds,
+    enumerate_insertion_points,
+    extract_local_region,
+)
+from repro.core.soa import (
+    RegionSoA,
+    soa_compute_bounds,
+    soa_enumerate_insertion_points,
+)
+from repro.geometry import Rect
+from repro.testing.faults import design_state_digest
+from tests.conftest import add_unplaced, random_legal_design
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+design_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "num_rows": st.sampled_from([3, 4, 6, 8]),
+        "row_width": st.sampled_from([14, 20, 28]),
+        "n_cells": st.integers(3, 16),
+    }
+)
+
+target_params = st.fixed_dictionaries(
+    {
+        "w": st.integers(1, 4),
+        "h": st.integers(1, 3),
+        "fx": st.floats(0, 1),
+        "fy": st.floats(0, 1),
+        "mode": st.sampled_from(list(EvaluationMode)),
+    }
+)
+
+
+def _build(params):
+    rng = random.Random(params["seed"])
+    return random_legal_design(
+        rng,
+        num_rows=params["num_rows"],
+        row_width=params["row_width"],
+        n_cells=params["n_cells"],
+    )
+
+
+@given(params=design_params, tw=st.integers(1, 4), th=st.integers(1, 3))
+@SETTINGS
+def test_bounds_and_enumeration_bit_identical(params, tw, th):
+    design = _build(params)
+    region = extract_local_region(
+        design, Rect(0, 0, params["row_width"], params["num_rows"])
+    )
+    if not region.segments:
+        return
+    expected_bounds = compute_bounds(region)
+    rsoa = RegionSoA.from_region(region)
+    assert soa_compute_bounds(rsoa) == expected_bounds
+
+    feasible, discarded = build_insertion_intervals(
+        region, expected_bounds, tw
+    )
+    expected_points = enumerate_insertion_points(
+        region, feasible, discarded, th
+    )
+    got_points = soa_enumerate_insertion_points(rsoa, feasible, discarded, th)
+    assert got_points == expected_points
+
+
+@given(params=design_params, target=target_params)
+@SETTINGS
+def test_evaluated_candidates_bit_identical(params, target):
+    design = _build(params)
+    t = add_unplaced(
+        design,
+        target["w"],
+        target["h"],
+        target["fx"] * (params["row_width"] - target["w"]),
+        target["fy"] * (params["num_rows"] - target["h"]),
+    )
+    kernels = {}
+    for kernel in (Kernel.OBJECT, Kernel.SOA):
+        mll = MultiRowLocalLegalizer(
+            design,
+            LegalizerConfig(kernel=kernel, evaluation=target["mode"]),
+        )
+        kernels[kernel] = mll.evaluate_candidates(t, t.gp_x, t.gp_y)
+    expected = kernels[Kernel.OBJECT]
+    got = kernels[Kernel.SOA]
+    assert len(got) == len(expected)
+    for ev_soa, ev_obj in zip(got, expected):
+        assert ev_soa.point == ev_obj.point
+        assert ev_soa.target_x == ev_obj.target_x
+        assert ev_soa.cost == ev_obj.cost  # exact float equality
+
+
+@given(params=design_params, seed=st.integers(0, 1_000))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_full_legalization_digest_parity(params, seed):
+    digests = {}
+    for kernel in (Kernel.OBJECT, Kernel.SOA):
+        design = _build(params)
+        rng = random.Random(seed)
+        for _ in range(6):
+            w, h = rng.choice(((1, 1), (2, 1), (3, 1), (2, 2)))
+            add_unplaced(
+                design,
+                w,
+                h,
+                rng.uniform(0, params["row_width"] - w),
+                rng.uniform(0, params["num_rows"] - h),
+            )
+        # quarantine: a randomly infeasible instance must complete (with
+        # the same stuck set) instead of raising LegalizationError.
+        result = Legalizer(
+            design,
+            LegalizerConfig(seed=seed, kernel=kernel, quarantine=True),
+        ).run()
+        stuck = tuple(s.cell_id for s in result.stuck.cells)
+        digests[kernel] = (result.placed, stuck, design_state_digest(design))
+    assert digests[Kernel.OBJECT] == digests[Kernel.SOA]
