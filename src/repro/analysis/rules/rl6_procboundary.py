@@ -191,6 +191,9 @@ class ProcessBoundaryRule(BaseProgramRule):
     def _check_args(
         self, path: str, site: SpawnSite
     ) -> Iterator[Diagnostic]:
+        dest = (
+            "over the wire" if site.kind == "wire" else "to a worker"
+        )
         for arg in site.payload_args:
             expr = arg.value if isinstance(arg, ast.Starred) else arg
             if isinstance(expr, ast.Name):
@@ -200,9 +203,10 @@ class ProcessBoundaryRule(BaseProgramRule):
                         path,
                         expr.lineno,
                         expr.col_offset,
-                        f"argument '{expr.id}' ships a live {tname} to a "
-                        "worker — the worker would mutate a pickled copy; "
-                        "pass a value-object task and merge the outcome",
+                        f"argument '{expr.id}' ships a live {tname} "
+                        f"{dest} — the receiver would mutate a pickled "
+                        "copy; pass a value-object task and merge the "
+                        "outcome",
                     )
             elif isinstance(expr, ast.Call):
                 cname = (

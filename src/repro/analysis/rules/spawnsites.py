@@ -7,7 +7,11 @@ A *spawn site* is a call that ships a callable into another process:
 * ``pool.map(fn, items)`` (and the ``imap``/``starmap``/``apply_async``
   family) on a pool-typed receiver,
 * ``Process(target=fn, args=(...))`` / ``ctx.Process(target=fn, ...)``
-  — any call named ``Process`` carrying a ``target=`` keyword.
+  — any call named ``Process`` carrying a ``target=`` keyword,
+* ``pack_payload(obj)`` (:mod:`repro.engine.wire`) — the TCP transport's
+  pickle boundary: no callable crosses, but *obj* travels to another
+  host and must satisfy the same picklable-value-object contract as
+  pool arguments (kind ``"wire"``, payload ``None``).
 
 The receiver's pool type comes from the call graph's light local type
 inference (``with ProcessPoolExecutor(...) as pool`` / annotated
@@ -46,7 +50,7 @@ class SpawnSite:
 
     call: ast.Call
     kind: str
-    """``"submit"`` | ``"map"`` | ``"process"``."""
+    """``"submit"`` | ``"map"`` | ``"process"`` | ``"wire"``."""
 
     payload: ast.expr | None
     """The callable expression shipped across the boundary."""
@@ -77,6 +81,11 @@ def _classify(
         if isinstance(func, ast.Name)
         else func.attr if isinstance(func, ast.Attribute) else None
     )
+    if callee_name == "pack_payload" and call.args:
+        return SpawnSite(
+            call=call, kind="wire", payload=None,
+            payload_args=list(call.args),
+        )
     if callee_name == "Process":
         target = _keyword(call, "target")
         if target is None:

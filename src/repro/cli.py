@@ -18,6 +18,7 @@ Subcommands::
     repro callgraph [paths...] [--dot | --json] [--effects]   # program model
     repro serve     [--port N] [--max-sessions N] [--max-inflight N]
                     [--snapshot-dir DIR] [--relaxed]          # service
+    repro worker    --connect HOST:PORT [--name ID]           # shard worker
 
 Also available as ``python -m repro ...``.
 
@@ -26,6 +27,14 @@ supervisor (crash containment, per-shard timeouts, retry with backoff
 — see ``docs/parallel_engine.md``).  ``--checkpoint PATH`` makes the
 run resumable after a kill (``--resume PATH``); SIGINT/SIGTERM flush a
 final checkpoint and print a resume hint instead of a traceback.
+
+Distributed runs: ``repro legalize --transport tcp --bind HOST:PORT``
+turns the run into a coordinator serving its shard queue to ``repro
+worker --connect HOST:PORT`` processes on other hosts (leases,
+heartbeats, work stealing — see the "Distributed transport" section of
+``docs/parallel_engine.md``).  On SIGTERM the coordinator drains:
+in-flight leases get ``--drain-grace`` seconds to land in the
+checkpoint before the resume hint prints.
 """
 
 from __future__ import annotations
@@ -181,6 +190,17 @@ def _report_shutdown(exc: GracefulShutdown, manager) -> int:
     return 128 + exc.signum
 
 
+def _parse_hostport(value: str, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """Split ``HOST:PORT`` (or bare ``PORT``) into its parts."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = default_host, value
+    try:
+        return (host or default_host), int(port)
+    except ValueError:
+        raise SystemExit(f"expected HOST:PORT, got {value!r}") from None
+
+
 def _cmd_legalize(args: argparse.Namespace) -> int:
     design = _load(args.aux)
     design.reset_placement()
@@ -193,19 +213,40 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
         if args.algorithm == "mll" and (args.workers != 1 or args.shards):
             from repro.engine import EngineConfig, legalize_sharded
 
+            bind_host, bind_port = _parse_hostport(args.bind)
+            engine_config = EngineConfig(
+                workers=args.workers,
+                shards=args.shards,
+                halo_sites=args.halo,
+                serial_threshold=args.serial_threshold,
+                supervise=not args.no_supervise,
+                shard_timeout_s=args.shard_timeout,
+                max_shard_retries=args.shard_retries,
+                transport=args.transport,
+                bind_host=bind_host,
+                bind_port=bind_port,
+                lease_ttl_s=args.lease_ttl,
+                heartbeat_interval_s=args.heartbeat_interval,
+                worker_wait_s=args.worker_wait,
+                drain_grace_s=args.drain_grace,
+            )
+            transport = None
+            if args.transport == "tcp":
+                from repro.engine import TcpTransport
+
+                transport = TcpTransport(engine_config)
+                print(
+                    f"coordinator listening on "
+                    f"{transport.host}:{transport.port} "
+                    f"(workers connect with: repro worker --connect "
+                    f"{transport.host}:{transport.port})"
+                )
             engine_result = legalize_sharded(
                 design,
                 config,
-                EngineConfig(
-                    workers=args.workers,
-                    shards=args.shards,
-                    halo_sites=args.halo,
-                    serial_threshold=args.serial_threshold,
-                    supervise=not args.no_supervise,
-                    shard_timeout_s=args.shard_timeout,
-                    max_shard_retries=args.shard_retries,
-                ),
+                engine_config,
                 checkpoint=manager,
+                transport=transport,
             )
             quarantined = engine_result.stuck
             supervision = engine_result.supervision
@@ -216,7 +257,8 @@ def _cmd_legalize(args: argparse.Namespace) -> int:
             if engine_result.parallel:
                 seam = engine_result.seam
                 print(
-                    f"engine: shards={engine_result.num_shards} "
+                    f"engine: transport={engine_result.transport} "
+                    f"shards={engine_result.num_shards} "
                     f"workers={engine_result.workers} "
                     f"halo={engine_result.halo_sites} "
                     f"seam_cells={seam.seam_cells} "
@@ -415,6 +457,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run_server(config, legalizer))
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine import WorkerConfig, run_worker
+
+    host, port = _parse_hostport(args.connect)
+    return run_worker(
+        WorkerConfig(
+            host=host,
+            port=port,
+            name=args.name,
+            connect_retries=args.connect_retries,
+            connect_backoff_s=args.connect_backoff,
+        )
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="multi-row height legalization toolkit"
@@ -480,6 +537,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-supervise", action="store_true",
                    help="bypass the shard supervisor: bare worker pool, "
                         "no timeouts/retries, crash aborts the run")
+    p.add_argument("--transport", choices=["local", "tcp"],
+                   default="local",
+                   help="where shards execute: the in-host pool "
+                        "(default) or remote `repro worker` processes "
+                        "over TCP (this run becomes the coordinator)")
+    p.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                   help="coordinator listen address for --transport "
+                        "tcp (port 0 = ephemeral, printed on startup)")
+    p.add_argument("--lease-ttl", type=float, default=30.0, metavar="S",
+                   help="per-shard lease: a worker must deliver or "
+                        "heartbeat within this window or its shard is "
+                        "requeued")
+    p.add_argument("--heartbeat-interval", type=float, default=5.0,
+                   metavar="S",
+                   help="how often busy workers renew their lease "
+                        "(must be < --lease-ttl; sent to workers, no "
+                        "worker-side knob needed)")
+    p.add_argument("--worker-wait", type=float, default=30.0,
+                   metavar="S",
+                   help="how long the coordinator waits for the first "
+                        "worker before degrading to the local pool")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   metavar="S",
+                   help="on SIGTERM, how long in-flight leases may "
+                        "still deliver into the checkpoint")
     p.add_argument("--quarantine", action="store_true",
                    help="complete with partial legality when cells "
                         "exhaust the retry budget (reported in a "
@@ -583,6 +665,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--relaxed", action="store_true",
                    help="serve with power-rail alignment disabled")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve shards to a `repro legalize --transport tcp` "
+             "coordinator: connect, steal tasks, heartbeat while "
+             "computing, exit when drained — add one per spare host",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address (printed by the "
+                        "coordinator on startup)")
+    p.add_argument("--name", default="",
+                   help="worker label in coordinator logs "
+                        "(default: worker-<pid>)")
+    p.add_argument("--connect-retries", type=int, default=20,
+                   help="connection attempts before giving up (workers "
+                        "routinely start before the coordinator binds)")
+    p.add_argument("--connect-backoff", type=float, default=0.25,
+                   metavar="S",
+                   help="base delay between connection attempts "
+                        "(doubles, capped at 2s)")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "callgraph",

@@ -28,14 +28,23 @@ from repro.engine.config import EngineConfig, derive_halo_sites
 from repro.engine.errors import (
     CheckpointError,
     EngineError,
+    RemoteProtocolError,
     ResumeMismatchError,
     ShardAttemptError,
     ShardRetriesExhaustedError,
     ShardTimeoutError,
+    TransportError,
     WorkerCrashError,
+    WorkerUnavailableError,
 )
 from repro.engine.executor import EngineResult, ShardedLegalizer, legalize_sharded
 from repro.engine.partition import Partition, Shard, partition_design
+from repro.engine.remote import (
+    TcpTransport,
+    WorkerConfig,
+    run_worker,
+    spawn_worker_process,
+)
 from repro.engine.reconcile import (
     ReconcileError,
     SeamReport,
@@ -54,6 +63,13 @@ from repro.engine.supervisor import (
     ShardAttempt,
     ShardSupervisor,
     SupervisionReport,
+    backoff_delay_s,
+)
+from repro.engine.transport import (
+    LocalTransport,
+    ShardTransport,
+    TransportResult,
+    make_transport,
 )
 
 __all__ = [
@@ -63,8 +79,10 @@ __all__ = [
     "EngineConfig",
     "EngineError",
     "EngineResult",
+    "LocalTransport",
     "Partition",
     "ReconcileError",
+    "RemoteProtocolError",
     "ResumeMismatchError",
     "SeamReport",
     "Shard",
@@ -76,18 +94,28 @@ __all__ = [
     "ShardSupervisor",
     "ShardTask",
     "ShardTimeoutError",
+    "ShardTransport",
     "ShardedLegalizer",
     "SupervisionReport",
+    "TcpTransport",
+    "TransportError",
+    "TransportResult",
+    "WorkerConfig",
     "WorkerCrashError",
+    "WorkerUnavailableError",
     "apply_shard_outcomes",
+    "backoff_delay_s",
     "build_shard_design",
     "derive_halo_sites",
     "legalize_sharded",
     "load_checkpoint",
+    "make_transport",
     "partition_design",
     "reconcile",
     "run_fingerprint",
     "run_shard",
+    "run_worker",
     "save_checkpoint",
     "shard_seed",
+    "spawn_worker_process",
 ]

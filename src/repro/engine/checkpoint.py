@@ -58,6 +58,11 @@ from repro.engine.shard_worker import ShardOutcome, shard_seed
 #: Bump on any incompatible change to the pickled payload.
 CHECKPOINT_FORMAT = 1
 
+#: Leading bytes of a checksummed checkpoint file; the 32-byte SHA-256
+#: of the pickled payload follows, then the payload itself.  Files
+#: without the magic are read as legacy raw pickles (pre-checksum).
+CHECKPOINT_MAGIC = b"RPCKPT1\n"
+
 
 # ----------------------------------------------------------------------
 # Fingerprinting
@@ -133,18 +138,28 @@ class CheckpointState:
 
 
 def save_checkpoint(path: str, state: CheckpointState) -> None:
-    """Atomically persist *state* to *path* (write temp + rename)."""
-    payload = {
-        "format": CHECKPOINT_FORMAT,
-        "state": state,
-    }
+    """Atomically persist *state* to *path* (write temp + rename).
+
+    The file is framed as ``CHECKPOINT_MAGIC + sha256(body) + body``:
+    the digest lets :func:`load_checkpoint` distinguish a *truncated or
+    bit-rotted* snapshot (a real torn write on a dying filesystem, an
+    interrupted copy between hosts) from a merely outdated one, and
+    refuse it with a precise error instead of unpickling garbage.
+    """
+    body = pickle.dumps(
+        {"format": CHECKPOINT_FORMAT, "state": state},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    digest = hashlib.sha256(body).digest()
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp = tempfile.mkstemp(
         dir=directory, prefix=".ckpt-", suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(CHECKPOINT_MAGIC)
+            handle.write(digest)
+            handle.write(body)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -159,13 +174,41 @@ def save_checkpoint(path: str, state: CheckpointState) -> None:
 
 
 def load_checkpoint(path: str) -> CheckpointState:
-    """Load a checkpoint written by :func:`save_checkpoint`."""
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Checksummed files (leading :data:`CHECKPOINT_MAGIC`) are verified
+    before unpickling: a truncated or corrupt snapshot raises a
+    :class:`CheckpointError` naming the file, never a pickle traceback
+    and never a silently wrong resume.  Files without the magic are
+    read as legacy raw pickles.
+    """
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+            raw = handle.read()
     except FileNotFoundError as exc:
         raise CheckpointError(f"no checkpoint at {path!r}") from exc
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+    except OSError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is unreadable: {exc}"
+        ) from exc
+
+    if raw.startswith(CHECKPOINT_MAGIC):
+        header_len = len(CHECKPOINT_MAGIC) + hashlib.sha256().digest_size
+        digest = raw[len(CHECKPOINT_MAGIC):header_len]
+        body = raw[header_len:]
+        if len(raw) < header_len or hashlib.sha256(body).digest() != digest:
+            raise CheckpointError(
+                f"checkpoint {path!r} is truncated or corrupt "
+                f"(checksum mismatch over {len(body)} payload bytes); "
+                f"delete it and rerun without --resume"
+            )
+    else:
+        body = raw  # legacy pre-checksum snapshot: raw pickle
+
+    try:
+        payload = pickle.loads(body)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            IndexError, ValueError) as exc:
         raise CheckpointError(
             f"checkpoint {path!r} is unreadable: {exc}"
         ) from exc

@@ -104,6 +104,51 @@ class EngineConfig:
     just not parallel).  ``False`` raises
     :class:`~repro.engine.errors.ShardRetriesExhaustedError` instead."""
 
+    # -- distributed transport (multi-host shard execution) -------------
+    transport: str = "local"
+    """Where shards execute: ``"local"`` (the in-host pool/supervisor,
+    default, zero behavior change) or ``"tcp"`` (a coordinator serving
+    a work-stealing shard queue to remote ``repro worker`` processes —
+    see :mod:`repro.engine.remote`)."""
+
+    bind_host: str = "127.0.0.1"
+    """Coordinator listen address for ``transport="tcp"``.  Bind to a
+    routable interface (e.g. ``0.0.0.0``) only on trusted networks —
+    shard payloads are pickles."""
+
+    bind_port: int = 0
+    """Coordinator listen port; ``0`` picks an ephemeral port (exposed
+    on ``TcpTransport.port`` once bound)."""
+
+    lease_ttl_s: float = 30.0
+    """Per-shard lease: a dispatched shard must deliver its outcome or
+    a heartbeat within this window, or the coordinator declares the
+    worker dead/partitioned/hung and requeues the shard (recorded as a
+    lease expiry in the supervision report)."""
+
+    heartbeat_interval_s: float = 5.0
+    """How often a busy worker renews its lease.  Sent to the worker
+    inside each task message (workers need no local configuration);
+    must be smaller than :attr:`lease_ttl_s`."""
+
+    worker_wait_s: float = 30.0
+    """How long the coordinator waits for the *first* remote worker to
+    join before degrading the whole plan to the local transport (rung 2
+    of the remote ladder)."""
+
+    drain_grace_s: float = 5.0
+    """On coordinator shutdown (SIGTERM or run teardown) with leases
+    still in flight, how long to keep accepting results so a final
+    checkpoint captures every shard that was about to land."""
+
+    remote_fallback: bool = True
+    """Remote rung of the degradation ladder: when no worker joins, or
+    a shard exhausts its remote retries, hand the remaining shards to
+    the local supervisor pool (then in-process, then serial — the
+    existing ladder).  ``False`` raises
+    :class:`~repro.engine.errors.WorkerUnavailableError` /
+    :class:`~repro.engine.errors.ShardRetriesExhaustedError` instead."""
+
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = one per CPU)")
@@ -123,6 +168,26 @@ class EngineConfig:
             raise ValueError("backoff delays must be >= 0")
         if self.backoff_jitter < 0:
             raise ValueError("backoff_jitter must be >= 0")
+        if self.transport not in ("local", "tcp"):
+            raise ValueError(
+                f"unknown transport {self.transport!r} "
+                f"(expected 'local' or 'tcp')"
+            )
+        if self.bind_port < 0 or self.bind_port > 65535:
+            raise ValueError("bind_port must be in [0, 65535]")
+        if self.lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.heartbeat_interval_s >= self.lease_ttl_s:
+            raise ValueError(
+                "heartbeat_interval_s must be smaller than lease_ttl_s "
+                "(a healthy worker must renew before its lease expires)"
+            )
+        if self.worker_wait_s < 0:
+            raise ValueError("worker_wait_s must be >= 0")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
 
     def resolved_workers(self) -> int:
         """Worker count with ``0`` resolved to the available CPUs."""

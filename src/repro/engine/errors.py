@@ -33,6 +33,11 @@ can react to *categories* instead of string-matching messages:
     a checkpoint file is unreadable / belongs to a different run
     (design, config, or partition fingerprint differs).
 
+``TransportError`` / ``RemoteProtocolError`` / ``WorkerUnavailableError``
+    the distributed shard transport failed: a malformed or
+    version-mismatched wire message, or no remote worker showed up
+    within the configured wait (and local fallback was disabled).
+
 All classes are picklable (they reduce to their constructor args), so
 they can cross the process boundary intact.
 """
@@ -133,4 +138,32 @@ class ResumeMismatchError(CheckpointError):
     partition (shard boundaries + derived per-shard seeds): resuming
     with any of those changed would splice incompatible deltas, so it
     is refused outright.
+    """
+
+
+class TransportError(EngineError):
+    """Root of the distributed shard-transport failures.
+
+    Raised for coordinator-side faults that are not attributable to a
+    single shard attempt (those are contained, retried and recorded in
+    the :class:`~repro.engine.supervisor.SupervisionReport` instead).
+    """
+
+
+class RemoteProtocolError(TransportError):
+    """A wire message could not be framed, parsed, or validated.
+
+    Covers JSON/base64/pickle decode failures, unknown operations, and
+    protocol-version mismatches between a coordinator and a worker.
+    The offending peer's connection is dropped; its leases requeue.
+    """
+
+
+class WorkerUnavailableError(TransportError):
+    """No remote worker joined within ``EngineConfig.worker_wait_s``.
+
+    Only surfaces when the local rungs of the degradation ladder are
+    disabled (``EngineConfig.remote_fallback=False``); otherwise the
+    transport degrades to the local supervisor pool and records the
+    fallback in the supervision report.
     """

@@ -5,12 +5,14 @@
 
 1. partition the floorplan into halo shards
    (:mod:`repro.engine.partition`);
-2. legalize every shard with the unmodified sequential legalizer —
-   in worker processes under the :class:`~repro.engine.supervisor.
+2. legalize every shard with the unmodified sequential legalizer,
+   dispatched through a :class:`~repro.engine.transport.ShardTransport`
+   — the local pool under the :class:`~repro.engine.supervisor.
    ShardSupervisor` (``workers > 1``: per-shard timeouts, crash
-   containment, bounded retry with backoff, the degradation ladder) or
+   containment, bounded retry with backoff, the degradation ladder),
    in-process (``workers=1``, still exercising the sharded path when
-   ``shards > 1``);
+   ``shards > 1``), or remote ``repro worker`` hosts over TCP
+   (:mod:`repro.engine.remote`: leases, heartbeats, work stealing);
 3. reconcile the seams (:mod:`repro.engine.reconcile`) so the merged
    placement passes the independent checker exactly like a sequential
    run.
@@ -34,9 +36,7 @@ with or without faults.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core.config import LegalizerConfig
 from repro.core.instrumentation import MllTelemetry
@@ -49,17 +49,15 @@ from repro.db.cell import Cell
 from repro.db.design import Design
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.config import EngineConfig
-from repro.engine.errors import WorkerCrashError
 from repro.engine.partition import Partition, Shard, partition_design
 from repro.engine.reconcile import SeamReport, reconcile
-from repro.engine.supervisor import ShardSupervisor, SupervisionReport
+from repro.engine.supervisor import SupervisionReport
 from repro.engine.shard_worker import (
     ShardCellSpec,
-    ShardOutcome,
     ShardTask,
-    run_shard,
     shard_seed,
 )
+from repro.engine.transport import ShardTransport, make_transport
 from repro.testing.faults import ShardFaultSpec
 
 
@@ -90,7 +88,13 @@ class EngineResult:
 
     supervision: SupervisionReport | None = None
     """What the supervisor saw (``None`` on unsupervised / sequential
-    runs): attempts, crashes, timeouts, retries, escalations."""
+    runs): attempts, crashes, timeouts, retries, escalations — plus
+    lease expiries, duplicate deliveries and worker counts on the TCP
+    transport."""
+
+    transport: str = "local"
+    """Which :class:`~repro.engine.transport.ShardTransport` ran the
+    shards (``"local"`` on sequential/fallback paths too)."""
 
     wall_time_s: float = 0.0
     """End-to-end wall-clock of the engine run (partition + workers +
@@ -119,6 +123,11 @@ class ShardedLegalizer:
     ``fault``
         :class:`~repro.testing.faults.ShardFaultSpec` chaos hook,
         attached to the matching shard's task (tests / chaos drills).
+    ``transport``
+        a pre-built :class:`~repro.engine.transport.ShardTransport`
+        (e.g. a :class:`~repro.engine.remote.TcpTransport` whose port
+        the caller advertised to workers); ``None`` builds one from
+        ``engine.transport``.
     """
 
     def __init__(
@@ -133,6 +142,7 @@ class ShardedLegalizer:
         self.telemetry: MllTelemetry | None = None
         self.checkpoint: CheckpointManager | None = None
         self.fault: ShardFaultSpec | None = None
+        self.transport: ShardTransport | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> EngineResult:
@@ -182,37 +192,36 @@ class ShardedLegalizer:
         if self.checkpoint is not None:
             self.checkpoint.open(design, self.config, partition)
 
-        supervision: SupervisionReport | None = None
-        if workers <= 1:
-            outcomes = self._run_inprocess(tasks)
-        elif self.engine.supervise:
-            supervisor = ShardSupervisor(
-                tasks,
-                self.engine,
-                workers=workers,
-                on_outcome=(
-                    self.checkpoint.record
-                    if self.checkpoint is not None
-                    else None
-                ),
-                completed=(
-                    self.checkpoint.completed
-                    if self.checkpoint is not None
-                    else None
-                ),
+        transport = (
+            self.transport
+            if self.transport is not None
+            else make_transport(self.engine)
+        )
+        shipped = transport.execute(
+            tasks,
+            workers=workers,
+            on_outcome=(
+                self.checkpoint.record
+                if self.checkpoint is not None
+                else None
+            ),
+            completed=(
+                self.checkpoint.completed
+                if self.checkpoint is not None
+                else None
+            ),
+        )
+        supervision: SupervisionReport | None = shipped.supervision
+        if shipped.serial_fallback:
+            # Last ladder rung: the sharded plan is unsalvageable (a
+            # shard failed every transport rung *and* the in-process
+            # re-run).  The master design is still untouched — shards
+            # mutate copies — so the plain sequential driver takes
+            # over cleanly.
+            return self._run_sequential(
+                t0, degraded=True, supervision=supervision
             )
-            outcomes, supervision = supervisor.run()
-            if supervision.serial_fallback:
-                # Last ladder rung: the sharded plan is unsalvageable
-                # (a shard failed pool retries *and* the in-process
-                # re-run).  The master design is still untouched —
-                # shards mutate copies — so the plain sequential driver
-                # takes over cleanly.
-                return self._run_sequential(
-                    t0, degraded=True, supervision=supervision
-                )
-        else:
-            outcomes = self._run_bare_pool(tasks, workers)
+        outcomes = shipped.outcomes
         outcomes.sort(key=lambda o: o.shard_id)
 
         # Differential sanitizer: worker-side effect events rode home on
@@ -261,50 +270,9 @@ class ShardedLegalizer:
             seam=report,
             shard_stats=[o.stats for o in outcomes],
             supervision=supervision,
+            transport=transport.name,
             wall_time_s=time.perf_counter() - t0,
         )
-
-    # ------------------------------------------------------------------
-    def _run_inprocess(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
-        """``workers=1``: run shards serially in this process.
-
-        Still honors the checkpoint (resume skips completed shards,
-        completions are recorded); worker-process fault modes cannot
-        fire here by construction."""
-        done = self.checkpoint.completed if self.checkpoint else {}
-        outcomes: list[ShardOutcome] = []
-        for task in tasks:
-            if task.shard_id in done:
-                outcomes.append(done[task.shard_id])
-                continue
-            outcome = run_shard(task)
-            if self.checkpoint is not None:
-                self.checkpoint.record(outcome)
-            outcomes.append(outcome)
-        return outcomes
-
-    def _run_bare_pool(
-        self, tasks: list[ShardTask], workers: int
-    ) -> list[ShardOutcome]:
-        """``supervise=False``: the PR-1 bare ``ProcessPoolExecutor``.
-
-        No timeouts, no retry: one worker crash poisons the pool and
-        surfaces as :class:`WorkerCrashError` (wrapping
-        ``BrokenProcessPool``), aborting the run.  Kept for A/B
-        comparison and as the minimal-overhead path on trusted hosts.
-        """
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(run_shard, tasks))
-        except BrokenProcessPool as exc:
-            raise WorkerCrashError(
-                f"worker pool collapsed ({exc}); rerun with "
-                f"EngineConfig(supervise=True) for crash containment"
-            ) from exc
-        if self.checkpoint is not None:
-            for outcome in outcomes:
-                self.checkpoint.record(outcome)
-        return outcomes
 
     # ------------------------------------------------------------------
     def _make_task(
@@ -358,10 +326,12 @@ def legalize_sharded(
     telemetry: MllTelemetry | None = None,
     checkpoint: CheckpointManager | None = None,
     fault: ShardFaultSpec | None = None,
+    transport: ShardTransport | None = None,
 ) -> EngineResult:
     """One-call convenience wrapper around :class:`ShardedLegalizer`."""
     sharded = ShardedLegalizer(design, config, engine)
     sharded.telemetry = telemetry
     sharded.checkpoint = checkpoint
     sharded.fault = fault
+    sharded.transport = transport
     return sharded.run()

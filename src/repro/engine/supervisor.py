@@ -56,6 +56,32 @@ POLL_INTERVAL_S = 0.02
 TERMINATE_GRACE_S = 0.5
 
 
+def backoff_delay_s(engine: EngineConfig, seed: int, attempt: int) -> float:
+    """Exponential backoff with deterministic, decorrelated jitter.
+
+    Attempt *k* (1-based) waits ``backoff_base_s * 2**(k-1)`` seconds,
+    jittered by a factor drawn from ``[1, 1 + backoff_jitter]`` using a
+    generator seeded from ``(seed, attempt)`` — the same (shard-derived)
+    seed always reproduces the same delay sequence, and distinct shards
+    decorrelate so retries never stampede in lockstep.
+    ``backoff_max_s`` is a hard ceiling applied *after* jitter.
+
+    Shared by the local :class:`ShardSupervisor` and the TCP
+    coordinator (:mod:`repro.engine.remote`), so the retry cadence is
+    one policy regardless of where the shard runs.
+    """
+    delay = min(
+        engine.backoff_base_s * (2 ** (attempt - 1)), engine.backoff_max_s
+    )
+    if engine.backoff_jitter > 0 and delay > 0:
+        rng = random.Random((seed << 8) ^ attempt)
+        delay = min(
+            delay * (1.0 + engine.backoff_jitter * rng.random()),
+            engine.backoff_max_s,
+        )
+    return delay
+
+
 # ----------------------------------------------------------------------
 # Records
 # ----------------------------------------------------------------------
@@ -66,9 +92,11 @@ class ShardAttempt:
     shard_id: int
     attempt: int
     rung: str
-    """``"pool"`` (worker process) or ``"inprocess"`` (escalation)."""
+    """``"remote"`` (TCP worker host), ``"pool"`` (worker process) or
+    ``"inprocess"`` (escalation)."""
     status: str
-    """``"ok"``, ``"crash"``, ``"timeout"`` or ``"error"``."""
+    """``"ok"``, ``"crash"``, ``"timeout"``, ``"error"`` or
+    ``"duplicate"`` (zombie-worker redelivery, remote rung only)."""
     elapsed_s: float
     detail: str = ""
     """Exit-code / timeout / traceback detail for failed attempts."""
@@ -93,6 +121,18 @@ class SupervisionReport:
     failed_shards: list[int] = field(default_factory=list)
     skipped_shards: list[int] = field(default_factory=list)
     """Shards satisfied from a resume checkpoint, never dispatched."""
+    # -- distributed transport (populated only by the TCP coordinator) --
+    lease_expiries: int = 0
+    """Leases that expired without an outcome or heartbeat: the worker
+    was declared dead/partitioned/hung and the shard requeued."""
+    duplicate_results: int = 0
+    """Outcomes redelivered for an already-settled shard attempt
+    (zombie workers, retransmits) — deduped, never applied twice."""
+    remote_workers: int = 0
+    """Distinct worker connections the coordinator accepted."""
+    remote_fallbacks: int = 0
+    """Shards handed from the remote queue to the local ladder (no
+    worker joined in time, or remote retries exhausted)."""
 
     @property
     def faults(self) -> int:
@@ -109,11 +149,34 @@ class SupervisionReport:
             f"retries={self.retries}",
             f"inprocess={self.inprocess_escalations}",
         ]
+        if self.remote_workers or self.remote_fallbacks:
+            parts.append(f"remote_workers={self.remote_workers}")
+            parts.append(f"lease_expiries={self.lease_expiries}")
+            parts.append(f"duplicates={self.duplicate_results}")
+            parts.append(f"remote_fallbacks={self.remote_fallbacks}")
         if self.skipped_shards:
             parts.append(f"resumed={len(self.skipped_shards)}")
         if self.serial_fallback:
             parts.append("serial_fallback=yes")
         return "supervisor: " + " ".join(parts)
+
+    def absorb(self, other: "SupervisionReport") -> None:
+        """Fold *other*'s counters into this report (remote phase +
+        local-ladder phase of one run merge into a single report)."""
+        self.attempts.extend(other.attempts)
+        self.crashes += other.crashes
+        self.timeouts += other.timeouts
+        self.errors += other.errors
+        self.retries += other.retries
+        self.inprocess_escalations += other.inprocess_escalations
+        self.backoff_total_s += other.backoff_total_s
+        self.serial_fallback = self.serial_fallback or other.serial_fallback
+        self.failed_shards.extend(other.failed_shards)
+        self.skipped_shards.extend(other.skipped_shards)
+        self.lease_expiries += other.lease_expiries
+        self.duplicate_results += other.duplicate_results
+        self.remote_workers += other.remote_workers
+        self.remote_fallbacks += other.remote_fallbacks
 
 
 @dataclass(slots=True)
@@ -384,13 +447,8 @@ class ShardSupervisor:
             escalate.append(rec.task)
 
     def _backoff_s(self, task: ShardTask, attempt: int) -> float:
-        """Exponential backoff with deterministic, decorrelated jitter."""
-        cfg = self.engine
-        delay = min(cfg.backoff_base_s * (2 ** (attempt - 1)), cfg.backoff_max_s)
-        if cfg.backoff_jitter > 0 and delay > 0:
-            rng = random.Random((task.seed << 8) ^ attempt)
-            delay *= 1.0 + cfg.backoff_jitter * rng.random()
-        return delay
+        """See :func:`backoff_delay_s` (one policy, local and remote)."""
+        return backoff_delay_s(self.engine, task.seed, attempt)
 
     def _run_inprocess(
         self, task: ShardTask, outcomes: dict[int, ShardOutcome]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import BinaryIO
 
 from repro.core.config import LegalizerConfig
@@ -34,12 +35,57 @@ class RequestFailed(Exception):
 
 
 class Client:
-    """A blocking NDJSON client over one TCP connection."""
+    """A blocking NDJSON client over one TCP connection.
+
+    Timeout discipline: *connect_timeout* bounds each connection
+    attempt (default: *timeout*), *timeout* bounds every subsequent
+    read — a server that accepts but never answers (a half-open
+    socket, a wedged event loop) surfaces as :class:`TimeoutError`
+    after *timeout* seconds instead of blocking the caller forever.
+    *connect_retries* re-dials a refused/unreachable server with
+    bounded exponential backoff (base *retry_backoff_s*, doubling,
+    capped at 2s) — useful when the client races server startup.
+    """
 
     def __init__(
-        self, host: str, port: int, timeout: float = 120.0
+        self,
+        host: str,
+        port: int,
+        timeout: float = 120.0,
+        connect_timeout: float | None = None,
+        connect_retries: int = 0,
+        retry_backoff_s: float = 0.2,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        dial_timeout = connect_timeout if connect_timeout is not None else timeout
+        attempts = connect_retries + 1
+        delay = retry_backoff_s
+        last_error: OSError | None = None
+        sock: socket.socket | None = None
+        for attempt in range(attempts):
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=dial_timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(delay)
+                    delay = min(delay * 2, 2.0) if delay else retry_backoff_s
+        if sock is None:
+            raise ConnectionError(
+                f"could not connect to {host}:{port} after {attempts} "
+                f"attempt{'s' if attempts != 1 else ''}: {last_error}"
+            ) from last_error
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._timeout = timeout
         raw: BinaryIO = self._sock.makefile("rwb")
         self._file = raw
         self._next = 0
@@ -87,7 +133,14 @@ class Client:
         if buffered is not None:
             return buffered
         while True:
-            line = self._file.readline()
+            try:
+                line = self._file.readline()
+            except TimeoutError as exc:
+                raise TimeoutError(
+                    f"no reply from the server within {self._timeout}s "
+                    f"while request {rid!r} was pending (half-open "
+                    f"connection or overloaded server)"
+                ) from exc
             if not line:
                 raise ConnectionError(
                     f"server closed the connection while request "

@@ -1,0 +1,129 @@
+"""Network fault injection for the distributed shard transport.
+
+Where :mod:`repro.testing.faults` crashes *worker processes* to test
+the local supervisor, this harness breaks the *network* between a
+``repro worker`` and its coordinator to test the TCP transport
+(:mod:`repro.engine.remote`): leases must expire, shards must requeue
+from the checkpoint watermark, zombie deliveries must dedupe, and the
+final placement must stay byte-identical to a fault-free run.
+
+A :class:`NetFaultSpec` is armed on the *worker* side (constructor
+argument or the ``REPRO_NET_FAULT`` environment variable, mirroring
+``REPRO_WORKER_FAULT``) and fires around one shard's task:
+
+``drop``
+    compute the shard, then tear the connection down with an RST
+    instead of delivering the result (a yanked cable / kernel-killed
+    host); the worker then reconnects and steals again.  The
+    coordinator must detect the dead connection, requeue the shard,
+    and never double-apply.
+
+``stall``
+    stop heartbeating and sit on the finished result for ``sleep_s``
+    seconds before sending it — the lease expires meanwhile, the shard
+    requeues, and the late delivery arrives as a *zombie duplicate*
+    the coordinator must dedupe by attempt id.
+
+``kill``
+    ``os._exit(exitcode)`` immediately after accepting the task, lease
+    live — the mid-shard worker death.  Fires only in a process with a
+    parent (same guard as ``ShardFaultSpec``).
+
+``dup``
+    deliver the result twice back-to-back (a retransmit); the second
+    copy must count as a duplicate, not a second application.
+
+``attempts`` bounds the blast radius exactly like
+:class:`~repro.testing.faults.ShardFaultSpec`: the fault fires while
+the task's attempt number is ``<= attempts``, so ``attempts=1`` means
+"break once, then behave" — and the recovered run must match the
+fault-free digest (same derived shard seed on every attempt).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+#: Environment variable read by :func:`netfault_from_env`.
+NET_FAULT_ENV = "REPRO_NET_FAULT"
+
+
+@dataclass(frozen=True, slots=True)
+class NetFaultSpec:
+    """A deliberate network failure, armed per shard and per attempt."""
+
+    shard_id: int
+    mode: str = "drop"
+    attempts: int = 1
+    sleep_s: float = 2.0
+    exitcode: int = 23
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("drop", "stall", "kill", "dup"):
+            raise ValueError(f"unknown net fault mode {self.mode!r}")
+        if self.attempts < 0:
+            raise ValueError("attempts must be >= 0")
+        if self.sleep_s < 0:
+            raise ValueError("sleep_s must be >= 0")
+
+    # ------------------------------------------------------------------
+    def armed_for(self, shard_id: int, attempt: int) -> bool:
+        """Does this fault fire for *shard_id*'s *attempt*-th try?"""
+        return shard_id == self.shard_id and attempt <= self.attempts
+
+    def kill_now(self) -> None:
+        """Fire the ``kill`` mode (call only when armed).
+
+        Fires in any child process
+        (:func:`~repro.engine.remote.spawn_worker_process` workers),
+        and in a top-level process only when the fault was requested
+        through ``REPRO_NET_FAULT`` — a dedicated ``repro worker`` CLI
+        process has no parent, but its death is exactly what the
+        operator armed.  Inert everywhere else, so an in-process call
+        can never take the test runner (or a developer's shell) down.
+        """
+        if (
+            multiprocessing.parent_process() is not None
+            or os.environ.get(NET_FAULT_ENV)
+        ):
+            os._exit(self.exitcode)
+
+
+def netfault_from_env(env: str | None = None) -> NetFaultSpec | None:
+    """Parse a :class:`NetFaultSpec` from ``REPRO_NET_FAULT``.
+
+    Format: ``mode,shard=ID[,attempts=N][,sleep=S][,exitcode=E]``, e.g.
+    ``kill,shard=0,attempts=1`` — identical grammar to
+    ``REPRO_WORKER_FAULT`` so the CI chaos jobs read the same way.
+    Returns ``None`` when unset/empty; raises :class:`ValueError` on a
+    malformed value (a chaos experiment that silently does not run is
+    worse than one that fails loudly).
+    """
+    raw = os.environ.get(NET_FAULT_ENV, "") if env is None else env
+    raw = raw.strip()
+    if not raw:
+        return None
+    parts = [p.strip() for p in raw.split(",") if p.strip()]
+    mode = parts[0]
+    kwargs: dict[str, float | int] = {}
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        if key == "shard":
+            kwargs["shard_id"] = int(value)
+        elif key == "attempts":
+            kwargs["attempts"] = int(value)
+        elif key == "sleep":
+            kwargs["sleep_s"] = float(value)
+        elif key == "exitcode":
+            kwargs["exitcode"] = int(value)
+        else:
+            raise ValueError(
+                f"unknown {NET_FAULT_ENV} key {key!r} in {raw!r}"
+            )
+    if "shard_id" not in kwargs:
+        raise ValueError(
+            f"{NET_FAULT_ENV} must name a shard, e.g. 'kill,shard=0'"
+        )
+    return NetFaultSpec(mode=mode, **kwargs)  # type: ignore[arg-type]

@@ -1,8 +1,11 @@
 """RL6 negative: the blessed protocol — a module-level worker function
-fed frozen value-object tasks, results merged from the outcomes."""
+fed frozen value-object tasks, results merged from the outcomes; the
+same value objects are fine on the TCP wire via ``pack_payload``."""
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+
+from repro.engine.wire import pack_payload
 
 
 @dataclass(frozen=True)
@@ -30,3 +33,11 @@ def submit_one(task: WorkTask) -> WorkOutcome:
     with ProcessPoolExecutor() as pool:
         future = pool.submit(compute, task)
         return future.result()
+
+
+def ship_task_on_wire(task: WorkTask) -> str:
+    return pack_payload(task)
+
+
+def ship_outcome_on_wire(outcome: WorkOutcome) -> str:
+    return pack_payload(outcome)

@@ -1,11 +1,13 @@
 """RL6 positive: payloads and arguments that cannot cross a process
-boundary — lambda, closure, bound method, live Design argument, and an
-open file handle constructed at the spawn site."""
+boundary — lambda, closure, bound method, live Design argument, an
+open file handle constructed at the spawn site, and a live Design
+pickled onto the TCP wire via ``pack_payload``."""
 
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import Process
 
 from repro.db.design import Design
+from repro.engine.wire import pack_payload
 
 
 def compute(task: int) -> int:
@@ -51,3 +53,11 @@ class Supervisor:
     def launch(self, tasks: list[int]) -> list[int]:
         with ProcessPoolExecutor() as pool:
             return list(pool.map(self.step, tasks))
+
+
+def ship_design_on_wire(design: Design) -> str:
+    return pack_payload(design)
+
+
+def ship_handle_on_wire(path: str) -> str:
+    return pack_payload(open(path))

@@ -124,6 +124,43 @@ class TestPersistence:
         with pytest.raises(CheckpointError, match="unsupported format"):
             load_checkpoint(str(path))
 
+    def test_truncated_snapshot_names_the_file(self, tmp_path):
+        """A checkpoint cut short mid-write (disk full, SIGKILL during
+        a non-atomic copy) fails the checksum and the error names the
+        offending file so the operator knows what to delete."""
+        path = str(tmp_path / "torn.ckpt")
+        save_checkpoint(path, self._state())
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) - 7])  # lose the tail
+        with pytest.raises(
+            CheckpointError, match="truncated or corrupt"
+        ) as excinfo:
+            load_checkpoint(path)
+        assert "torn.ckpt" in str(excinfo.value)
+        assert "--resume" in str(excinfo.value)
+
+    def test_flipped_byte_fails_checksum(self, tmp_path):
+        """Silent bitrot inside the pickle body — not just truncation —
+        is caught by the sha256 frame before unpickling runs."""
+        path = str(tmp_path / "rot.ckpt")
+        save_checkpoint(path, self._state())
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(path)
+
+    def test_legacy_unframed_checkpoint_still_loads(self, tmp_path):
+        """Pre-checksum snapshots (raw pickle, no magic) keep loading so
+        an in-flight resume survives the format upgrade."""
+        path = tmp_path / "legacy.ckpt"
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 1, "state": self._state()}, handle)
+        loaded = load_checkpoint(str(path))
+        assert loaded.fingerprint == "abc"
+
 
 # ----------------------------------------------------------------------
 # Manager basics

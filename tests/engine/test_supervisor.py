@@ -308,3 +308,54 @@ class TestFaultSpecParsing:
         assert spec.armed_for(0, 1)
         assert not spec.armed_for(0, 2)
         assert not spec.armed_for(1, 1)
+
+
+# ----------------------------------------------------------------------
+# Backoff policy (shared by the supervisor and the TCP transport)
+# ----------------------------------------------------------------------
+class TestBackoffPolicy:
+    def test_jitter_is_seed_deterministic(self):
+        """Same (engine, seed, attempt) always yields the same delay —
+        a retry schedule must replay identically across runs."""
+        from repro.engine import backoff_delay_s
+
+        engine = EngineConfig(backoff_base_s=0.1, backoff_max_s=10.0)
+        for attempt in (1, 2, 3, 7):
+            first = backoff_delay_s(engine, seed=42, attempt=attempt)
+            again = backoff_delay_s(engine, seed=42, attempt=attempt)
+            assert first == again
+
+    def test_delay_never_exceeds_cap(self):
+        """Even with maximal jitter, the cap bounds every delay."""
+        from repro.engine import backoff_delay_s
+
+        engine = EngineConfig(
+            backoff_base_s=1.0, backoff_max_s=3.0, backoff_jitter=1.0
+        )
+        for seed in range(25):
+            for attempt in range(1, 12):
+                delay = backoff_delay_s(engine, seed, attempt)
+                assert 0.0 <= delay <= 3.0
+
+    def test_delays_grow_then_saturate(self):
+        from repro.engine import backoff_delay_s
+
+        engine = EngineConfig(
+            backoff_base_s=0.5, backoff_max_s=4.0, backoff_jitter=0.0
+        )
+        delays = [
+            backoff_delay_s(engine, seed=1, attempt=k) for k in (1, 2, 3, 4, 5)
+        ]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_seeds_decorrelate_retry_storms(self):
+        """Shards retried at the same moment must not thunder in
+        lockstep: with jitter on, distinct shard seeds draw distinct
+        delays for the same attempt number."""
+        from repro.engine import backoff_delay_s
+
+        engine = EngineConfig(
+            backoff_base_s=1.0, backoff_max_s=60.0, backoff_jitter=0.5
+        )
+        delays = {backoff_delay_s(engine, seed, attempt=2) for seed in range(8)}
+        assert len(delays) > 1

@@ -1,0 +1,152 @@
+"""Transport seam: selection, injection, and LocalTransport parity.
+
+PR 8 put a :class:`~repro.engine.transport.ShardTransport` between the
+executor and the CPUs.  The contract under test here: the default
+``LocalTransport`` is a zero-behavior refactor of the old executor
+paths, ``make_transport`` selects by config, and an injected transport
+is actually the one the executor uses.
+"""
+
+import pytest
+
+from repro.bench import GeneratorConfig, generate_design
+from repro.core import LegalizerConfig
+from repro.engine import (
+    EngineConfig,
+    LocalTransport,
+    ShardTransport,
+    TransportResult,
+    legalize_sharded,
+    make_transport,
+)
+from repro.engine.supervisor import SupervisionReport
+from repro.testing import design_state_digest
+
+GEN = GeneratorConfig(num_cells=900, target_density=0.5, seed=6)
+CFG = LegalizerConfig(seed=1)
+ENG = dict(
+    workers=2, shards=2, serial_threshold=0,
+    backoff_base_s=0.01, backoff_max_s=0.05,
+)
+
+
+def fresh_design():
+    return generate_design(GEN)
+
+
+class CapturingTransport(ShardTransport):
+    """Delegates to LocalTransport but records what it was handed."""
+
+    name = "capture"
+
+    def __init__(self, engine):
+        self.inner = LocalTransport(engine)
+        self.calls = 0
+        self.tasks = []
+
+    def execute(self, tasks, *, workers, on_outcome=None, completed=None):
+        self.calls += 1
+        self.tasks = list(tasks)
+        return self.inner.execute(
+            tasks,
+            workers=workers,
+            on_outcome=on_outcome,
+            completed=completed,
+        )
+
+
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_default_is_local(self):
+        transport = make_transport(EngineConfig())
+        assert isinstance(transport, LocalTransport)
+        assert transport.name == "local"
+
+    def test_tcp_is_selected_and_binds_eagerly(self):
+        from repro.engine.remote import TcpTransport
+
+        engine = EngineConfig(transport="tcp", bind_port=0)
+        transport = make_transport(engine)
+        try:
+            assert isinstance(transport, TcpTransport)
+            assert transport.name == "tcp"
+            # Port is known before any worker starts.
+            assert transport.port > 0
+            assert transport.host == "127.0.0.1"
+        finally:
+            transport.close()
+
+    def test_engine_result_reports_transport(self):
+        result = legalize_sharded(fresh_design(), CFG, EngineConfig(**ENG))
+        assert result.parallel
+        assert result.transport == "local"
+
+
+# ----------------------------------------------------------------------
+class TestInjection:
+    def test_injected_transport_is_used_and_byte_identical(self):
+        baseline = fresh_design()
+        legalize_sharded(baseline, CFG, EngineConfig(**ENG))
+
+        design = fresh_design()
+        engine = EngineConfig(**ENG)
+        transport = CapturingTransport(engine)
+        result = legalize_sharded(design, CFG, engine, transport=transport)
+        assert result.transport == "capture"
+        assert transport.calls == 1
+        assert sorted(t.shard_id for t in transport.tasks) == [0, 1]
+        assert design_state_digest(design) == design_state_digest(baseline)
+
+
+# ----------------------------------------------------------------------
+class TestLocalPaths:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        """Real shard tasks, captured from a real partitioned run."""
+        engine = EngineConfig(**ENG)
+        transport = CapturingTransport(engine)
+        legalize_sharded(fresh_design(), CFG, engine, transport=transport)
+        return transport.tasks
+
+    def test_inprocess_honors_completed_and_hook(self, tasks):
+        engine = EngineConfig(**ENG)
+        local = LocalTransport(engine)
+        first = local.execute(tasks, workers=1)
+        assert first.workers == 1
+        assert first.supervision is None  # unsupervised by construction
+
+        done = {tasks[0].shard_id: first.outcomes[0]}
+        fired = []
+        second = local.execute(
+            tasks, workers=1, on_outcome=fired.append, completed=done
+        )
+        # The completed shard is returned verbatim, never recomputed,
+        # and the hook fires only for newly computed outcomes.
+        assert [o.shard_id for o in fired] == [tasks[1].shard_id]
+        assert second.outcomes[0] is first.outcomes[0]
+        assert [
+            o.placements for o in second.outcomes
+        ] == [o.placements for o in first.outcomes]
+
+    def test_supervised_path_reports(self, tasks):
+        engine = EngineConfig(**ENG)
+        result = LocalTransport(engine).execute(tasks, workers=2)
+        assert result.supervision is not None
+        assert result.workers == 2
+        assert not result.serial_fallback
+        serial = LocalTransport(engine).execute(tasks, workers=1)
+        assert [o.placements for o in result.outcomes] == [
+            o.placements for o in serial.outcomes
+        ]
+
+
+# ----------------------------------------------------------------------
+class TestTransportResult:
+    def test_serial_fallback_defaults_false(self):
+        assert TransportResult().serial_fallback is False
+
+    def test_serial_fallback_follows_supervision(self):
+        report = SupervisionReport()
+        assert TransportResult(supervision=report).serial_fallback is False
+        report.serial_fallback = True
+        assert TransportResult(supervision=report).serial_fallback is True

@@ -1,0 +1,127 @@
+"""Client timeout discipline: half-open sockets, dead ports, retries.
+
+A serving client must never block forever on a server that accepted
+the connection and then went silent (half-open socket, wedged event
+loop), and must be able to ride out a races-server-startup window with
+bounded reconnect backoff — both regression-tested here against real
+sockets, no mocks.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import Client, ServerHandle
+
+
+def silent_listener():
+    """A listener that accepts connections and never says anything —
+    the shape of a half-open socket from the client's side."""
+    sock = socket.create_server(("127.0.0.1", 0))
+    accepted = []
+
+    def accept_loop():
+        while True:
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return
+            accepted.append(conn)  # hold it open, never reply
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    return sock, accepted
+
+
+class TestHalfOpenSocket:
+    def test_silent_server_surfaces_timeout_not_hang(self):
+        sock, accepted = silent_listener()
+        try:
+            port = sock.getsockname()[1]
+            client = Client("127.0.0.1", port, timeout=0.3)
+            try:
+                rid = client.send("ping")
+                started = time.monotonic()
+                with pytest.raises(TimeoutError) as excinfo:
+                    client.recv(rid)
+                elapsed = time.monotonic() - started
+                assert elapsed < 5.0  # bounded, not a hang
+                message = str(excinfo.value)
+                assert "0.3" in message
+                assert "half-open" in message
+            finally:
+                client.close()
+        finally:
+            sock.close()
+            for conn in accepted:
+                conn.close()
+
+    def test_connect_timeout_is_separate_from_read_timeout(self):
+        sock, accepted = silent_listener()
+        try:
+            port = sock.getsockname()[1]
+            # A generous dial budget with a tight read budget: the
+            # connection succeeds, the read times out on its own clock.
+            client = Client(
+                "127.0.0.1", port, timeout=0.2, connect_timeout=10.0
+            )
+            try:
+                rid = client.send("ping")
+                with pytest.raises(TimeoutError):
+                    client.recv(rid)
+            finally:
+                client.close()
+        finally:
+            sock.close()
+            for conn in accepted:
+                conn.close()
+
+
+class TestConnectRetries:
+    @staticmethod
+    def _dead_port():
+        """A port that was bound a moment ago and is now closed."""
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_dead_port_fails_fast_without_retries(self):
+        port = self._dead_port()
+        with pytest.raises(ConnectionError, match="after 1 attempt"):
+            Client("127.0.0.1", port, timeout=1.0)
+
+    def test_retries_are_bounded_and_reported(self):
+        port = self._dead_port()
+        started = time.monotonic()
+        with pytest.raises(ConnectionError, match="after 3 attempts"):
+            Client(
+                "127.0.0.1", port,
+                timeout=1.0, connect_retries=2, retry_backoff_s=0.05,
+            )
+        # Two backoffs (0.05 + 0.1) plus dial time: well-bounded.
+        assert time.monotonic() - started < 5.0
+
+    def test_retries_ride_out_late_server_start(self):
+        """A client started before the server wins once the server is
+        up, instead of failing on the first refused dial."""
+        with ServerHandle() as handle:
+            client = Client(
+                handle.config.host, handle.port,
+                timeout=30.0, connect_retries=3, retry_backoff_s=0.05,
+            )
+            try:
+                result = client.result("ping")
+                assert result.get("ok", True) is not False
+            finally:
+                client.close()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Client("127.0.0.1", 1, timeout=0.0)
+        with pytest.raises(ValueError):
+            Client("127.0.0.1", 1, connect_retries=-1)
+        with pytest.raises(ValueError):
+            Client("127.0.0.1", 1, retry_backoff_s=-0.1)

@@ -71,7 +71,7 @@ class TestLegalize:
         )
         assert rc == 0
         captured = capsys.readouterr().out
-        assert "engine: shards=2 workers=2" in captured
+        assert "engine: transport=local shards=2 workers=2" in captured
         assert "violations 0" in captured
         assert main(["check", str(out / "clitest.aux")]) == 0
         capsys.readouterr()
@@ -163,7 +163,7 @@ class TestFaultToleranceFlags:
         rc = main(["legalize", str(generated), *self.PAR, "--no-supervise"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "engine: shards=2 workers=2" in out
+        assert "engine: transport=local shards=2 workers=2" in out
         assert "violations 0" in out
 
     def test_quarantine_flag_reports_empty(self, generated, capsys):
