@@ -63,12 +63,22 @@ def ruleset_fingerprint() -> str:
 
 
 def program_key(
-    codes: Iterable[str], file_hashes: Iterable[tuple[str, str]]
+    codes: Iterable[str],
+    file_hashes: Iterable[tuple[str, str]],
+    model_version: str = "",
 ) -> str:
-    """Cache key for whole-program findings: rule codes + every file."""
+    """Cache key for whole-program findings: rule codes + every file.
+
+    *model_version* folds in the concurrency-model version
+    (:data:`repro.analysis.concurrency.CONCURRENCY_MODEL_VERSION`) so
+    cached RL9-RL11 results self-invalidate when spawn/await/lockset
+    semantics change, even if no analyzed source did.
+    """
     digest = hashlib.sha256()
     digest.update(json.dumps(sorted(codes)).encode())
     digest.update(json.dumps(sorted(file_hashes)).encode())
+    if model_version:
+        digest.update(f"concurrency-model-v{model_version}".encode())
     return digest.hexdigest()
 
 

@@ -776,14 +776,10 @@ class Program:
             return None
         attr = func.attr
         base = func.value
-        # self.meth() / cls.meth()
-        if (
-            isinstance(base, ast.Name)
-            and base.id in ("self", "cls")
-            and caller_info is not None
-            and caller_info.class_qname is not None
-        ):
-            cls = self.table.classes.get(caller_info.class_qname)
+        # self.meth() / cls.meth() — `self` is also honored inside
+        # functions nested in a method (the closure closes over it).
+        if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+            cls = self._self_class_of(caller_info)
             if cls is not None:
                 resolved = self.table.lookup_method(cls, attr)
                 if resolved is not None:
@@ -805,10 +801,8 @@ class Program:
             isinstance(base, ast.Attribute)
             and isinstance(base.value, ast.Name)
             and base.value.id == "self"
-            and caller_info is not None
-            and caller_info.class_qname is not None
         ):
-            cls = self.table.classes.get(caller_info.class_qname)
+            cls = self._self_class_of(caller_info)
             if cls is not None:
                 type_name = cls.attr_types.get(base.attr)
         if type_name is not None:
@@ -819,6 +813,34 @@ class Program:
                     return resolved
         # Unique-bare-name fallback (skipped for generic names).
         return self.table.unique_function(attr)
+
+    def _self_class_of(
+        self, info: FunctionInfo | None
+    ) -> ClassInfo | None:
+        """The class ``self`` names in *info*'s body.
+
+        For a method that is its enclosing class; for a function
+        nested inside a method it is the method's class (the closure
+        closes over the method's ``self``), unless a nested def along
+        the way re-binds ``self`` as its own parameter."""
+        while info is not None:
+            if info.class_qname is not None:
+                return self.table.classes.get(info.class_qname)
+            if not info.nested:
+                return None
+            args = info.node.args
+            if any(
+                a.arg == "self"
+                for a in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+            ):
+                return None  # the closure re-binds ``self``
+            qname = info.qname.rsplit(".<locals>.", 1)[0]
+            info = self.table.functions.get(qname)
+        return None
 
     def _constructor_of(self, qname: str) -> str | None:
         """``Class(...)`` resolves to ``Class.__init__`` when defined."""

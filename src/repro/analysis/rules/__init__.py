@@ -15,6 +15,9 @@ from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
     rl6_procboundary,
     rl7_journalflow,
     rl8_sharedstate,
+    rl9_awaittxn,
+    rl10_blockingloop,
+    rl11_lockset,
 )
 
 __all__ = [
@@ -26,4 +29,7 @@ __all__ = [
     "rl6_procboundary",
     "rl7_journalflow",
     "rl8_sharedstate",
+    "rl9_awaittxn",
+    "rl10_blockingloop",
+    "rl11_lockset",
 ]

@@ -1,0 +1,195 @@
+"""RL10: no blocking work on the event loop.
+
+The serve layer's liveness contract is that every ``async def`` frame
+finishes its synchronous slices in microseconds: anything slow —
+filesystem traffic, a full legalization run, a design mutation under
+the journal — runs in a worker thread via ``asyncio.to_thread`` so the
+loop keeps accepting connections and streaming progress.  A blocking
+call reached *synchronously* from an async frame stalls every session
+on the server at once.
+
+A direct resolved call edge from an ``async def`` frame is flagged when
+the callee is
+
+* a known long-running engine entry point (full legalizer /
+  sharded-engine / session-execute runs), or
+* transitively ``mutates-design`` per the effect lattice (design
+  mutation belongs in a job thread, under the journal), or
+* transitively file-blocking: ``open``, ``Path`` IO methods,
+  ``os``/``shutil``/``json.dump``/``pickle`` file traffic, or
+  ``time.sleep`` (``print`` to a console is exempt — the CLI banner is
+  not a liveness hazard).
+
+Edges into other ``async def`` frames are skipped (each async frame is
+checked on its own), and ``await asyncio.to_thread(fn, ...)`` is
+naturally exempt: ``fn`` travels as a value reference, not a call, so
+the offloaded work never creates a call edge from the async frame.
+The traversal into a sync callee likewise stops at nested async
+frames.  Unresolved calls are still checked syntactically at the site
+(``open(...)``, ``path.write_text(...)``, ``time.sleep(...)`` inline
+in an async body).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator
+
+from repro.analysis.callgraph import FunctionInfo, Program, dotted, own_nodes
+from repro.analysis.concurrency import model_for
+from repro.analysis.dataflow import (
+    MUTATES,
+    _IO_DOTTED_CALLS,
+    _IO_METHOD_ATTRS,
+    EffectSummary,
+    infer_effects,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseProgramRule, register_program
+
+#: Engine entry points that run for seconds to minutes by design.
+LONG_RUNNING: frozenset[str] = frozenset(
+    {
+        "repro.core.legalizer.Legalizer.run",
+        "repro.engine.executor.legalize_sharded",
+        "repro.engine.shard_worker.run_shard",
+        "repro.serve.session.DesignSession.execute",
+    }
+)
+
+#: Console writes are not a loop-liveness hazard.
+_CONSOLE_WRITES: frozenset[str] = frozenset(
+    {"sys.stdout.write", "sys.stderr.write"}
+)
+
+_BLOCKING_DOTTED: frozenset[str] = (
+    _IO_DOTTED_CALLS - _CONSOLE_WRITES
+) | frozenset({"time.sleep", "socket.create_connection"})
+
+
+def _node_blocks(node: ast.Call) -> bool:
+    """Syntactically file-blocking call, independent of resolution."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "open"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _IO_METHOD_ATTRS:
+            return True
+        name = dotted(func)
+        return name is not None and name in _BLOCKING_DOTTED
+    return False
+
+
+@register_program
+class BlockingInLoopRule(BaseProgramRule):
+    """Async frames must off-load slow or mutating work."""
+
+    code = "RL10"
+    name = "blocking-in-loop"
+    summary = (
+        "async frames must not reach long-running, design-mutating or "
+        "file-blocking work synchronously; off-load it with "
+        "asyncio.to_thread or an executor"
+    )
+    enforced = ("", "core", "engine", "apps", "io", "checker", "serve")
+
+    def check_program(self, program: Program) -> Iterator[Diagnostic]:
+        model = model_for(program)
+        if not model.async_functions:
+            return
+        summaries = infer_effects(program)
+        blocking_memo: dict[str, bool] = {}
+
+        def blocks(qname: str) -> bool:
+            """Sync *qname* reaches a syntactic blocker (memoized BFS,
+            never descending into async frames)."""
+            known = blocking_memo.get(qname)
+            if known is not None:
+                return known
+            blocking_memo[qname] = False  # cycle guard
+            info = program.table.functions.get(qname)
+            if info is not None and self._own_blocker(info) is not None:
+                blocking_memo[qname] = True
+                return True
+            for callee in program.graph.callees_of(qname):
+                if callee in model.async_functions:
+                    continue
+                if blocks(callee):
+                    blocking_memo[qname] = True
+                    return True
+            return False
+
+        seen: set[tuple[str, int, int]] = set()
+        for qname in sorted(model.async_functions):
+            info = program.table.functions[qname]
+            if not self._in_scope(program, info.path):
+                continue
+            for site in program.graph.out_edges.get(qname, []):
+                key = (site.path, site.lineno, site.col)
+                if key in seen:
+                    continue
+                callee = site.callee
+                if callee is None:
+                    if _node_blocks(site.node):
+                        seen.add(key)
+                        yield self.diag_at(
+                            site.path,
+                            site.lineno,
+                            site.col,
+                            f"blocking call {site.raw} in async frame "
+                            f"{_short(qname)}: file IO / sleeps stall "
+                            "the event loop; off-load with "
+                            "asyncio.to_thread",
+                        )
+                    continue
+                if callee in model.async_functions:
+                    continue
+                reason = self._reason(
+                    callee, summaries, blocks
+                )
+                if reason is not None:
+                    seen.add(key)
+                    yield self.diag_at(
+                        site.path,
+                        site.lineno,
+                        site.col,
+                        f"async frame {_short(qname)} calls "
+                        f"{_short(callee)} synchronously, which "
+                        f"{reason}; run it via asyncio.to_thread (or "
+                        "an executor) so the loop stays responsive",
+                    )
+
+    # ------------------------------------------------------------------
+    def _reason(
+        self,
+        callee: str,
+        summaries: "dict[str, EffectSummary]",
+        blocks: "Callable[[str], bool]",
+    ) -> str | None:
+        if callee in LONG_RUNNING:
+            return "is a long-running engine entry point"
+        summary = summaries.get(callee)
+        if summary is not None and MUTATES in summary.transitive:
+            return (
+                "transitively mutates the design (effect "
+                f"{MUTATES!r} — journal work belongs in a job thread)"
+            )
+        if blocks(callee):
+            return "transitively performs blocking file IO or sleeps"
+        return None
+
+    def _own_blocker(self, info: FunctionInfo) -> ast.Call | None:
+        for node in own_nodes(info.node):
+            if isinstance(node, ast.Call) and _node_blocks(node):
+                return node
+        return None
+
+    def _in_scope(self, program: Program, path: str) -> bool:
+        ctx = program.contexts.get(path)
+        if ctx is None or ctx.subpackage is None:
+            return True
+        return ctx.subpackage in self.enforced
+
+
+def _short(qname: str) -> str:
+    return qname[6:] if qname.startswith("repro.") else qname

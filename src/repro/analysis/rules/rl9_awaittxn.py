@@ -1,0 +1,134 @@
+"""RL9: no suspension point inside a ``Transaction`` scope.
+
+The journal's commit-or-restore contract assumes a transaction is a
+*synchronous* critical section: between ``Transaction.__enter__`` and
+``__exit__`` nothing else touches the design.  On an event loop that
+assumption breaks the moment the transaction body suspends — an
+``await`` (or ``async for`` / ``async with``) yields to the loop, any
+other task may run, and a concurrent ECO on the same design interleaves
+into the open undo scope.  Rollback then restores a state the other
+task never saw: the DesignSession interleaving hazard.
+
+Three shapes are flagged:
+
+* a suspension point lexically inside ``with Transaction(...)``;
+* a call site inside a transaction scope whose resolved callee is an
+  ``async def`` but whose call is **not** directly awaited — it builds
+  a coroutine that escapes the scope and suspends later, or hands it
+  straight to a scheduler;
+* a task-spawn site (``create_task``/``ensure_future``/``gather``)
+  inside a transaction scope — the spawned work runs concurrently with
+  the rest of the critical section.
+
+The fix is always the same: keep the transaction inside the synchronous
+job function (run via ``asyncio.to_thread``) and do the awaiting
+outside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import Program
+from repro.analysis.concurrency import (
+    TASK_SPAWN_ATTRS,
+    model_for,
+)
+from repro.analysis.context import parent_of
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseProgramRule, register_program
+
+
+def _in_scope(program: Program, path: str) -> bool:
+    ctx = program.contexts.get(path)
+    if ctx is None or ctx.subpackage is None:
+        return True  # fixtures: every rule applies
+    return ctx.subpackage in AwaitInTransactionRule.enforced
+
+
+@register_program
+class AwaitInTransactionRule(BaseProgramRule):
+    """Transaction scopes must not contain suspension points."""
+
+    code = "RL9"
+    name = "await-in-transaction"
+    summary = (
+        "no await / coroutine hand-off inside a Transaction scope: a "
+        "suspended transaction lets concurrent tasks interleave into "
+        "the open undo scope"
+    )
+    enforced = ("", "core", "engine", "apps", "io", "checker", "serve")
+
+    def check_program(self, program: Program) -> Iterator[Diagnostic]:
+        model = model_for(program)
+        seen: set[tuple[str, int, int]] = set()
+        # Direct suspension points inside a transaction scope.
+        for qname in sorted(model.await_points):
+            for point in model.await_points[qname]:
+                if not point.in_transaction:
+                    continue
+                if not _in_scope(program, point.path):
+                    continue
+                key = (point.path, point.lineno, point.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.diag_at(
+                    point.path,
+                    point.lineno,
+                    point.col,
+                    f"{point.kind} inside a Transaction scope in "
+                    f"{_short(qname)}: the loop may run another task "
+                    "while the undo scope is open; run the transaction "
+                    "body synchronously (e.g. via asyncio.to_thread) "
+                    "and await outside it",
+                )
+        # Coroutines created (not awaited) inside a transaction scope.
+        for site in program.graph.sites:
+            if not site.in_transaction:
+                continue
+            if not _in_scope(program, site.path):
+                continue
+            key = (site.path, site.lineno, site.col)
+            if key in seen:
+                continue
+            if (
+                site.callee in model.async_functions
+                and not isinstance(parent_of(site.node), ast.Await)
+            ):
+                seen.add(key)
+                yield self.diag_at(
+                    site.path,
+                    site.lineno,
+                    site.col,
+                    f"coroutine {_short(site.callee or site.raw)} "
+                    f"created inside a Transaction scope in "
+                    f"{_short(site.caller)} without an immediate "
+                    "await: it escapes the scope and suspends (or is "
+                    "scheduled) while the undo scope is open",
+                )
+                continue
+            func = site.node.func
+            attr = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if (attr in TASK_SPAWN_ATTRS or attr == "gather") and (
+                not isinstance(parent_of(site.node), ast.Await)
+            ):
+                seen.add(key)
+                yield self.diag_at(
+                    site.path,
+                    site.lineno,
+                    site.col,
+                    f"task spawned inside a Transaction scope in "
+                    f"{_short(site.caller)}: the spawned work runs "
+                    "concurrently with the open undo scope; move the "
+                    "spawn outside the transaction",
+                )
+
+
+def _short(qname: str) -> str:
+    return qname[6:] if qname.startswith("repro.") else qname

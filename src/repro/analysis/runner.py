@@ -15,7 +15,7 @@ Two optional layers wrap the per-file pipeline:
   interprocedural findings merge correctly;
 * the **interprocedural pass** links every parsed file into one
   :class:`~repro.analysis.callgraph.Program` and runs the registered
-  program rules (RL6–RL8) over it, attributing findings back to files.
+  program rules (RL6–RL11) over it, attributing findings back to files.
 
 Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error.
 """
@@ -206,7 +206,7 @@ def lint_paths(
     """Lint every ``.py`` file under *paths*.
 
     ``interprocedural=True`` additionally links the files into one
-    program and runs the registered program rules (RL6–RL8).
+    program and runs the registered program rules (RL6–RL11).
     ``cache_path`` enables the incremental result cache.
     """
     file_rules = select_rules(select, ignore)
@@ -271,9 +271,12 @@ def lint_paths(
 
     program_diags: dict[str, list[Diagnostic]] = {}
     if program_rules:
+        from repro.analysis.concurrency import CONCURRENCY_MODEL_VERSION
+
         key = program_key(
             sorted(r.code for r in program_rules),
             sorted(hashes.items()),
+            model_version=CONCURRENCY_MODEL_VERSION,
         )
         cached_prog = (
             cache.get_program(key) if cache is not None else None
@@ -318,8 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
             "repro-lint: AST-based invariant linter (journal-bypass, "
             "determinism, transaction-safety, exception taxonomy, "
             "strict typing, and — with --interprocedural — "
-            "process-boundary safety, journal coverage, and shared-state "
-            "races over the whole-program call graph)"
+            "process-boundary safety, journal coverage, shared-state "
+            "races, and async/thread concurrency discipline over the "
+            "whole-program call graph)"
         ),
     )
     parser.add_argument(
@@ -348,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--interprocedural",
         action="store_true",
         help="link all files into one program and run the "
-        "interprocedural rules (RL6-RL8) as well",
+        "interprocedural rules (RL6-RL11) as well",
     )
     parser.add_argument(
         "--no-cache",

@@ -220,7 +220,11 @@ class TcpTransport(ShardTransport):
                 completed=None,
             )
             local_outcomes, local_report = local.run()
-            self.report.absorb(local_report)
+            # Handler threads may still be in their _drop_peer
+            # finalizers (they mutate the report under the lock), so
+            # the absorb takes it too.
+            with self._lock:
+                self.report.absorb(local_report)
             for outcome in local_outcomes:
                 outcomes[outcome.shard_id] = outcome
 

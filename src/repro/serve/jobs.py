@@ -140,6 +140,17 @@ class JobQueue:
         for every session name ever used.  The next submit for the key
         recreates both; FIFO order is unaffected because retirement and
         submission both happen on the event loop.
+
+        Retirement cannot race ``submit`` into stranding a job: from
+        the moment ``await asyncio.to_thread`` resumes until ``return``
+        there is no suspension point (``Semaphore.__aexit__`` releases
+        synchronously), so the empty-queue check and the dict deletions
+        run in one atomic loop slice.  A submit that lands while the
+        last job is still running enqueues onto the still-registered
+        queue and the ``qsize() == 0`` check sees it; a submit that
+        lands after retirement finds no queue and recreates the
+        queue/worker pair.  ``tests/serve/test_jobs.py`` pins both
+        interleavings.
         """
         while True:
             job = await queue.get()

@@ -149,14 +149,24 @@ class LegalizationServer:
                 if not line.strip():
                     continue
                 self._handle_line(line, out)
+        except asyncio.CancelledError:
+            # Event-loop teardown (asyncio.run cancelling pending
+            # tasks) can land while we block in readline; treat it as
+            # an orderly disconnect and fall through to cleanup.  The
+            # task must *finish uncancelled*, else the streams
+            # done-callback logs a spurious CancelledError through the
+            # loop exception handler at every shutdown.
+            pass
         finally:
             if out in self._out_queues:
                 self._out_queues.remove(out)
             out.put_nowait(None)
-            await writer_task
-            writer.close()
             try:
+                await writer_task
+                writer.close()
                 await writer.wait_closed()
+            except asyncio.CancelledError:  # pragma: no cover
+                writer.close()  # teardown raced the close handshake
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 

@@ -22,6 +22,19 @@ transitive reasoning.  This module closes the loop at runtime:
   ``(frame, effect)`` pair must be contained in the frame's *static
   transitive summary*.  Any gap means the static analysis under-
   approximated reality and CI fails.
+* The **race tracer** (:class:`RaceTracer`) is the runtime twin of the
+  concurrency model behind RL9–RL11: while armed it additionally
+  records, for every journaled mutation, the transaction depth and the
+  number of ``threading`` locks held on the current thread, and it
+  detects *awaits inside an open Transaction* with an event-loop probe
+  (a ``call_soon`` callback can only run before ``__exit__`` if the
+  transaction body suspended).  :func:`check_race_trace` then asserts
+  the runtime observations are a subset of the static predictions:
+  every await-in-transaction must land in RL9's statically computed
+  region, every mutation under an open transaction must have a
+  statically known transaction-opening frame on its stack, and every
+  mutation under a held lock must land inside a statically known lock
+  scope.
 
 Instrumentation is observation-only — the wrappers call straight
 through — so a sanitized run must produce byte-identical placements to
@@ -31,14 +44,17 @@ an uninstrumented one (asserted by the differential smoke test).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import sys
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import repro
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.callgraph import Program
     from repro.analysis.dataflow import EffectSummary
     from repro.engine.shard_worker import ShardOutcome
 
@@ -262,19 +278,29 @@ class Gap:
         return f"{self.qname}{detail}: {self.reason}"
 
 
+def _installed_program() -> "Program":
+    """Static :class:`Program` of the installed ``repro`` tree
+    (memoized — shared by the effect and race predictions)."""
+    global _PROGRAM_MEMO
+    if _PROGRAM_MEMO is None:
+        from repro.analysis.callgraph import Program
+        from repro.analysis.runner import discover_files
+
+        _PROGRAM_MEMO = Program.from_paths(discover_files([_REPRO_ROOT]))
+    return _PROGRAM_MEMO
+
+
 def static_summaries() -> "dict[str, EffectSummary]":
     """Effect summaries of the installed ``repro`` tree (memoized)."""
     global _STATIC_MEMO
     if _STATIC_MEMO is None:
-        from repro.analysis.callgraph import Program
         from repro.analysis.dataflow import infer_effects
-        from repro.analysis.runner import discover_files
 
-        program = Program.from_paths(discover_files([_REPRO_ROOT]))
-        _STATIC_MEMO = infer_effects(program)
+        _STATIC_MEMO = infer_effects(_installed_program())
     return _STATIC_MEMO
 
 
+_PROGRAM_MEMO: "Program | None" = None
 _STATIC_MEMO: "dict[str, EffectSummary] | None" = None
 
 
@@ -314,6 +340,315 @@ def check_trace(
 
 
 # ----------------------------------------------------------------------
+# Runtime race tracer — the dynamic twin of RL9-RL11
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RaceEvent:
+    """One concurrency-relevant runtime observation.
+
+    ``kind`` is ``"mutation"`` (a journaled design primitive fired,
+    annotated with the transaction depth and ``threading`` lock count
+    of the current thread) or ``"await-in-transaction"`` (an open
+    :class:`~repro.db.journal.Transaction` suspended back to the event
+    loop before its ``__exit__`` — detected by a ``call_soon`` probe,
+    which can only run if the transaction body awaited)."""
+
+    kind: str
+    primitive: str
+    frames: tuple[str, ...]
+    txn_depth: int
+    locks: int
+
+
+@dataclass(slots=True)
+class RaceTrace:
+    """Race-event log of one traced region."""
+
+    events: list[RaceEvent] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> list[RaceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class _RaceTLS(threading.local):
+    """Per-thread transaction depth, held-lock count, probe stack."""
+
+    def __init__(self) -> None:
+        self.txn_depth = 0
+        self.locks = 0
+        #: One entry per open transaction on this thread:
+        #: ``(probe_cell | None, opener_frames)``.
+        self.probes: list[
+            tuple["list[bool] | None", tuple[str, ...]]
+        ] = []
+
+
+_RACE_TLS = _RaceTLS()
+_RACE_TRACES: list[RaceTrace] = []
+#: ``(owner, attribute, original)`` in patch order; restored in reverse.
+_RACE_RESTORE: list[tuple[Any, str, Any]] = []
+
+
+def _record_race(
+    kind: str, primitive: str, frames: "tuple[str, ...] | None" = None
+) -> None:
+    if not _RACE_TRACES:
+        return
+    event = RaceEvent(
+        kind=kind,
+        primitive=primitive,
+        frames=_frame_qnames() if frames is None else frames,
+        txn_depth=_RACE_TLS.txn_depth,
+        locks=_RACE_TLS.locks,
+    )
+    for trace in _RACE_TRACES:
+        trace.events.append(event)
+
+
+class _TracedLock:
+    """Counting proxy around a real ``threading`` lock.
+
+    Only the held-count side effect is added; all blocking semantics
+    are the wrapped lock's.  ``Condition`` copes with the missing
+    ``_release_save``/``_is_owned`` internals via its documented
+    fallbacks, so ``threading.Event`` and friends keep working while
+    the factories are patched."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _RACE_TLS.locks += 1
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _RACE_TLS.locks -= 1
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything else (``_at_fork_reinit``, ``_is_owned``,
+        # ``_release_save``...) is the wrapped lock's business.  The
+        # save/restore pair used by ``Condition.wait`` bypasses the
+        # counter symmetrically, and a thread blocked in ``wait``
+        # records no events, so the count stays honest.
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "_TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def _race_patch() -> None:
+    from repro.db.design import Design
+    from repro.db.journal import Transaction
+
+    for method in ("place", "unplace", "shift_x", "add_cell"):
+        original = getattr(Design, method)
+        _RACE_RESTORE.append((Design, method, original))
+
+        def wrapper(
+            *args: Any, _orig: Any = original, _name: str = method,
+            **kwargs: Any,
+        ) -> Any:
+            _record_race("mutation", f"Design.{_name}")
+            return _orig(*args, **kwargs)
+
+        wrapper.__name__ = method
+        wrapper.__qualname__ = original.__qualname__
+        setattr(Design, method, wrapper)
+
+    txn_enter = Transaction.__enter__
+    txn_exit = Transaction.__exit__
+    _RACE_RESTORE.append((Transaction, "__enter__", txn_enter))
+    _RACE_RESTORE.append((Transaction, "__exit__", txn_exit))
+
+    def enter_wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        frames = _frame_qnames()
+        probe: "list[bool] | None" = None
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            pass  # sync context: a transaction here cannot await
+        else:
+            probe = [False]
+            loop.call_soon(probe.__setitem__, 0, True)
+        _RACE_TLS.txn_depth += 1
+        _RACE_TLS.probes.append((probe, frames))
+        return txn_enter(self, *args, **kwargs)
+
+    def exit_wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        try:
+            return txn_exit(self, *args, **kwargs)
+        finally:
+            if _RACE_TLS.probes:
+                probe, frames = _RACE_TLS.probes.pop()
+                _RACE_TLS.txn_depth -= 1
+                if probe is not None and probe[0]:
+                    _record_race(
+                        "await-in-transaction",
+                        "Transaction",
+                        frames=frames,
+                    )
+
+    enter_wrapper.__qualname__ = txn_enter.__qualname__
+    exit_wrapper.__qualname__ = txn_exit.__qualname__
+    Transaction.__enter__ = enter_wrapper  # type: ignore[method-assign]
+    Transaction.__exit__ = exit_wrapper  # type: ignore[method-assign]
+
+    real_lock = threading.Lock
+    real_rlock = threading.RLock
+    _RACE_RESTORE.append((threading, "Lock", real_lock))
+    _RACE_RESTORE.append((threading, "RLock", real_rlock))
+    threading.Lock = lambda: _TracedLock(real_lock())  # type: ignore
+    threading.RLock = lambda: _TracedLock(real_rlock())  # type: ignore
+
+
+def _race_unpatch() -> None:
+    for owner, attribute, original in reversed(_RACE_RESTORE):
+        setattr(owner, attribute, original)
+    _RACE_RESTORE.clear()
+
+
+class RaceTracer:
+    """Context manager: record race-relevant events within the block.
+
+    Layers over :class:`Sanitizer` on the same primitives, so nesting
+    must be LIFO — arm the tracer *inside* the sanitizer block (``with
+    Sanitizer() as t, RaceTracer() as r:``) so each restores the layer
+    it wrapped.  Locks created before arming are not traced; locks
+    created while armed keep working (as plain pass-throughs) after
+    disarming."""
+
+    def __init__(self) -> None:
+        self.trace = RaceTrace()
+
+    def __enter__(self) -> RaceTrace:
+        if not _RACE_TRACES:
+            _race_patch()
+        _RACE_TRACES.append(self.trace)
+        return self.trace
+
+    def __exit__(self, *exc_info: object) -> None:
+        for index, trace in enumerate(_RACE_TRACES):
+            if trace is self.trace:
+                del _RACE_TRACES[index]
+                break
+        if not _RACE_TRACES:
+            _race_unpatch()
+
+
+@dataclass(frozen=True, slots=True)
+class RacePredictions:
+    """The static concurrency regions runtime events must land in."""
+
+    await_txn_frames: frozenset[str]
+    """RL9's await-in-transaction region: frames that can suspend
+    while a transaction is (possibly transitively) open."""
+
+    txn_opener_frames: frozenset[str]
+    """Frames containing at least one call site lexically inside a
+    ``with Transaction(...)`` block."""
+
+    lock_scope_frames: frozenset[str]
+    """RL11's lock-scope region: frames that hold (lexically or by
+    entry lockset) a ``threading`` lock, plus their callees."""
+
+
+_RACE_MEMO: "RacePredictions | None" = None
+
+
+def race_predictions() -> RacePredictions:
+    """Static concurrency predictions for the installed tree
+    (memoized; shares the :func:`_installed_program` parse)."""
+    global _RACE_MEMO
+    if _RACE_MEMO is None:
+        from repro.analysis.concurrency import model_for
+
+        program = _installed_program()
+        model = model_for(program)
+        openers = frozenset(
+            site.caller
+            for site in program.graph.sites
+            if site.in_transaction
+        )
+        _RACE_MEMO = RacePredictions(
+            await_txn_frames=model.await_in_transaction_region(),
+            txn_opener_frames=openers,
+            lock_scope_frames=model.lock_scope_region(),
+        )
+    return _RACE_MEMO
+
+
+def check_race_trace(
+    trace: RaceTrace,
+    predictions: "RacePredictions | None" = None,
+) -> list[Gap]:
+    """Runtime race observations must be ⊆ the static predictions.
+
+    Three containments, one per event shape:
+
+    * an ``await-in-transaction`` event must have a frame inside the
+      statically computed RL9 region;
+    * a mutation with ``txn_depth > 0`` must have a statically known
+      transaction-opening frame on its stack;
+    * a mutation with ``locks > 0`` must have a frame inside the
+      statically known lock-scope region.
+
+    Events whose repro-owned frame tuple is empty (driven directly
+    from non-repro code, e.g. a test body) cannot satisfy any
+    containment and are reported — that asymmetry is what the positive
+    detector tests lean on."""
+    model = race_predictions() if predictions is None else predictions
+    gaps: list[Gap] = []
+    seen: set[tuple[str, str]] = set()
+
+    def add(qname: str, reason: str) -> None:
+        if (qname, reason) not in seen:
+            seen.add((qname, reason))
+            gaps.append(Gap(qname=qname, effect=None, reason=reason))
+
+    for event in trace.events:
+        frames = set(event.frames)
+        anchor = event.frames[0] if event.frames else "<non-repro>"
+        if event.kind == "await-in-transaction":
+            if not frames & model.await_txn_frames:
+                add(
+                    anchor,
+                    "transaction suspended (awaited) outside every "
+                    "statically predicted RL9 frame",
+                )
+        elif event.kind == "mutation":
+            if event.txn_depth > 0 and not (
+                frames & model.txn_opener_frames
+            ):
+                add(
+                    anchor,
+                    f"{event.primitive} ran under an open Transaction "
+                    "with no statically known transaction-opening "
+                    "frame on the stack",
+                )
+            if event.locks > 0 and not (
+                frames & model.lock_scope_frames
+            ):
+                add(
+                    anchor,
+                    f"{event.primitive} ran under a held threading "
+                    "lock outside every statically known lock scope",
+                )
+    return gaps
+
+
+# ----------------------------------------------------------------------
 # ``python -m repro.testing.sanitizer`` — CI differential smoke
 # ----------------------------------------------------------------------
 def _differential_run(
@@ -334,11 +669,73 @@ def _differential_run(
     bare_digest = design_state_digest(bare)
 
     sanitized = generate_design(gen)
-    with Sanitizer() as trace:
+    with Sanitizer() as trace, RaceTracer() as race:
         legalize_sharded(sanitized, cfg, eng)
     sanitized_digest = design_state_digest(sanitized)
-    gaps = check_trace(trace)
+    gaps = check_trace(trace) + check_race_trace(race)
     return sanitized_digest, bare_digest, gaps, len(trace.events)
+
+
+def _serve_load_run(
+    num_cells: int,
+    seed: int,
+    clients: int = 3,
+    ecos_per_client: int = 4,
+) -> tuple[str, list[Gap], int, int]:
+    """Live-server load under both tracers.
+
+    Boots a real :class:`~repro.serve.client.ServerHandle`, generates
+    and legalizes one design, then hammers it with concurrent
+    *conflicting* move-ECOs from one client per thread — the per-design
+    FIFO worker serializes them, and every journaled mutation plus
+    every lock/transaction interaction the serve stack performs is
+    checked against the static model.  Returns ``(digest, gaps,
+    effect_events, race_events)``; admission rejections and
+    fault-budget quarantines surface as :class:`RequestFailed` and are
+    tolerated (the load is adversarial by design)."""
+    from repro.serve.client import RequestFailed, ServerHandle
+    from repro.serve.server import ServeConfig
+
+    config = ServeConfig(max_inflight=2, fault_budget=1_000_000)
+    session = "chipA"
+    with Sanitizer() as trace, RaceTracer() as race:
+        with ServerHandle(config) as handle:
+            with handle.client() as boot:
+                boot.result(
+                    "generate", session,
+                    {"cells": num_cells, "seed": seed},
+                )
+                boot.result("legalize", session, {})
+
+                errors: list[str] = []
+
+                def hammer(index: int) -> None:
+                    with handle.client() as client:
+                        for k in range(ecos_per_client):
+                            params = {
+                                "kind": "move",
+                                "cell": "c1",
+                                "x": 3.0 + float((index + k) % 2),
+                                "y": 1.0,
+                            }
+                            try:
+                                client.result("eco", session, params)
+                            except RequestFailed as exc:
+                                errors.append(str(exc))
+
+                threads = [
+                    threading.Thread(
+                        target=hammer, args=(i,), name=f"eco-load-{i}"
+                    )
+                    for i in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                digest = str(boot.result("digest", session)["digest"])
+    gaps = check_trace(trace) + check_race_trace(race)
+    return digest, gaps, len(trace.events), len(race.events)
 
 
 def run(argv: Sequence[str] | None = None) -> int:
@@ -356,6 +753,13 @@ def run(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=2,
         help="parallel arm worker count (serial arm always runs too)",
+    )
+    parser.add_argument(
+        "--serve-load", action="store_true",
+        help=(
+            "additionally boot a live server and hammer one session "
+            "with concurrent conflicting ECOs under the race tracer"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -384,6 +788,24 @@ def run(argv: Sequence[str] | None = None) -> int:
             print(
                 f"sanitizer[{label}]: OK {events} event(s), "
                 f"digest {san_digest[:12]}, zero gaps"
+            )
+    if args.serve_load:
+        digest, gaps, events, race_events = _serve_load_run(
+            min(args.cells, 120), args.seed
+        )
+        if gaps:
+            print(
+                f"sanitizer[serve-load]: FAIL {len(gaps)} "
+                "statically-unpredicted observation(s):"
+            )
+            for gap in gaps:
+                print(f"  {gap.render()}")
+            failed = True
+        else:
+            print(
+                f"sanitizer[serve-load]: OK {events} effect event(s), "
+                f"{race_events} race event(s), digest {digest[:12]}, "
+                "zero gaps"
             )
     return 1 if failed else 0
 

@@ -1,0 +1,27 @@
+"""RL10 negative: the same work shapes, off-loaded.  ``to_thread``
+passes the helper as a value reference — no synchronous call edge from
+the async frame — so the loop stays responsive while the blocking work
+runs in a job thread."""
+
+import asyncio
+from pathlib import Path
+
+from repro.db.design import Design
+from repro.db.journal import Transaction
+
+
+def save(path: Path, payload: str) -> None:
+    path.write_text(payload)
+
+
+def nudge(design: Design, x: int, y: int) -> None:
+    with Transaction(design):
+        design.place(design.cells[0], x, y)
+
+
+async def snapshot(path: Path, payload: str) -> None:
+    await asyncio.to_thread(save, path, payload)
+
+
+async def apply(design: Design, x: int, y: int) -> None:
+    await asyncio.to_thread(nudge, design, x, y)

@@ -1,0 +1,34 @@
+"""RL10 positive: async frames reaching blocking work synchronously.
+
+``snapshot`` reaches file IO through a resolved sync helper,
+``apply`` reaches a design mutation (transitively ``mutates-design``),
+and ``nap`` calls ``time.sleep`` inline — the syntactic fallback for
+unresolved sites.
+"""
+
+import time
+from pathlib import Path
+
+from repro.db.design import Design
+from repro.db.journal import Transaction
+
+
+def save(path: Path, payload: str) -> None:
+    path.write_text(payload)
+
+
+def nudge(design: Design, x: int, y: int) -> None:
+    with Transaction(design):
+        design.place(design.cells[0], x, y)
+
+
+async def snapshot(path: Path, payload: str) -> None:
+    save(path, payload)
+
+
+async def apply(design: Design, x: int, y: int) -> None:
+    nudge(design, x, y)
+
+
+async def nap() -> None:
+    time.sleep(0.1)

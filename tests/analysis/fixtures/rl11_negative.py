@@ -1,0 +1,38 @@
+"""RL11 negative: the blessed discipline.  Every write to the shared
+counter holds the same lock from both concurrency roots, and the only
+event-loop interaction from thread context goes through the
+``call_soon_threadsafe`` hop (the queue method travels as a value
+reference; the loop invokes it on its own thread)."""
+
+import asyncio
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+
+def worker(
+    tally: Tally,
+    outbox: asyncio.Queue,
+    loop: asyncio.AbstractEventLoop,
+) -> None:
+    tally.bump()
+    loop.call_soon_threadsafe(outbox.put_nowait, 1)
+
+
+def main(
+    tally: Tally,
+    outbox: asyncio.Queue,
+    loop: asyncio.AbstractEventLoop,
+) -> None:
+    thread = threading.Thread(target=worker, args=(tally, outbox, loop))
+    thread.start()
+    tally.bump()
+    thread.join()

@@ -1,0 +1,47 @@
+"""RL11 positive: inconsistent lockset + cross-thread loop touches.
+
+``Tally.count`` is written from two concurrency roots (the spawned
+``worker`` thread and the ``main`` spawner frame); the locked write in
+``locked_bump`` documents the discipline, the bare write in
+``bare_bump`` breaks it.  ``worker`` also touches event-loop objects
+directly from thread context — a typed ``asyncio.Queue.put_nowait``
+and a by-name ``loop.call_soon`` — instead of hopping through
+``call_soon_threadsafe``.
+"""
+
+import asyncio
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def locked_bump(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def bare_bump(self) -> None:
+        self.count += 1
+
+
+def worker(
+    tally: Tally,
+    outbox: asyncio.Queue,
+    loop: asyncio.AbstractEventLoop,
+) -> None:
+    tally.bare_bump()
+    outbox.put_nowait(1)
+    loop.call_soon(tally.locked_bump)
+
+
+def main(
+    tally: Tally,
+    outbox: asyncio.Queue,
+    loop: asyncio.AbstractEventLoop,
+) -> None:
+    thread = threading.Thread(target=worker, args=(tally, outbox, loop))
+    thread.start()
+    tally.locked_bump()
+    thread.join()

@@ -1,0 +1,18 @@
+"""RL9 negative: the blessed layering — the transaction lives inside a
+synchronous job function, the async frame awaits the *off-loaded* job,
+so the undo scope never spans a suspension point."""
+
+import asyncio
+
+from repro.db.design import Design
+from repro.db.journal import Transaction
+
+
+def apply_move(design: Design, x: int, y: int) -> None:
+    with Transaction(design):
+        cell = design.cells[0]
+        design.place(cell, x, y)
+
+
+async def handle(design: Design, x: int, y: int) -> None:
+    await asyncio.to_thread(apply_move, design, x, y)

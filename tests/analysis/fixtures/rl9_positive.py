@@ -1,0 +1,23 @@
+"""RL9 positive: suspension points inside an open ``Transaction``.
+
+Three shapes, one per diagnostic branch: a direct ``await`` inside the
+scope, a coroutine built inside the scope without an immediate await,
+and a task spawned while the undo scope is open.
+"""
+
+import asyncio
+
+from repro.db.design import Design
+from repro.db.journal import Transaction
+
+
+async def refresh(design: Design) -> None:
+    with Transaction(design):
+        await asyncio.sleep(0)
+
+
+async def publish(design: Design) -> dict[str, int]:
+    with Transaction(design):
+        pending = refresh(design)
+        asyncio.ensure_future(pending)
+    return {"cells": len(design.cells)}

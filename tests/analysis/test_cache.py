@@ -11,6 +11,7 @@ from pathlib import Path
 from repro.analysis.cache import (
     LintCache,
     content_hash,
+    program_key,
     ruleset_fingerprint,
 )
 from repro.analysis.runner import lint_paths
@@ -89,6 +90,28 @@ class TestInvalidation:
     def test_content_hash_tracks_bytes(self):
         assert content_hash(b"a") != content_hash(b"b")
         assert content_hash(b"a") == content_hash(b"a")
+
+    def test_model_version_changes_the_program_key(self):
+        codes = ("RL9", "RL10", "RL11")
+        hashes = (("a.py", "h1"), ("b.py", "h2"))
+        base = program_key(codes, hashes)
+        v1 = program_key(codes, hashes, model_version="1")
+        v2 = program_key(codes, hashes, model_version="2")
+        assert len({base, v1, v2}) == 3
+        # Same inputs, same version: deterministic.
+        assert v1 == program_key(codes, hashes, model_version="1")
+
+    def test_model_version_bump_forces_cold_program_pass(self, tmp_path):
+        """Satellite contract: bumping CONCURRENCY_MODEL_VERSION must
+        miss the cached program entry even when no source changed."""
+        cache = LintCache(str(tmp_path / "cache.json"), fingerprint="fp")
+        codes = ("RL9",)
+        hashes = (("m.py", "hash"),)
+        old = program_key(codes, hashes, model_version="1")
+        cache.put_program(old, [])
+        assert cache.get_program(old) == []
+        bumped = program_key(codes, hashes, model_version="2")
+        assert cache.get_program(bumped) is None
 
     def test_corrupt_cache_file_is_discarded(self, tmp_path):
         path = tmp_path / "cache.json"

@@ -11,7 +11,7 @@ from repro.analysis import lint_file, lint_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
 CODES = ("RL1", "RL2", "RL3", "RL4", "RL5")
-PROGRAM_CODES = ("RL6", "RL7", "RL8")
+PROGRAM_CODES = ("RL6", "RL7", "RL8", "RL9", "RL10", "RL11")
 
 
 def codes_in(path: Path) -> set[str]:
@@ -189,3 +189,43 @@ class TestRuleDetail:
         assert "`global COUNT`" in messages
         assert "class-level mutable attribute" in messages
         assert ".append()" in messages
+
+    def test_rl9_covers_all_three_shapes(self):
+        messages = [
+            d.message
+            for d in program_lint(FIXTURES / "rl9_positive.py")
+            if d.code == "RL9"
+        ]
+        assert len(messages) == 3
+        assert any("await inside a Transaction scope" in m for m in messages)
+        assert any("without an immediate await" in m for m in messages)
+        assert any("task spawned inside a Transaction" in m for m in messages)
+
+    def test_rl10_names_each_blocking_reason(self):
+        messages = [
+            d.message
+            for d in program_lint(FIXTURES / "rl10_positive.py")
+            if d.code == "RL10"
+        ]
+        assert len(messages) == 3
+        assert any("blocking file IO" in m for m in messages)
+        assert any("transitively mutates the design" in m for m in messages)
+        assert any("blocking call time.sleep" in m for m in messages)
+
+    def test_rl11_covers_lockset_and_loop_touches(self):
+        messages = [
+            d.message
+            for d in program_lint(FIXTURES / "rl11_positive.py")
+            if d.code == "RL11"
+        ]
+        assert len(messages) == 3
+        assert any("inconsistent lockset" in m for m in messages)
+        assert any(
+            "put_nowait on an event-loop object" in m for m in messages
+        )
+        assert any(
+            "call_soon on an event-loop object" in m for m in messages
+        )
+        # The lockset message names the lock the other writers hold.
+        lockset = next(m for m in messages if "inconsistent" in m)
+        assert "Tally._lock" in lockset

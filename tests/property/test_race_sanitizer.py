@@ -1,0 +1,69 @@
+"""Property: the runtime race trace is contained in the static
+predictions, whatever the workload.
+
+Two drivers, both with the effect sanitizer *and* the race tracer
+armed: the sharded engine differential at ``workers=2`` (process
+parallelism) and a live serve load with concurrent conflicting ECOs
+(thread + event-loop parallelism).  Zero gaps means every observed
+await-in-transaction, in-transaction mutation and under-lock mutation
+landed in a frame the static concurrency model predicted — the
+differential contract RL9-RL11 are trusted on.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.testing.sanitizer import (
+    ENV_FLAG,
+    _differential_run,
+    _serve_load_run,
+)
+
+SETTINGS = settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _with_worker_tracing(fn, *args, **kwargs):
+    """Run *fn* with shard-worker-side tracing armed, restoring env."""
+    before = os.environ.get(ENV_FLAG)
+    os.environ[ENV_FLAG] = "1"
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        if before is None:
+            del os.environ[ENV_FLAG]
+        else:
+            os.environ[ENV_FLAG] = before
+
+
+@SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_workers2_run_stays_inside_static_predictions(seed):
+    sanitized, bare, gaps, events = _with_worker_tracing(
+        _differential_run, 60, seed, workers=2
+    )
+    assert sanitized == bare  # instrumentation is observation-only
+    assert events > 0
+    assert gaps == []
+
+
+@SETTINGS
+@given(
+    seed=st.integers(0, 10_000),
+    clients=st.integers(2, 4),
+)
+def test_serve_load_race_trace_is_predicted(seed, clients):
+    digest, gaps, events, race_events = _serve_load_run(
+        48, seed, clients=clients, ecos_per_client=3
+    )
+    assert len(digest) == 64  # the session survived to a digest
+    assert events > 0
+    assert race_events > 0
+    assert gaps == []

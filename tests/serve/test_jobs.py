@@ -1,6 +1,7 @@
 """JobQueue unit tests: retirement, stats hygiene, rejected submits."""
 
 import asyncio
+import threading
 
 import pytest
 
@@ -63,6 +64,77 @@ class TestWorkerRetirement:
             await _settle(queue)
             assert queue.stats().queued == {}
             assert queue.failed == 1
+
+        asyncio.run(scenario())
+
+
+class TestRetirementSubmitRace:
+    """The worker-retirement vs. submit interleavings (PR-9 audit).
+
+    Retirement is safe because the post-job cleanup runs in one atomic
+    event-loop slice; these tests pin both windows so a refactor that
+    introduces an await into the retirement path fails loudly instead
+    of stranding jobs."""
+
+    def test_submit_while_last_job_is_running_is_not_stranded(self):
+        """A job submitted while the worker is inside the *last*
+        queued job's ``to_thread`` call must be drained by that same
+        worker, not stranded on a deleted queue."""
+
+        async def scenario() -> None:
+            queue = JobQueue(max_inflight=2, queue_depth=8)
+            release = threading.Event()
+            entered = asyncio.Event()
+            loop = asyncio.get_running_loop()
+
+            def slow() -> dict[str, object]:
+                loop.call_soon_threadsafe(entered.set)
+                assert release.wait(timeout=10.0)
+                return {"job": "slow"}
+
+            first = queue.submit("a", slow)
+            # The worker is now inside slow() for its last queued job.
+            await entered.wait()
+            second = queue.submit("a", lambda: {"job": "late"})
+            release.set()
+            assert await first == {"job": "slow"}
+            assert await second == {"job": "late"}
+            await _settle(queue)
+            assert queue.stats().queued == {}
+            assert queue.completed == 2
+
+        asyncio.run(scenario())
+
+    def test_retire_recreate_churn_keeps_fifo_and_loses_nothing(self):
+        """Many bursts against one key across repeated retirement
+        cycles: every future resolves and per-key FIFO order holds."""
+
+        async def scenario() -> None:
+            queue = JobQueue(max_inflight=4, queue_depth=64)
+            order: list[int] = []
+
+            def job(n: int):
+                def run() -> dict[str, object]:
+                    order.append(n)
+                    return {"n": n}
+
+                return run
+
+            n = 0
+            futures = []
+            for _burst in range(25):
+                for _ in range(4):
+                    futures.append(queue.submit("a", job(n)))
+                    n += 1
+                # Let the worker drain fully so it retires between
+                # bursts (the churn being exercised).
+                await _settle(queue, rounds=200)
+            results = await asyncio.gather(*futures)
+            assert [r["n"] for r in results] == list(range(n))
+            assert order == list(range(n))
+            assert queue.stats().queued == {}
+            assert queue._workers == {}
+            assert queue.completed == n
 
         asyncio.run(scenario())
 
