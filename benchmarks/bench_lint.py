@@ -11,7 +11,14 @@ contract the unit suite also pins:
   the only thing that makes `repro lint` cheap enough to sit in
   pre-commit, so its speedup is a gated perf artifact, not a hope.
 
-Appends both wall times, the ratio, and the file/rule counts to
+The **flow-sensitive pass** (RL12 taint + RL13 typestate + RL14
+hot-path, the rules that build CFGs and run the interprocedural taint
+fixpoint) is additionally timed on its own cache: it is the most
+expensive analysis layer, so its warm/cold ratio is gated separately
+at the same >= 5x — a cache-key bug that silently re-runs only the
+flow rules would hide inside the full-run ratio otherwise.
+
+Appends all wall times, the ratios, and the file/rule counts to
 ``BENCH_lint.json`` via :mod:`benchmarks.trajectory` so the CI
 ``lint-bench`` step grows a reviewable trajectory across PRs.
 """
@@ -40,9 +47,13 @@ from repro.analysis.runner import lint_paths
 
 MIN_SPEEDUP = 5.0
 
+#: The flow-sensitive layer: CFG construction + interprocedural taint.
+FLOW_RULES = ("RL12", "RL13", "RL14")
+
 
 def run_bench(target: str) -> dict[str, object]:
-    """One cold + one warm interprocedural lint over *target*."""
+    """One cold + one warm interprocedural lint over *target*, plus a
+    cold + warm flow-rules-only pass on its own cache."""
     with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
         cache = os.path.join(tmp, "cache.json")
         t0 = time.perf_counter()
@@ -55,14 +66,38 @@ def run_bench(target: str) -> dict[str, object]:
             [target], interprocedural=True, cache_path=cache
         )
         warm_s = time.perf_counter() - t0
+
+        flow_cache = os.path.join(tmp, "flow-cache.json")
+        t0 = time.perf_counter()
+        flow_cold, _ = lint_paths(
+            [target],
+            select=FLOW_RULES,
+            interprocedural=True,
+            cache_path=flow_cache,
+        )
+        flow_cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        flow_warm, _ = lint_paths(
+            [target],
+            select=FLOW_RULES,
+            interprocedural=True,
+            cache_path=flow_cache,
+        )
+        flow_warm_s = time.perf_counter() - t0
     return {
         "cold_s": round(cold_s, 4),
         "warm_s": round(warm_s, 4),
         "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else float("inf"),
+        "flow_cold_s": round(flow_cold_s, 4),
+        "flow_warm_s": round(flow_warm_s, 4),
+        "flow_speedup": round(flow_cold_s / flow_warm_s, 2)
+        if flow_warm_s > 0
+        else float("inf"),
         "files": cold_scan.files_scanned,
         "rules": len(cold_scan.rules_run),
         "cold_findings": len(cold_diags),
         "warm_findings": len(warm_diags),
+        "flow_findings": len(flow_cold) + len(flow_warm),
         "warm_matches_cold": [d.to_dict() for d in warm_diags]
         == [d.to_dict() for d in cold_diags],
         "files_stable": warm_scan.files_scanned == cold_scan.files_scanned,
@@ -106,11 +141,22 @@ def main(argv: list[str] | None = None) -> int:
         failures.append("warm diagnostics differ from cold diagnostics")
     if not metrics["files_stable"]:
         failures.append("warm file count differs from cold file count")
+    if metrics["flow_findings"]:
+        failures.append(
+            "flow-sensitive pass (RL12-RL14) is not self-clean: "
+            f"{metrics['flow_findings']} finding(s)"
+        )
     if metrics["speedup"] < MIN_SPEEDUP:
         failures.append(
             f"warm run only {metrics['speedup']}x faster than cold "
             f"(gate: >={MIN_SPEEDUP}x; cold {metrics['cold_s']}s, "
             f"warm {metrics['warm_s']}s)"
+        )
+    if metrics["flow_speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"warm flow pass only {metrics['flow_speedup']}x faster "
+            f"than cold (gate: >={MIN_SPEEDUP}x; cold "
+            f"{metrics['flow_cold_s']}s, warm {metrics['flow_warm_s']}s)"
         )
     for failure in failures:
         print(f"bench_lint: FAIL {failure}", file=sys.stderr)

@@ -70,6 +70,64 @@ def render_json(
     return json.dumps(document, indent=2, sort_keys=False)
 
 
+def _gh_escape_data(text: str) -> str:
+    """Escape a workflow-command message body."""
+    return (
+        text.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def _gh_escape_prop(text: str) -> str:
+    """Escape a workflow-command property value (file=, title=...)."""
+    return (
+        _gh_escape_data(text).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def render_github(
+    diagnostics: list[Diagnostic], summary: ScanSummary
+) -> str:
+    """GitHub Actions ``::error`` workflow commands, one per finding.
+
+    Emitted to stdout inside a job, these annotate the PR diff at the
+    exact file/line/column; the footer goes through ``::notice`` so it
+    shows up in the job summary without claiming a source location.
+    """
+    lines = [
+        "::error file={file},line={line},col={col},title={title}::{msg}".format(
+            file=_gh_escape_prop(diag.path.replace("\\", "/")),
+            line=diag.line,
+            # Annotation columns are 1-based; diagnostics are 0-based.
+            col=diag.col + 1,
+            title=_gh_escape_prop(f"{diag.code} {diag.rule}"),
+            msg=_gh_escape_data(diag.message),
+        )
+        for diag in sorted(diagnostics)
+    ]
+    if diagnostics:
+        per_code = ", ".join(
+            f"{code}: {n}" for code, n in counts_by_code(diagnostics).items()
+        )
+        lines.append(
+            "::notice title=repro-lint::"
+            + _gh_escape_data(
+                f"{len(diagnostics)} finding(s) in "
+                f"{summary.files_scanned} file(s) ({per_code})"
+            )
+        )
+    else:
+        lines.append(
+            "::notice title=repro-lint::"
+            + _gh_escape_data(
+                f"clean ({summary.files_scanned} file(s), "
+                f"{len(summary.rules_run)} rule(s))"
+            )
+        )
+    return "\n".join(lines)
+
+
 #: SARIF spec version emitted by :func:`render_sarif`.
 SARIF_VERSION = "2.1.0"
 _SARIF_SCHEMA = (

@@ -18,6 +18,9 @@ from repro.analysis.rules import (  # noqa: F401  (imported for side effects)
     rl9_awaittxn,
     rl10_blockingloop,
     rl11_lockset,
+    rl12_taint,
+    rl13_lifecycle,
+    rl14_hotpath,
 )
 
 __all__ = [
@@ -32,4 +35,7 @@ __all__ = [
     "rl9_awaittxn",
     "rl10_blockingloop",
     "rl11_lockset",
+    "rl12_taint",
+    "rl13_lifecycle",
+    "rl14_hotpath",
 ]

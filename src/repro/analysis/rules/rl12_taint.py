@@ -1,0 +1,800 @@
+"""RL12: untrusted-input taint from the wire to sensitive sinks.
+
+The serving layer (PR 6) and the shard transport (PR 8) both decode
+attacker-shaped bytes: JSON request params in
+:mod:`repro.serve.protocol` and worker frames in
+:mod:`repro.engine.wire`.  The PR 6 review caught one hole by hand —
+a wire-supplied snapshot directory reaching the filesystem before the
+dir-confinement helper existed.  This rule checks that whole class
+mechanically: **a value originating at a wire decode point must pass
+through a registered sanitizer before it reaches a sensitive sink.**
+
+Sources (taint level in parentheses):
+
+* parameters annotated exactly ``dict[str, object]`` and named
+  ``params`` / ``message`` / ``reply`` — the decoded wire dicts (raw);
+* results of ``decode_request`` / ``decode_message`` and ``.params``
+  attribute loads (raw);
+* typed extractor results: ``param_int``/``param_float``/
+  ``param_opt_int``/``message_int``/``message_float`` (num, the type
+  is checked but the range is not), ``param_str``/``message_str``
+  (str); ``param_bool`` is clean (two values, nothing to bound).
+
+Sinks and the levels they report:
+
+=============  ==========================================  ===========
+kind           examples                                    reports
+=============  ==========================================  ===========
+path           ``open``/``makedirs``/``rmtree``/           raw, str
+               ``unlink``/``rename``/``mkdir``/
+               ``write_text``/``write_bytes``
+pickle         ``pickle.loads`` / ``pickle.load``          raw, str
+spawn          ``subprocess.*`` / ``os.system`` /          raw, str
+               ``os.exec*`` / ``os.spawn*``
+config         ``EngineConfig``/``LegalizerConfig``/       raw, num
+               ``GeneratorConfig``/keyworded ``replace``
+=============  ==========================================  ===========
+
+Sanitizers kill taint flow-sensitively on the edge they guard: a
+bounded extractor call (``minimum=``/``maximum=`` keyword), ``int()``/
+``float()`` downgrade raw→num, helpers whose name contains
+``confine``/``validate``/``sanitize``/``clamp``, ``min``/``max``
+against a constant, and explicit range guards — an ``if``/``assert``
+comparing the name against a numeric bound whose failure path raises
+dominates the fall-through, so the post-guard state is clean.
+
+Propagation is intraprocedural over the CFG
+(:func:`repro.analysis.cfg.solve_forward`) and interprocedural via
+per-function summaries on the resolved call graph: every parameter is
+seeded with its own index as a symbolic origin, sink hits inside a
+callee are instantiated at each call site with the caller's actual
+argument taint, and findings are exactly the hits whose origin set
+contains the wire marker.  Interprocedural hits are reported at the
+call site (where the untrusted value entered the callee), so a
+``# repro-lint: disable=RL12 -- why`` suppression sits next to the
+trust decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from repro.analysis.callgraph import FunctionInfo, Program, dotted
+from repro.analysis.cfg import (
+    CFG,
+    EXC,
+    FALSE,
+    FLOW,
+    TRUE,
+    flow_model_for,
+    header_walk,
+    solve_forward,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseProgramRule, register_program
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: The symbolic origin marking a real wire source (vs a parameter
+#: index, which is only a potential conduit).
+WIRE = -1
+
+RAW = "raw"
+NUM = "num"
+STR = "str"
+
+_SOURCE_PARAM_NAMES = frozenset({"params", "message", "reply"})
+_SOURCE_ANNOTATIONS = frozenset({"dict[str, object]"})
+_DECODERS = frozenset({"decode_request", "decode_message"})
+
+_NUM_EXTRACTORS = frozenset(
+    {
+        "param_int",
+        "param_float",
+        "param_opt_int",
+        "message_int",
+        "message_float",
+    }
+)
+_STR_EXTRACTORS = frozenset({"param_str", "message_str"})
+_CLEAN_EXTRACTORS = frozenset({"param_bool"})
+_BOUND_KWARGS = frozenset({"minimum", "maximum"})
+_SANITIZER_FRAGMENTS = ("confine", "validate", "sanitize", "clamp")
+
+_PATH_SINKS = frozenset(
+    {
+        "open",
+        "makedirs",
+        "rmtree",
+        "unlink",
+        "remove",
+        "rename",
+        "mkdir",
+        "write_text",
+        "write_bytes",
+    }
+)
+_CONFIG_SINKS = frozenset(
+    {"EngineConfig", "LegalizerConfig", "GeneratorConfig"}
+)
+_PICKLE_SINKS = frozenset({"pickle.loads", "pickle.load"})
+
+_REPORTABLE: dict[str, frozenset[str]] = {
+    "path": frozenset({RAW, STR}),
+    "pickle": frozenset({RAW, STR}),
+    "spawn": frozenset({RAW, STR}),
+    "config": frozenset({RAW, NUM}),
+}
+
+_SINK_ADVICE: dict[str, str] = {
+    "path": (
+        "route it through the dir-confinement helper or a typed "
+        "extractor before touching the filesystem"
+    ),
+    "pickle": (
+        "never unpickle wire bytes from an untrusted peer; keep "
+        "payload decoding behind an explicit trust boundary"
+    ),
+    "spawn": (
+        "never place wire-derived values in a subprocess/spawn "
+        "payload without validation"
+    ),
+    "config": (
+        "extract it with `minimum=`/`maximum=` bounds (or an "
+        "explicit range guard) before it configures the engine"
+    ),
+}
+
+
+class Taint(NamedTuple):
+    """Lattice value: a level plus the set of symbolic origins."""
+
+    level: str
+    origins: frozenset[int]
+
+
+class SinkHit(NamedTuple):
+    """One (possibly symbolic) taint arrival at a sink."""
+
+    kind: str
+    level: str
+    path: str
+    line: int
+    col: int
+    origins: frozenset[int]
+    detail: str
+
+
+@dataclass
+class _Summary:
+    """Per-function interprocedural summary."""
+
+    hits: frozenset[SinkHit] = frozenset()
+    returns: Taint | None = None
+
+
+_Env = dict[str, Taint]
+
+
+def _join_level(a: str, b: str) -> str:
+    if a == b:
+        return a
+    return RAW
+
+
+def _join(a: Taint | None, b: Taint | None) -> Taint | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return Taint(_join_level(a.level, b.level), a.origins | b.origins)
+
+
+def _join_env(a: _Env, b: _Env) -> _Env:
+    out = dict(a)
+    for name, taint in b.items():
+        merged = _join(out.get(name), taint)
+        if merged is not None:
+            out[name] = merged
+    return out
+
+
+@register_program
+class TaintRule(BaseProgramRule):
+    """Wire-derived values must be sanitized before sensitive sinks."""
+
+    code = "RL12"
+    name = "untrusted-input-taint"
+    summary = (
+        "values decoded from the wire must pass a registered "
+        "sanitizer (typed bounded extractor, dir confinement, range "
+        "guard) before reaching filesystem, pickle, spawn, or "
+        "engine-config sinks"
+    )
+    enforced = ("serve", "engine")
+
+    def check_program(self, program: Program) -> Iterator[Diagnostic]:
+        analysis = _Analysis(program)
+        analysis.run()
+        seen: set[tuple[str, int, int, str]] = set()
+        for qname in sorted(analysis.summaries):
+            for hit in sorted(analysis.summaries[qname].hits):
+                if WIRE not in hit.origins:
+                    continue
+                if hit.level not in _REPORTABLE[hit.kind]:
+                    continue
+                if not self._in_scope(program, hit.path):
+                    continue
+                key = (hit.path, hit.line, hit.col, hit.kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.diag_at(
+                    hit.path,
+                    hit.line,
+                    hit.col,
+                    f"untrusted wire input ({hit.level}) may reach "
+                    f"{hit.kind} sink {hit.detail} without a "
+                    f"registered sanitizer; {_SINK_ADVICE[hit.kind]}",
+                )
+
+    def _in_scope(self, program: Program, path: str) -> bool:
+        ctx = program.contexts.get(path)
+        if ctx is None or ctx.subpackage is None:
+            return True
+        assert self.enforced is not None
+        return ctx.subpackage in self.enforced
+
+
+# ----------------------------------------------------------------------
+# The interprocedural engine
+# ----------------------------------------------------------------------
+@dataclass
+class _FuncFacts:
+    """Static per-function facts shared across fixpoint passes."""
+
+    info: FunctionInfo
+    cfg: CFG
+    callmap: dict[int, str]
+    param_names: list[str]
+    self_offset: int
+
+
+class _Analysis:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries: dict[str, _Summary] = {}
+        self._facts: dict[str, _FuncFacts] = {}
+        model = flow_model_for(program)
+        for qname, info in sorted(program.table.functions.items()):
+            if _is_extractor(info.name):
+                continue
+            cfg = model.cfg_of(qname)
+            if cfg is None:  # pragma: no cover - table always has it
+                continue
+            callmap = {
+                id(site.node): site.callee
+                for site in program.graph.out_edges.get(qname, [])
+                if site.callee is not None and site.node is not None
+            }
+            args = info.node.args
+            positional = list(args.posonlyargs) + list(args.args)
+            names = [a.arg for a in positional] + [
+                a.arg for a in args.kwonlyargs
+            ]
+            offset = (
+                1 if names and names[0] in ("self", "cls") else 0
+            )
+            self._facts[qname] = _FuncFacts(
+                info, cfg, callmap, names, offset
+            )
+            self.summaries[qname] = _Summary()
+
+    def run(self) -> None:
+        for _round in range(8):
+            changed = False
+            for qname in sorted(self._facts):
+                hits, returns = self._analyze(qname)
+                old = self.summaries[qname]
+                if hits != old.hits or returns != old.returns:
+                    self.summaries[qname] = _Summary(hits, returns)
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    def _analyze(
+        self, qname: str
+    ) -> tuple[frozenset[SinkHit], Taint | None]:
+        facts = self._facts[qname]
+        entry = self._entry_env(facts)
+        hits: set[SinkHit] = set()
+        returns: list[Taint] = []
+
+        def transfer(bid: int, env: _Env) -> dict[str, _Env]:
+            return self._block(facts, bid, env, None, None)
+
+        in_states = solve_forward(
+            facts.cfg,
+            entry_state=entry,
+            transfer=transfer,
+            join=_join_env,
+            bottom={},
+        )
+        for bid in facts.cfg.reachable():
+            self._block(facts, bid, in_states[bid], hits, returns)
+        ret: Taint | None = None
+        for taint in returns:
+            ret = _join(ret, taint)
+        return frozenset(hits), ret
+
+    def _entry_env(self, facts: _FuncFacts) -> _Env:
+        env: _Env = {}
+        args = facts.info.node.args
+        annotated = {
+            a.arg: a.annotation
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+        }
+        for index, name in enumerate(facts.param_names):
+            if index == 0 and facts.self_offset:
+                continue
+            origins = {index}
+            annotation = annotated.get(name)
+            if (
+                name in _SOURCE_PARAM_NAMES
+                and annotation is not None
+                and ast.unparse(annotation) in _SOURCE_ANNOTATIONS
+            ):
+                origins.add(WIRE)
+            env[name] = Taint(RAW, frozenset(origins))
+        return env
+
+    # ------------------------------------------------------------------
+    def _block(
+        self,
+        facts: _FuncFacts,
+        bid: int,
+        in_env: _Env,
+        hits: set[SinkHit] | None,
+        returns: list[Taint] | None,
+    ) -> dict[str, _Env]:
+        env = dict(in_env)
+        block = facts.cfg.blocks[bid]
+        for stmt in block.statements:
+            self._step(facts, stmt, env, hits, returns)
+        outs: dict[str, _Env] = {FLOW: env, EXC: env}
+        last = block.statements[-1] if block.statements else None
+        if isinstance(last, ast.If) and _body_raises(last):
+            guarded = _guarded_names(last.test)
+            if guarded:
+                narrowed = {
+                    k: v for k, v in env.items() if k not in guarded
+                }
+                outs[FALSE] = narrowed
+                outs[TRUE] = env
+        return outs
+
+    def _step(
+        self,
+        facts: _FuncFacts,
+        stmt: ast.stmt,
+        env: _Env,
+        hits: set[SinkHit] | None,
+        returns: list[Taint] | None,
+    ) -> None:
+        if hits is not None:
+            for node in header_walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._record_sinks(facts, node, env, hits)
+                    self._instantiate(facts, node, env, hits)
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(facts, stmt.value, env)
+            for target in stmt.targets:
+                _bind(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            taint = self._eval(facts, stmt.value, env)
+            _bind(stmt.target, taint, env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = _join(
+                self._eval(facts, stmt.value, env),
+                env.get(stmt.target.id)
+                if isinstance(stmt.target, ast.Name)
+                else None,
+            )
+            _bind(stmt.target, taint, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _bind(stmt.target, self._eval(facts, stmt.iter, env), env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    _bind(
+                        item.optional_vars,
+                        self._eval(facts, item.context_expr, env),
+                        env,
+                    )
+        elif isinstance(stmt, ast.Assert):
+            for name in _guarded_names(stmt.test):
+                env.pop(name, None)
+        elif isinstance(stmt, ast.Return):
+            if returns is not None and stmt.value is not None:
+                taint = self._eval(facts, stmt.value, env)
+                if taint is not None:
+                    returns.append(taint)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation (pure — no hit recording)
+    # ------------------------------------------------------------------
+    def _eval(
+        self, facts: _FuncFacts, expr: ast.expr, env: _Env
+    ) -> Taint | None:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._eval(facts, expr.value, env)
+            if expr.attr == "params":
+                return _join(base, Taint(RAW, frozenset({WIRE})))
+            return base
+        if isinstance(expr, ast.Subscript):
+            return self._eval(facts, expr.value, env)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(facts, expr, env)
+        if isinstance(expr, ast.BoolOp):
+            out: Taint | None = None
+            for value in expr.values:
+                out = _join(out, self._eval(facts, value, env))
+            return out
+        if isinstance(expr, ast.BinOp):
+            return _join(
+                self._eval(facts, expr.left, env),
+                self._eval(facts, expr.right, env),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(facts, expr.operand, env)
+        if isinstance(expr, ast.IfExp):
+            return _join(
+                self._eval(facts, expr.body, env),
+                self._eval(facts, expr.orelse, env),
+            )
+        if isinstance(expr, ast.Compare):
+            return None
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            inner: Taint | None = None
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    inner = _join(
+                        inner, self._eval(facts, child, env)
+                    )
+            if inner is None:
+                return None
+            return Taint(STR, inner.origins)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = None
+            for elt in expr.elts:
+                out = _join(out, self._eval(facts, elt, env))
+            return out
+        if isinstance(expr, ast.Dict):
+            out = None
+            for value in expr.values:
+                out = _join(out, self._eval(facts, value, env))
+            return out
+        if isinstance(expr, ast.Starred):
+            return self._eval(facts, expr.value, env)
+        if isinstance(expr, ast.Await):
+            return self._eval(facts, expr.value, env)
+        return None
+
+    def _eval_call(
+        self, facts: _FuncFacts, call: ast.Call, env: _Env
+    ) -> Taint | None:
+        name = dotted(call.func)
+        bare = name.rsplit(".", 1)[-1] if name else ""
+        first = (
+            self._eval(facts, call.args[0], env) if call.args else None
+        )
+        if bare in _NUM_EXTRACTORS:
+            if any(kw.arg in _BOUND_KWARGS for kw in call.keywords):
+                return None
+            return None if first is None else Taint(NUM, first.origins)
+        if bare in _STR_EXTRACTORS:
+            return None if first is None else Taint(STR, first.origins)
+        if bare in _CLEAN_EXTRACTORS:
+            return None
+        if bare in _DECODERS:
+            return Taint(RAW, frozenset({WIRE}))
+        if bare in ("int", "float") and name == bare:
+            args_taint = self._args_taint(facts, call, env)
+            if args_taint is None:
+                return None
+            return Taint(NUM, args_taint.origins)
+        if bare == "str" and name == bare:
+            args_taint = self._args_taint(facts, call, env)
+            if args_taint is None:
+                return None
+            return Taint(STR, args_taint.origins)
+        if bare in ("bool", "len", "isinstance", "type") and name == bare:
+            return None
+        if any(frag in bare.lower() for frag in _SANITIZER_FRAGMENTS):
+            return None
+        if bare in ("min", "max") and name == bare:
+            if any(
+                isinstance(a, ast.Constant)
+                and isinstance(a.value, (int, float))
+                for a in call.args
+            ):
+                return None
+            return self._args_taint(facts, call, env)
+        callee = facts.callmap.get(id(call))
+        if callee is not None and callee in self.summaries:
+            ret = self.summaries[callee].returns
+            # Method-style resolution can land on a same-named
+            # function elsewhere (unique-bare-name fallback), so only
+            # a direct-name call or a self/cls method inherits the
+            # callee's own wire origin; argument-mapped origins flow
+            # either way, and a method result conservatively carries
+            # its receiver's taint.
+            trusted = not isinstance(
+                call.func, ast.Attribute
+            ) or (
+                isinstance(call.func.value, ast.Name)
+                and call.func.value.id in ("self", "cls")
+            )
+            out = (
+                None
+                if ret is None
+                else self._map_origins(
+                    facts, call, callee, ret, env, keep_wire=trusted
+                )
+            )
+            if isinstance(call.func, ast.Attribute):
+                out = _join(
+                    out, self._eval(facts, call.func.value, env)
+                )
+            return out
+        # Unknown callee: conservative pass-through of receiver + args.
+        out = self._args_taint(facts, call, env)
+        if isinstance(call.func, ast.Attribute):
+            out = _join(
+                out, self._eval(facts, call.func.value, env)
+            )
+        return out
+
+    def _args_taint(
+        self, facts: _FuncFacts, call: ast.Call, env: _Env
+    ) -> Taint | None:
+        out: Taint | None = None
+        for arg in call.args:
+            out = _join(out, self._eval(facts, arg, env))
+        for kw in call.keywords:
+            out = _join(out, self._eval(facts, kw.value, env))
+        return out
+
+    # ------------------------------------------------------------------
+    # Summary instantiation
+    # ------------------------------------------------------------------
+    def _map_origins(
+        self,
+        facts: _FuncFacts,
+        call: ast.Call,
+        callee: str,
+        symbolic: Taint,
+        env: _Env,
+        keep_wire: bool = True,
+    ) -> Taint | None:
+        """Rewrite *symbolic* (callee-parameter origins) into the
+        caller's frame using the actual arguments at *call*."""
+        callee_facts = self._facts.get(callee)
+        if callee_facts is None:
+            return None
+        origins: set[int] = set()
+        level = symbolic.level
+        arg_level: str | None = None
+        star: Taint | None = None
+        for kw in call.keywords:
+            if kw.arg is None:
+                star = _join(star, self._eval(facts, kw.value, env))
+        by_name = {
+            name: i
+            for i, name in enumerate(callee_facts.param_names)
+        }
+        for origin in symbolic.origins:
+            if origin == WIRE:
+                if keep_wire:
+                    origins.add(WIRE)
+                continue
+            actual = self._actual_for(
+                facts, call, callee_facts, origin, by_name, env
+            )
+            if actual is None:
+                actual = star
+            if actual is None:
+                continue
+            origins |= actual.origins
+            arg_level = (
+                actual.level
+                if arg_level is None
+                else _join_level(arg_level, actual.level)
+            )
+        if not origins:
+            return None
+        if level == RAW and arg_level is not None:
+            level = arg_level
+        return Taint(level, frozenset(origins))
+
+    def _actual_for(
+        self,
+        facts: _FuncFacts,
+        call: ast.Call,
+        callee_facts: _FuncFacts,
+        index: int,
+        by_name: dict[str, int],
+        env: _Env,
+    ) -> Taint | None:
+        """Taint of the argument bound to callee parameter *index*."""
+        pos = index - callee_facts.self_offset
+        if 0 <= pos < len(call.args):
+            arg = call.args[pos]
+            if not isinstance(arg, ast.Starred):
+                return self._eval(facts, arg, env)
+        for kw in call.keywords:
+            if kw.arg is not None and by_name.get(kw.arg) == index:
+                return self._eval(facts, kw.value, env)
+        return None
+
+    def _instantiate(
+        self,
+        facts: _FuncFacts,
+        call: ast.Call,
+        env: _Env,
+        hits: set[SinkHit],
+    ) -> None:
+        callee = facts.callmap.get(id(call))
+        if callee is None:
+            return
+        summary = self.summaries.get(callee)
+        callee_facts = self._facts.get(callee)
+        if summary is None or callee_facts is None:
+            return
+        short = callee.rsplit(".", 1)[-1]
+        for hit in summary.hits:
+            if WIRE in hit.origins:
+                # Already a finding inside the callee itself.
+                continue
+            mapped = self._map_origins(
+                facts,
+                call,
+                callee,
+                Taint(hit.level, hit.origins),
+                env,
+            )
+            if mapped is None or not mapped.origins:
+                continue
+            hits.add(
+                SinkHit(
+                    hit.kind,
+                    mapped.level,
+                    facts.info.path,
+                    call.lineno,
+                    call.col_offset,
+                    mapped.origins,
+                    f"via `{short}` (line {hit.line})",
+                )
+            )
+
+    def _record_sinks(
+        self,
+        facts: _FuncFacts,
+        call: ast.Call,
+        env: _Env,
+        hits: set[SinkHit],
+    ) -> None:
+        kind = _sink_kind(call)
+        if kind is None:
+            return
+        taint = self._args_taint(facts, call, env)
+        if taint is None:
+            return
+        name = dotted(call.func) or "<dynamic>"
+        hits.add(
+            SinkHit(
+                kind,
+                taint.level,
+                facts.info.path,
+                call.lineno,
+                call.col_offset,
+                taint.origins,
+                f"`{name}(...)`",
+            )
+        )
+
+
+def _bind(
+    target: ast.expr, taint: Taint | None, env: _Env
+) -> None:
+    if isinstance(target, ast.Name):
+        if taint is None:
+            env.pop(target.id, None)
+        else:
+            env[target.id] = taint
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bind(elt, taint, env)
+    elif isinstance(target, ast.Starred):
+        _bind(target.value, taint, env)
+    elif isinstance(target, ast.Subscript) and isinstance(
+        target.value, ast.Name
+    ):
+        # ``d[k] = tainted`` taints the container (weak update).
+        if taint is not None:
+            merged = _join(env.get(target.value.id), taint)
+            if merged is not None:
+                env[target.value.id] = merged
+
+
+def _is_extractor(bare_name: str) -> bool:
+    return bare_name.startswith(("param_", "message_"))
+
+
+def _body_raises(stmt: ast.If) -> bool:
+    return any(isinstance(s, ast.Raise) for s in stmt.body)
+
+
+def _guarded_names(test: ast.expr) -> frozenset[str]:
+    """Names range-compared against a numeric bound in *test* — a
+    constant, or an ALL_CAPS name by convention."""
+    out: set[str] = set()
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        if not any(_is_bound(op) for op in operands):
+            continue
+        if not any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+            for op in node.ops
+        ):
+            continue
+        for op in operands:
+            if isinstance(op, ast.Name) and not op.id.isupper():
+                out.add(op.id)
+    return frozenset(out)
+
+
+def _is_bound(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant) and isinstance(
+        expr.value, (int, float)
+    ):
+        return True
+    return isinstance(expr, ast.Name) and expr.id.isupper()
+
+
+def _sink_kind(call: ast.Call) -> str | None:
+    name = dotted(call.func)
+    if name is None:
+        return None
+    bare = name.rsplit(".", 1)[-1]
+    head = name.split(".", 1)[0]
+    if name in _PICKLE_SINKS:
+        return "pickle"
+    if head == "subprocess" or name == "os.system":
+        return "spawn"
+    if head == "os" and (
+        bare.startswith("exec") or bare.startswith("spawn")
+    ):
+        return "spawn"
+    if bare in _PATH_SINKS:
+        return "path"
+    if bare in _CONFIG_SINKS:
+        return "config"
+    if bare == "replace" and call.keywords:
+        # dataclasses.replace(cfg, field=...) / replace(cfg, **kw);
+        # str.replace never takes keywords.
+        return "config"
+    return None

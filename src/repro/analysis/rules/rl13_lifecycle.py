@@ -1,0 +1,394 @@
+"""RL13: resource-lifecycle typestate over the control-flow graph.
+
+The serving and transport layers hold real OS resources — dial
+sockets, ``makefile`` wrappers, shard worker processes, acquired
+locks, checkpoint handles.  PR 8's review already fixed one class of
+these by hand (channel leaks on worker teardown); this rule checks the
+invariant mechanically: **an owned handle must reach released state on
+every CFG path out of the acquiring function, including exception
+paths** — or demonstrably transfer ownership (returned, stored on an
+object, passed to a callee).
+
+The analysis is a forward may-leak dataflow (the complement of the
+must-release property) over :mod:`repro.analysis.cfg`:
+
+* *gen*: ``x = open(...)`` / ``socket.create_connection`` /
+  ``sock.makefile`` / ``CheckpointManager(...)`` assignments bind an
+  obligation to ``x``; ``proc.start()`` arms one for a
+  ``Process(...)`` constructor result (an unstarted process object
+  holds no OS resource); ``lock.acquire()`` arms one keyed by the
+  receiver chain.
+* *kill*: calling a release method (``close``/``release``/``join``/
+  ``terminate``/...) on the handle, or any *escape* — the handle
+  returned, yielded, stored into an attribute/container, or passed as
+  a call argument (ownership transfer is assumed, the conservative
+  direction for a lint that must stay quiet on correct code).
+* ``with`` scopes never create obligations (the context manager
+  releases), and ``finally`` blocks sit on every routed path in the
+  CFG, so the classic discharge idioms come out clean by construction.
+* exception edges carry the state at the *raise points* inside a
+  block, so ``sock = create_connection(...); sock.settimeout(t)``
+  leaks along ``settimeout``'s exception edge until a ``try``/
+  ``except``/``finally`` (or ``with``) owns the window.
+* branch edges narrow ``is None``-style tests: on the path that
+  acquired the handle, ``if sock is None: raise`` is unreachable, so
+  its raise does not count as a leak path.
+
+Rebinding a name that still holds an obligation (``f = open(a); f =
+open(b)``) drops the first handle on the floor and is flagged at the
+original acquisition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, NamedTuple
+
+from repro.analysis.callgraph import Program, dotted
+from repro.analysis.cfg import (
+    CFG,
+    EXC,
+    FALSE,
+    FLOW,
+    TRUE,
+    can_raise,
+    flow_model_for,
+    header_walk,
+    solve_forward,
+)
+from repro.analysis.context import parent_of
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import BaseProgramRule, register_program
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Constructor names (last dotted component) whose assigned result is
+#: an owned handle, mapped to a human description.
+_ACQUIRERS: dict[str, str] = {
+    "open": "file handle",
+    "fdopen": "file handle",
+    "makefile": "file handle",
+    "socket": "socket",
+    "create_connection": "socket",
+    "create_server": "socket",
+    "CheckpointManager": "checkpoint handle",
+}
+
+#: ``.start()``-gated constructors: the OS resource exists only after
+#: a successful start, so the obligation is armed there.
+_PROCESS_CTORS = frozenset({"Process"})
+
+#: Receiver methods that discharge the obligation.
+_RELEASES = frozenset(
+    {
+        "close",
+        "release",
+        "terminate",
+        "kill",
+        "join",
+        "shutdown",
+        "detach",
+        "abort",
+        "stop",
+        "__exit__",
+    }
+)
+
+
+class _Token(NamedTuple):
+    """One outstanding obligation: the handle name (or receiver chain
+    for locks) plus its acquisition site."""
+
+    key: str
+    line: int
+    col: int
+    desc: str
+
+
+_State = frozenset[_Token]
+
+
+@register_program
+class LifecycleRule(BaseProgramRule):
+    """Owned handles must be released on every path, exceptions included."""
+
+    code = "RL13"
+    name = "resource-lifecycle"
+    summary = (
+        "sockets, file handles, processes, acquired locks and "
+        "checkpoint handles must be released/closed on every CFG path "
+        "(including exception edges) or have ownership transferred"
+    )
+    enforced = (
+        "",
+        "core",
+        "engine",
+        "db",
+        "io",
+        "serve",
+        "apps",
+        "checker",
+        "analysis",
+        "bench",
+    )
+
+    def check_program(self, program: Program) -> Iterator[Diagnostic]:
+        model = flow_model_for(program)
+        for qname in sorted(program.table.functions):
+            info = program.table.functions[qname]
+            if not self._in_scope(program, info.path):
+                continue
+            cfg = model.cfg_of(qname)
+            if cfg is None:  # pragma: no cover - table always has it
+                continue
+            for token, reason in _leaks(cfg, info.node):
+                yield self.diag_at(
+                    info.path,
+                    token.line,
+                    token.col,
+                    f"resource may leak: {token.desc} `{token.key}` "
+                    f"acquired here {reason}; release it in a "
+                    "`finally`/`with`, close it in an `except` before "
+                    "re-raising, or transfer ownership explicitly",
+                )
+
+    def _in_scope(self, program: Program, path: str) -> bool:
+        ctx = program.contexts.get(path)
+        if ctx is None or ctx.subpackage is None:
+            return True
+        return ctx.subpackage in self.enforced
+
+
+# ----------------------------------------------------------------------
+# Per-function analysis
+# ----------------------------------------------------------------------
+def _leaks(
+    cfg: CFG, func: _FunctionNode
+) -> list[tuple[_Token, str]]:
+    """Tokens that may reach an exit unreleased, with the reason."""
+    started = _started_process_names(cfg)
+    dropped: dict[_Token, str] = {}
+
+    def transfer(bid: int, state: _State) -> dict[str, _State]:
+        cur = set(state)
+        exc_acc: set[_Token] = set()
+        block = cfg.blocks[bid]
+        for stmt in block.statements:
+            killed = _releases_of(stmt) | _escapes_of(stmt, cur)
+            cur = {t for t in cur if t.key not in killed}
+            if can_raise(stmt):
+                exc_acc |= cur
+            for rebound in sorted(_rebinds_of(stmt)):
+                for tok in sorted(t for t in cur if t.key == rebound):
+                    dropped[tok] = (
+                        "is dropped by reassigning "
+                        f"`{tok.key}` (line {stmt.lineno}) while the "
+                        "handle is still open"
+                    )
+                    cur.discard(tok)
+            cur |= _gens_of(stmt, started)
+        outs: dict[str, _State] = {
+            FLOW: frozenset(cur),
+            EXC: frozenset(exc_acc),
+        }
+        narrowed = _narrow(block, cur)
+        if narrowed is not None:
+            outs[TRUE], outs[FALSE] = narrowed
+        return outs
+
+    exits = solve_forward(
+        cfg,
+        entry_state=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        bottom=frozenset(),
+    )
+    leaked: dict[_Token, str] = dict(dropped)
+    for exit_bid, flavor in (
+        (cfg.exit, "on some path to function exit"),
+        (cfg.raise_exit, "on an exception path out of the function"),
+    ):
+        for tok in exits.get(exit_bid, frozenset()):
+            leaked.setdefault(
+                tok, f"is not closed/released {flavor}"
+            )
+    return sorted(leaked.items(), key=lambda kv: (kv[0].line, kv[0].key))
+
+
+def _started_process_names(cfg: CFG) -> frozenset[str]:
+    """Names assigned from a ``Process(...)`` constructor *and* started
+    in this function — only those carry a join/terminate obligation."""
+    ctor_names: set[str] = set()
+    for stmt in cfg.statements():
+        name_desc = _acquiring_assign(stmt, _PROCESS_CTORS)
+        if name_desc is not None:
+            ctor_names.add(name_desc[0])
+    started: set[str] = set()
+    for stmt in cfg.statements():
+        for node in header_walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "start"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ctor_names
+            ):
+                started.add(node.func.value.id)
+    return frozenset(started)
+
+
+def _acquiring_assign(
+    stmt: ast.stmt, ctors: frozenset[str] | None = None
+) -> tuple[str, str] | None:
+    """``(target-name, description)`` when *stmt* assigns an owned
+    handle (or, with *ctors*, one of those constructors) to a name."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    if not isinstance(stmt.value, ast.Call):
+        return None
+    name = dotted(stmt.value.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    if ctors is not None:
+        return (target.id, "process") if last in ctors else None
+    desc = _ACQUIRERS.get(last)
+    if desc is None:
+        return None
+    return target.id, desc
+
+
+def _gens_of(stmt: ast.stmt, started: frozenset[str]) -> set[_Token]:
+    out: set[_Token] = set()
+    acquired = _acquiring_assign(stmt)
+    if acquired is not None:
+        name, desc = acquired
+        out.add(_Token(name, stmt.lineno, stmt.col_offset, desc))
+    for node in header_walk(stmt):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+        ):
+            continue
+        recv = dotted(node.func.value)
+        if recv is None:
+            continue
+        if node.func.attr == "acquire":
+            out.add(_Token(recv, node.lineno, node.col_offset, "lock"))
+        elif node.func.attr == "start" and recv in started:
+            out.add(
+                _Token(recv, node.lineno, node.col_offset, "process")
+            )
+    return out
+
+
+def _releases_of(stmt: ast.stmt) -> set[str]:
+    """Receiver chains whose obligation *stmt* discharges by a release
+    call (``x.close()``, ``self._lock.release()``, ...)."""
+    out: set[str] = set()
+    for node in header_walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RELEASES
+        ):
+            recv = dotted(node.func.value)
+            if recv is not None:
+                out.add(recv)
+    return out
+
+
+def _rebinds_of(stmt: ast.stmt) -> set[str]:
+    """Names *stmt* rebinds (plain assignment targets)."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    return {t.id for t in targets if isinstance(t, ast.Name)}
+
+
+def _escapes_of(stmt: ast.stmt, live: set[_Token]) -> set[str]:
+    """Token keys whose handle escapes in *stmt* (ownership transfer):
+    used as a call argument, returned/yielded, or stored anywhere.
+    Receiver positions (``sock.settimeout(...)``) and pure tests
+    (``if sock is None``, ``while conn:``) do not transfer ownership."""
+    keys = {t.key for t in live if "." not in t.key}
+    if not keys:
+        return set()
+    out: set[str] = set()
+    for node in header_walk(stmt):
+        if not (
+            isinstance(node, ast.Name)
+            and node.id in keys
+            and isinstance(node.ctx, ast.Load)
+        ):
+            continue
+        parent = parent_of(node)
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            continue
+        if isinstance(parent, (ast.Compare, ast.BoolOp)):
+            continue
+        if isinstance(parent, ast.UnaryOp) and isinstance(
+            parent.op, ast.Not
+        ):
+            continue
+        if (
+            isinstance(parent, (ast.If, ast.While))
+            and parent.test is node
+        ):
+            continue
+        if isinstance(parent, ast.Call) and parent.func is node:
+            continue
+        out.add(node.id)
+    return out
+
+
+def _narrow(
+    block: "ast.stmt | object", cur: set[_Token]
+) -> tuple[_State, _State] | None:
+    """Branch narrowing for a block ending in ``if``/``while`` on a
+    handle name: on the edge where the name is ``None``/falsy, its
+    obligation cannot be live (the acquiring path makes it truthy)."""
+    from repro.analysis.cfg import BasicBlock
+
+    if not isinstance(block, BasicBlock) or not block.statements:
+        return None
+    last = block.statements[-1]
+    if not isinstance(last, (ast.If, ast.While)):
+        return None
+    name, none_on_true = _noneness_test(last.test)
+    if name is None:
+        return None
+    with_it = frozenset(cur)
+    without_it = frozenset(t for t in cur if t.key != name)
+    if none_on_true:
+        return without_it, with_it
+    return with_it, without_it
+
+
+def _noneness_test(test: ast.expr) -> tuple[str | None, bool]:
+    """``(name, True)`` when the test is true iff *name* is None/falsy
+    (``x is None`` / ``not x``), ``(name, False)`` for the negation
+    (``x is not None`` / bare ``x``), else ``(None, ...)``."""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        name, none_on_true = _noneness_test(test.operand)
+        return name, not none_on_true
+    if isinstance(test, ast.Name):
+        return test.id, False
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.left, ast.Name)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        if isinstance(test.ops[0], ast.Is):
+            return test.left.id, True
+        if isinstance(test.ops[0], ast.IsNot):
+            return test.left.id, False
+    return None, False

@@ -46,6 +46,7 @@ from repro.analysis.registry import (
 )
 from repro.analysis.reporters import (
     ScanSummary,
+    render_github,
     render_json,
     render_sarif,
     render_text,
@@ -206,7 +207,7 @@ def lint_paths(
     """Lint every ``.py`` file under *paths*.
 
     ``interprocedural=True`` additionally links the files into one
-    program and runs the registered program rules (RL6–RL11).
+    program and runs the registered program rules (RL6–RL13).
     ``cache_path`` enables the incremental result cache.
     """
     file_rules = select_rules(select, ignore)
@@ -271,12 +272,15 @@ def lint_paths(
 
     program_diags: dict[str, list[Diagnostic]] = {}
     if program_rules:
+        from repro.analysis.cfg import FLOW_MODEL_VERSION
         from repro.analysis.concurrency import CONCURRENCY_MODEL_VERSION
 
         key = program_key(
             sorted(r.code for r in program_rules),
             sorted(hashes.items()),
-            model_version=CONCURRENCY_MODEL_VERSION,
+            model_version=(
+                f"{CONCURRENCY_MODEL_VERSION}+{FLOW_MODEL_VERSION}"
+            ),
         )
         cached_prog = (
             cache.get_program(key) if cache is not None else None
@@ -334,9 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json", "sarif"],
+        choices=["text", "json", "sarif", "github"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; 'github' emits GitHub "
+        "Actions ::error annotations)",
     )
     parser.add_argument(
         "--select",
@@ -424,6 +429,7 @@ def run(argv: Sequence[str] | None = None) -> int:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
     renderer = {
+        "github": render_github,
         "json": render_json,
         "sarif": render_sarif,
         "text": render_text,

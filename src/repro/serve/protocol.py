@@ -233,25 +233,59 @@ def param_str(
 
 
 def param_int(
-    params: dict[str, object], key: str, default: int | object = _MISSING
+    params: dict[str, object],
+    key: str,
+    default: int | object = _MISSING,
+    *,
+    minimum: int | None = None,
+    maximum: int | None = None,
 ) -> int:
     value = params.get(key, default)
     if value is _MISSING:
         raise ProtocolError(f"missing required integer param {key!r}")
     if isinstance(value, bool) or not isinstance(value, int):
         raise ProtocolError(f"param {key!r} must be an integer")
+    _check_range(key, value, minimum, maximum)
     return value
 
 
 def param_float(
-    params: dict[str, object], key: str, default: float | object = _MISSING
+    params: dict[str, object],
+    key: str,
+    default: float | object = _MISSING,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
 ) -> float:
     value = params.get(key, default)
     if value is _MISSING:
         raise ProtocolError(f"missing required number param {key!r}")
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ProtocolError(f"param {key!r} must be a number")
-    return float(value)
+    out = float(value)
+    if out != out or out in (float("inf"), float("-inf")):
+        raise ProtocolError(f"param {key!r} must be finite")
+    _check_range(key, out, minimum, maximum)
+    return out
+
+
+def _check_range(
+    key: str,
+    value: float,
+    minimum: float | None,
+    maximum: float | None,
+) -> None:
+    """Range sanitizer shared by the numeric extractors: wire-supplied
+    numbers configure the engine, so out-of-range values are protocol
+    errors, not silent clamps."""
+    if minimum is not None and value < minimum:
+        raise ProtocolError(
+            f"param {key!r} must be >= {minimum}, got {value}"
+        )
+    if maximum is not None and value > maximum:
+        raise ProtocolError(
+            f"param {key!r} must be <= {maximum}, got {value}"
+        )
 
 
 def param_bool(
@@ -266,8 +300,12 @@ def param_bool(
 
 
 def param_opt_int(
-    params: dict[str, object], key: str
+    params: dict[str, object],
+    key: str,
+    *,
+    minimum: int | None = None,
+    maximum: int | None = None,
 ) -> int | None:
     if params.get(key) is None:
         return None
-    return param_int(params, key)
+    return param_int(params, key, minimum=minimum, maximum=maximum)

@@ -154,10 +154,18 @@ class DesignSession:
         from repro.bench import GeneratorConfig, generate_design
 
         gen = GeneratorConfig(
-            num_cells=param_int(params, "cells", 400),
-            target_density=param_float(params, "density", 0.45),
-            double_row_fraction=param_float(params, "double_fraction", 0.1),
-            seed=param_int(params, "seed", config.seed),
+            num_cells=param_int(
+                params, "cells", 400, minimum=1, maximum=200_000
+            ),
+            target_density=param_float(
+                params, "density", 0.45, minimum=0.01, maximum=0.95
+            ),
+            double_row_fraction=param_float(
+                params, "double_fraction", 0.1, minimum=0.0, maximum=1.0
+            ),
+            seed=param_int(
+                params, "seed", config.seed, minimum=0, maximum=2**32 - 1
+            ),
             name=name,
         )
         design = generate_design(gen)
@@ -292,8 +300,8 @@ class DesignSession:
     ) -> dict[str, object]:
         design = self.design
         reset = param_bool(params, "reset", False)
-        workers = param_int(params, "workers", 1)
-        shards = param_opt_int(params, "shards")
+        workers = param_int(params, "workers", 1, minimum=1, maximum=64)
+        shards = param_opt_int(params, "shards", minimum=1, maximum=256)
         quarantine = param_bool(params, "quarantine", False)
         config = self.config
         if quarantine != config.quarantine:

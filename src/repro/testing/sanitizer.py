@@ -35,6 +35,17 @@ transitive reasoning.  This module closes the loop at runtime:
   statically known transaction-opening frame on its stack, and every
   mutation under a held lock must land inside a statically known lock
   scope.
+* The **resource tracer** (:class:`ResourceTracer`) is the runtime
+  twin of RL13's lifecycle typestate: while armed it records every
+  socket, file handle, and ``threading`` lock repro code acquires, and
+  :func:`check_resource_trace` asserts that anything still unreleased
+  at trace end originates in a function RL13 already flags — runtime
+  leaks must be a subset of the static findings.
+* The **taint probe** (:class:`TaintProbe`) is the runtime twin of
+  RL12: it wraps the typed wire extractors (the sanitizers the static
+  taint rule credits) and the filesystem/config sinks, and
+  :func:`check_taint_trace` asserts every sink the serve stack reaches
+  at runtime is downstream of at least one extractor on its thread.
 
 Instrumentation is observation-only — the wrappers call straight
 through — so a sanitized run must produce byte-identical placements to
@@ -45,7 +56,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import builtins
+import importlib
 import os
+import socket
 import sys
 import threading
 from dataclasses import dataclass, field
@@ -649,6 +663,503 @@ def check_race_trace(
 
 
 # ----------------------------------------------------------------------
+# Runtime resource tracer — the dynamic twin of RL13
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class ResourceRecord:
+    """One traced acquisition (socket, file handle, or lock).
+
+    The registry holds a *strong* reference to the resource so the
+    leak check sees the object's true end-of-trace state — a handle
+    dropped without ``close()`` must show up as a leak, not get
+    silently closed by the garbage collector first."""
+
+    kind: str
+    """``"socket"`` / ``"file"`` / ``"lock"``."""
+
+    detail: str
+    """The acquiring primitive (``socket.socket``, ``open(...)``...)."""
+
+    frames: tuple[str, ...]
+    """Repro-owned frames on the stack at acquisition, innermost
+    first — empty when non-repro code (a test body, stdlib internals)
+    acquired the resource."""
+
+    obj: Any = field(default=None, repr=False)
+
+    balance: int = 0
+    """Lock acquire/release balance (locks only)."""
+
+    def leaked(self) -> bool:
+        """Is the resource still unreleased?"""
+        if self.kind == "lock":
+            return self.balance > 0
+        if self.kind == "socket":
+            return bool(self.obj.fileno() != -1)
+        return not bool(self.obj.closed)
+
+
+@dataclass(slots=True)
+class ResourceTrace:
+    """Acquisition log of one traced region."""
+
+    records: list[ResourceRecord] = field(default_factory=list)
+
+    def leaks(self) -> list[ResourceRecord]:
+        """Records still unreleased (attributable or not)."""
+        return [r for r in self.records if r.leaked()]
+
+
+_RESOURCE_TRACES: list[ResourceTrace] = []
+_RESOURCE_RESTORE: list[tuple[Any, str, Any]] = []
+
+
+def _record_resource(kind: str, detail: str, obj: Any) -> ResourceRecord:
+    record = ResourceRecord(
+        kind=kind, detail=detail, frames=_frame_qnames(), obj=obj
+    )
+    for trace in _RESOURCE_TRACES:
+        trace.records.append(record)
+    return record
+
+
+class _CountedLock:
+    """Balance-counting proxy around a real ``threading`` lock.
+
+    Same pass-through contract as :class:`_TracedLock` (and chains
+    over it when both tracers are armed): only the per-record balance
+    side effect is added, so a lock whose final balance is positive at
+    trace end was acquired and never released."""
+
+    __slots__ = ("_inner", "_rec")
+
+    def __init__(self, inner: Any, record: ResourceRecord) -> None:
+        self._inner = inner
+        self._rec = record
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._rec.balance += 1
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._rec.balance -= 1
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> "_CountedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def _resource_patch() -> None:
+    real_socket = socket.socket
+    _RESOURCE_RESTORE.append((socket, "socket", real_socket))
+
+    class TracedSocket(real_socket):  # type: ignore[misc, valid-type]
+        """Recording subclass; ``create_connection``/``create_server``/
+        ``socketpair``/``accept`` all construct through the module
+        global, so every socket born while armed lands here."""
+
+        def __init__(self, *args: Any, **kwargs: Any) -> None:
+            super().__init__(*args, **kwargs)
+            _record_resource("socket", "socket.socket", self)
+
+        def makefile(self, *args: Any, **kwargs: Any) -> Any:
+            handle = super().makefile(*args, **kwargs)
+            _record_resource("file", "socket.makefile", handle)
+            return handle
+
+    socket.socket = TracedSocket  # type: ignore[misc]
+
+    real_open = builtins.open
+    _RESOURCE_RESTORE.append((builtins, "open", real_open))
+
+    def traced_open(*args: Any, **kwargs: Any) -> Any:
+        handle = real_open(*args, **kwargs)
+        _record_resource(
+            "file", f"open({getattr(handle, 'name', '?')!r})", handle
+        )
+        return handle
+
+    builtins.open = traced_open  # type: ignore[assignment]
+
+    real_lock = threading.Lock
+    real_rlock = threading.RLock
+    _RESOURCE_RESTORE.append((threading, "Lock", real_lock))
+    _RESOURCE_RESTORE.append((threading, "RLock", real_rlock))
+
+    def make_lock() -> Any:
+        record = _record_resource("lock", "threading.Lock", None)
+        proxy = _CountedLock(real_lock(), record)
+        record.obj = proxy
+        return proxy
+
+    def make_rlock() -> Any:
+        record = _record_resource("lock", "threading.RLock", None)
+        proxy = _CountedLock(real_rlock(), record)
+        record.obj = proxy
+        return proxy
+
+    threading.Lock = make_lock  # type: ignore[assignment]
+    threading.RLock = make_rlock  # type: ignore[assignment]
+
+
+def _resource_unpatch() -> None:
+    for owner, attribute, original in reversed(_RESOURCE_RESTORE):
+        setattr(owner, attribute, original)
+    _RESOURCE_RESTORE.clear()
+
+
+class ResourceTracer:
+    """Context manager: record resource acquisitions within the block.
+
+    Layers over :class:`RaceTracer` (both patch the lock factories),
+    so arming must be LIFO — ``with Sanitizer() as t, RaceTracer() as
+    r, ResourceTracer() as res:`` — each tracer then restores exactly
+    the layer it wrapped.  Resources acquired before arming are not
+    traced; proxies created while armed keep working after disarm."""
+
+    def __init__(self) -> None:
+        self.trace = ResourceTrace()
+
+    def __enter__(self) -> ResourceTrace:
+        if not _RESOURCE_TRACES:
+            _resource_patch()
+        _RESOURCE_TRACES.append(self.trace)
+        return self.trace
+
+    def __exit__(self, *exc_info: object) -> None:
+        for index, trace in enumerate(_RESOURCE_TRACES):
+            if trace is self.trace:
+                del _RESOURCE_TRACES[index]
+                break
+        if not _RESOURCE_TRACES:
+            _resource_unpatch()
+
+
+_RESOURCE_MEMO: "frozenset[str] | None" = None
+
+
+def _function_spans(
+    program: "Program",
+) -> dict[str, list[tuple[int, int, str]]]:
+    """path → ``(first_line, last_line, qname)`` for every function."""
+    spans: dict[str, list[tuple[int, int, str]]] = {}
+    for qname, info in sorted(program.table.functions.items()):
+        end = getattr(info.node, "end_lineno", None) or info.lineno
+        spans.setdefault(info.path, []).append((info.lineno, end, qname))
+    return spans
+
+
+def _qname_at(
+    spans: dict[str, list[tuple[int, int, str]]], path: str, line: int
+) -> "str | None":
+    """Innermost function containing ``path:line`` (None at toplevel)."""
+    best: "tuple[int, str] | None" = None
+    for start, end, qname in spans.get(path, ()):
+        if start <= line <= end and (best is None or start > best[0]):
+            best = (start, qname)
+    return None if best is None else best[1]
+
+
+def resource_predictions() -> frozenset[str]:
+    """Function qnames where RL13 statically reports a possible leak
+    in the installed tree (memoized).
+
+    The rule is invoked directly — *below* the suppression filter — so
+    a site silenced by a justified ``repro-lint: disable=RL13`` still
+    counts as statically known: a runtime leak there is an accepted
+    risk, not a hole in the model."""
+    global _RESOURCE_MEMO
+    if _RESOURCE_MEMO is None:
+        from repro.analysis.registry import select_program_rules
+
+        program = _installed_program()
+        spans = _function_spans(program)
+        flagged: set[str] = set()
+        for rule in select_program_rules(select=["RL13"]):
+            for diag in rule.check_program(program):
+                qname = _qname_at(spans, diag.path, diag.line)
+                if qname is not None:
+                    flagged.add(qname)
+        _RESOURCE_MEMO = frozenset(flagged)
+    return _RESOURCE_MEMO
+
+
+def check_resource_trace(
+    trace: ResourceTrace,
+    predicted: "frozenset[str] | None" = None,
+) -> list[Gap]:
+    """Runtime leaks must be ⊆ the static RL13 findings.
+
+    Every resource acquired by repro code and still unreleased at
+    trace end must originate in a function RL13 already flags
+    (including explicitly suppressed findings).  Acquisitions with no
+    repro-owned frame (a test body, stdlib internals) cannot be
+    attributed and are skipped — :meth:`ResourceTrace.leaks` still
+    lists them for inspection."""
+    model = resource_predictions() if predicted is None else predicted
+    gaps: list[Gap] = []
+    seen: set[tuple[str, str]] = set()
+    for record in trace.leaks():
+        if not record.frames:
+            continue
+        if set(record.frames) & model:
+            continue
+        key = (record.frames[0], record.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        gaps.append(
+            Gap(
+                qname=record.frames[0],
+                effect=None,
+                reason=(
+                    f"{record.kind} acquired via {record.detail} was "
+                    "never released and no stack frame is a "
+                    "statically known RL13 leak site"
+                ),
+            )
+        )
+    return gaps
+
+
+# ----------------------------------------------------------------------
+# Runtime taint probe — the dynamic twin of RL12
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TaintEvent:
+    """One sanitizer hit or sink activation.
+
+    ``kind`` is ``"sanitizer"`` (a typed wire extractor ran — the
+    functions RL12 credits with cleaning wire input) or ``"sink"`` (a
+    config constructor was called with arguments, or a filesystem
+    write primitive fired)."""
+
+    kind: str
+    detail: str
+    thread: int
+    frames: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class TaintTrace:
+    """Chronological sanitizer/sink log of one probed region."""
+
+    events: list[TaintEvent] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> list[TaintEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+_TAINT_TRACES: list[TaintTrace] = []
+_TAINT_RESTORE: list[tuple[Any, str, Any]] = []
+
+#: The wire extractors RL12 treats as sanitizers, by defining module.
+#: Consumers import them by name, so the probe rebinds the wrapper at
+#: every repro module that holds a reference (see ``_taint_rebind``).
+_TAINT_SANITIZERS: dict[str, tuple[str, ...]] = {
+    "repro.engine.wire": ("message_float", "message_int", "message_str"),
+    "repro.serve.protocol": (
+        "param_bool",
+        "param_float",
+        "param_int",
+        "param_opt_int",
+        "param_str",
+    ),
+}
+
+#: The config constructors RL12 treats as config sinks.
+_TAINT_CONFIG_SINKS: tuple[tuple[str, str], ...] = (
+    ("repro.bench.generator", "GeneratorConfig"),
+    ("repro.core.config", "LegalizerConfig"),
+    ("repro.engine.config", "EngineConfig"),
+)
+
+
+def _record_taint(kind: str, detail: str) -> None:
+    if not _TAINT_TRACES:
+        return
+    event = TaintEvent(
+        kind=kind,
+        detail=detail,
+        thread=threading.get_ident(),
+        frames=_frame_qnames(),
+    )
+    for trace in _TAINT_TRACES:
+        trace.events.append(event)
+
+
+def _taint_rebind(original: Any, replacement: Any) -> None:
+    """Swap *original* for *replacement* at every ``repro`` module
+    attribute that references it (``from x import name`` consumers
+    hold their own binding, so patching the defining module alone
+    would miss them)."""
+    for module_name in sorted(sys.modules):
+        if module_name != "repro" and not module_name.startswith(
+            "repro."
+        ):
+            continue
+        module = sys.modules[module_name]
+        for attr in sorted(dir(module)):
+            if getattr(module, attr, None) is original:
+                _TAINT_RESTORE.append((module, attr, original))
+                setattr(module, attr, replacement)
+
+
+def _taint_patch() -> None:
+    for module_name, names in sorted(_TAINT_SANITIZERS.items()):
+        module = importlib.import_module(module_name)
+        for name in names:
+            original = getattr(module, name)
+
+            def wrapper(
+                *args: Any,
+                _orig: Any = original,
+                _name: str = name,
+                **kwargs: Any,
+            ) -> Any:
+                _record_taint("sanitizer", _name)
+                return _orig(*args, **kwargs)
+
+            wrapper.__name__ = name
+            wrapper.__qualname__ = original.__qualname__
+            _taint_rebind(original, wrapper)
+
+    for module_name, cls_name in _TAINT_CONFIG_SINKS:
+        cls = getattr(importlib.import_module(module_name), cls_name)
+        original_init = cls.__init__
+        _TAINT_RESTORE.append((cls, "__init__", original_init))
+
+        def init_wrapper(
+            self: Any,
+            *args: Any,
+            _orig: Any = original_init,
+            _detail: str = cls_name,
+            **kwargs: Any,
+        ) -> None:
+            # A bare default construction carries no wire data — only
+            # argument-passing calls are sinks, mirroring RL12 (which
+            # fires when a tainted *value* reaches a constructor).
+            if args or kwargs:
+                _record_taint("sink", f"config {_detail}")
+            _orig(self, *args, **kwargs)
+
+        init_wrapper.__qualname__ = original_init.__qualname__
+        cls.__init__ = init_wrapper
+
+    real_open = builtins.open
+    _TAINT_RESTORE.append((builtins, "open", real_open))
+
+    def open_sink(
+        file: Any, mode: str = "r", *args: Any, **kwargs: Any
+    ) -> Any:
+        if any(flag in str(mode) for flag in ("w", "a", "x", "+")):
+            _record_taint("sink", f"filesystem open[{mode}]")
+        return real_open(file, mode, *args, **kwargs)
+
+    builtins.open = open_sink  # type: ignore[assignment]
+
+    real_makedirs = os.makedirs
+    _TAINT_RESTORE.append((os, "makedirs", real_makedirs))
+
+    def makedirs_sink(*args: Any, **kwargs: Any) -> Any:
+        _record_taint("sink", "filesystem os.makedirs")
+        return real_makedirs(*args, **kwargs)
+
+    os.makedirs = makedirs_sink  # type: ignore[assignment]
+
+
+def _taint_unpatch() -> None:
+    for owner, attribute, original in reversed(_TAINT_RESTORE):
+        setattr(owner, attribute, original)
+    _TAINT_RESTORE.clear()
+
+
+class TaintProbe:
+    """Context manager: record sanitizer hits and sink activations.
+
+    Chains over :class:`ResourceTracer` on ``builtins.open`` exactly
+    like the lock factories chain, so arming stays LIFO."""
+
+    def __init__(self) -> None:
+        self.trace = TaintTrace()
+
+    def __enter__(self) -> TaintTrace:
+        if not _TAINT_TRACES:
+            _taint_patch()
+        _TAINT_TRACES.append(self.trace)
+        return self.trace
+
+    def __exit__(self, *exc_info: object) -> None:
+        for index, trace in enumerate(_TAINT_TRACES):
+            if trace is self.trace:
+                del _TAINT_TRACES[index]
+                break
+        if not _TAINT_TRACES:
+            _taint_unpatch()
+
+
+def check_taint_trace(trace: TaintTrace) -> list[Gap]:
+    """Every serve-stack sink must be downstream of a wire sanitizer.
+
+    Mirrors RL12's contract at runtime: a filesystem/config sink
+    reached while handling wire input is only acceptable after at
+    least one typed extractor ran — on the same worker thread, sharing
+    a ``repro.serve`` frame with the sink, so a hit in one stack shape
+    cannot excuse a sink in an unrelated one.  Sinks with no
+    ``repro.serve`` frame (the bench driver, engine internals) are
+    outside the wire trust boundary and exempt."""
+    gaps: list[Gap] = []
+    hits: dict[int, set[str]] = {}
+    seen: set[tuple[str, str]] = set()
+    for event in trace.events:
+        serve_frames = {
+            frame
+            for frame in event.frames
+            if frame.startswith("repro.serve.")
+        }
+        if event.kind == "sanitizer":
+            if serve_frames:
+                hits.setdefault(event.thread, set()).update(serve_frames)
+            continue
+        if not serve_frames:
+            continue
+        if serve_frames & hits.get(event.thread, set()):
+            continue
+        anchor = next(
+            frame
+            for frame in event.frames
+            if frame.startswith("repro.serve.")
+        )
+        key = (anchor, event.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        gaps.append(
+            Gap(
+                qname=anchor,
+                effect=None,
+                reason=(
+                    f"{event.detail} sink ran in the serve stack "
+                    "with no wire sanitizer upstream on this thread"
+                ),
+            )
+        )
+    return gaps
+
+
+# ----------------------------------------------------------------------
 # ``python -m repro.testing.sanitizer`` — CI differential smoke
 # ----------------------------------------------------------------------
 def _differential_run(
@@ -669,10 +1180,18 @@ def _differential_run(
     bare_digest = design_state_digest(bare)
 
     sanitized = generate_design(gen)
-    with Sanitizer() as trace, RaceTracer() as race:
+    with (
+        Sanitizer() as trace,
+        RaceTracer() as race,
+        ResourceTracer() as resources,
+    ):
         legalize_sharded(sanitized, cfg, eng)
     sanitized_digest = design_state_digest(sanitized)
-    gaps = check_trace(trace) + check_race_trace(race)
+    gaps = (
+        check_trace(trace)
+        + check_race_trace(race)
+        + check_resource_trace(resources)
+    )
     return sanitized_digest, bare_digest, gaps, len(trace.events)
 
 
@@ -681,24 +1200,31 @@ def _serve_load_run(
     seed: int,
     clients: int = 3,
     ecos_per_client: int = 4,
-) -> tuple[str, list[Gap], int, int]:
-    """Live-server load under both tracers.
+) -> tuple[str, list[Gap], int, int, int, int]:
+    """Live-server load under all four tracers.
 
     Boots a real :class:`~repro.serve.client.ServerHandle`, generates
     and legalizes one design, then hammers it with concurrent
     *conflicting* move-ECOs from one client per thread — the per-design
-    FIFO worker serializes them, and every journaled mutation plus
-    every lock/transaction interaction the serve stack performs is
+    FIFO worker serializes them, and every journaled mutation, every
+    lock/transaction interaction, every socket/file/lock acquisition,
+    and every extractor/sink pairing the serve stack performs is
     checked against the static model.  Returns ``(digest, gaps,
-    effect_events, race_events)``; admission rejections and
-    fault-budget quarantines surface as :class:`RequestFailed` and are
-    tolerated (the load is adversarial by design)."""
+    effect_events, race_events, resource_records, taint_events)``;
+    admission rejections and fault-budget quarantines surface as
+    :class:`RequestFailed` and are tolerated (the load is adversarial
+    by design)."""
     from repro.serve.client import RequestFailed, ServerHandle
     from repro.serve.server import ServeConfig
 
     config = ServeConfig(max_inflight=2, fault_budget=1_000_000)
     session = "chipA"
-    with Sanitizer() as trace, RaceTracer() as race:
+    with (
+        Sanitizer() as trace,
+        RaceTracer() as race,
+        ResourceTracer() as resources,
+        TaintProbe() as taint,
+    ):
         with ServerHandle(config) as handle:
             with handle.client() as boot:
                 boot.result(
@@ -734,8 +1260,20 @@ def _serve_load_run(
                 for thread in threads:
                     thread.join()
                 digest = str(boot.result("digest", session)["digest"])
-    gaps = check_trace(trace) + check_race_trace(race)
-    return digest, gaps, len(trace.events), len(race.events)
+    gaps = (
+        check_trace(trace)
+        + check_race_trace(race)
+        + check_resource_trace(resources)
+        + check_taint_trace(taint)
+    )
+    return (
+        digest,
+        gaps,
+        len(trace.events),
+        len(race.events),
+        len(resources.records),
+        len(taint.events),
+    )
 
 
 def run(argv: Sequence[str] | None = None) -> int:
@@ -790,8 +1328,8 @@ def run(argv: Sequence[str] | None = None) -> int:
                 f"digest {san_digest[:12]}, zero gaps"
             )
     if args.serve_load:
-        digest, gaps, events, race_events = _serve_load_run(
-            min(args.cells, 120), args.seed
+        digest, gaps, events, race_events, resources, taint = (
+            _serve_load_run(min(args.cells, 120), args.seed)
         )
         if gaps:
             print(
@@ -804,8 +1342,9 @@ def run(argv: Sequence[str] | None = None) -> int:
         else:
             print(
                 f"sanitizer[serve-load]: OK {events} effect event(s), "
-                f"{race_events} race event(s), digest {digest[:12]}, "
-                "zero gaps"
+                f"{race_events} race event(s), {resources} resource "
+                f"record(s), {taint} taint event(s), digest "
+                f"{digest[:12]}, zero gaps"
             )
     return 1 if failed else 0
 

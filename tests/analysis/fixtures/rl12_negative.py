@@ -1,0 +1,31 @@
+"""RL12 negative: every wire value passes a registered sanitizer.
+
+The blessed idioms: bounded typed extractors (``minimum=``/
+``maximum=``), a dir-confinement helper guarding filesystem paths, and
+an explicit range guard whose failure path raises before the value
+configures the engine.
+"""
+
+from pathlib import Path
+
+from repro.core.config import LegalizerConfig
+from repro.serve.protocol import param_int, param_str
+
+MAX_SEED = 2**32 - 1
+
+
+def _confine_output(path: str) -> str:
+    resolved = Path(path).resolve()
+    return str(resolved.name)
+
+
+def handle(params: dict[str, object]) -> dict[str, object]:
+    workers = param_int(params, "workers", 1, minimum=1, maximum=64)
+    out_path = _confine_output(param_str(params, "out", "result.json"))
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write("{}")
+    seed = param_int(params, "seed", 0)
+    if seed < 0 or seed > MAX_SEED:
+        raise ValueError("seed out of range")
+    config = LegalizerConfig(seed=seed)
+    return {"workers": workers, "seed": config.seed}

@@ -1,0 +1,29 @@
+"""RL12 positive: wire-decoded values reaching sensitive sinks.
+
+Four shapes, one per diagnostic family: a wire string opening a file
+(path sink), an unbounded wire integer configuring the engine (config
+sink), a raw wire payload unpickled (pickle sink), and a wire string
+entering a filesystem helper (interprocedural hit reported at the call
+site).
+"""
+
+import pickle
+
+from repro.core.config import LegalizerConfig
+from repro.serve.protocol import param_int, param_str
+
+
+def _emit(path: str) -> None:
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("x\n")
+
+
+def handle(params: dict[str, object]) -> dict[str, object]:
+    out_path = param_str(params, "out", "result.json")
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write("{}")
+    workers = param_int(params, "workers", 1)
+    config = LegalizerConfig(max_displacement=workers)
+    task = pickle.loads(params["payload"])
+    _emit(param_str(params, "log", "requests.log"))
+    return {"task": str(task), "rows": config.max_displacement}

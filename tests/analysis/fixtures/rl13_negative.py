@@ -1,0 +1,61 @@
+"""RL13 negative: every acquisition discharged on every path.
+
+The blessed idioms: ``with`` scopes, ``try``/``finally`` release,
+close-in-``except``-then-reraise around the post-dial window, explicit
+ownership transfer by returning the handle, and ``is None`` narrowing
+on the retry-dial pattern.
+"""
+
+import socket
+import threading
+
+
+def read_all(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def peek(host: str, port: int) -> bytes:
+    sock = socket.create_connection((host, port))
+    try:
+        sock.settimeout(5.0)
+        return sock.recv(16)
+    finally:
+        sock.close()
+
+
+def dial(host: str, port: int) -> socket.socket:
+    sock = socket.create_connection((host, port))
+    try:
+        sock.settimeout(5.0)
+    except Exception:
+        sock.close()
+        raise
+    return sock
+
+
+def dial_with_retry(host: str, port: int, attempts: int) -> socket.socket:
+    sock: socket.socket | None = None
+    for _attempt in range(attempts):
+        try:
+            sock = socket.create_connection((host, port))
+            break
+        except OSError:
+            continue
+    if sock is None:
+        raise ConnectionError("all dial attempts failed")
+    return sock
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self, amount: int) -> int:
+        self._lock.acquire()
+        try:
+            self.count = self.count + amount
+        finally:
+            self._lock.release()
+        return self.count

@@ -1,0 +1,47 @@
+"""RL13 positive: owned handles escaping scope unreleased.
+
+Three shapes, one per diagnostic flavor: a dialed socket leaked along
+an exception edge (``settimeout`` can raise before ownership
+transfers), a file handle dropped by rebinding its name, and a file
+handle that is only closed on one branch of the function exit.
+"""
+
+import socket
+import threading
+
+
+def dial(host: str, port: int) -> socket.socket:
+    sock = socket.create_connection((host, port))
+    sock.settimeout(5.0)
+    return sock
+
+
+def rewrite(first: str, second: str) -> str:
+    fh = open(first, "r", encoding="utf-8")
+    fh = open(second, "r", encoding="utf-8")
+    text = fh.read()
+    fh.close()
+    return text
+
+
+def maybe_close(path: str, keep: bool) -> int:
+    fh = open(path, "rb")
+    size = len(fh.read())
+    if not keep:
+        fh.close()
+    return size
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def _advance(self, amount: int) -> int:
+        return self.count + amount
+
+    def bump(self, amount: int) -> int:
+        self._lock.acquire()
+        self.count = self._advance(amount)
+        self._lock.release()
+        return self.count

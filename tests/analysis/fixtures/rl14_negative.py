@@ -1,0 +1,36 @@
+"""RL14 negative: the vectorized idioms the kernels should use.
+
+Numeric dtypes, whole-array operations, index-array gathers (an array
+index is a vectorized load, not a scalar one), a single flat pass over
+an ndarray, and a hoisted scalar load inside the loop body.
+"""
+
+import numpy as np
+
+
+def widths_of(count: int) -> np.ndarray:
+    return np.zeros(count, dtype=np.float64)
+
+
+def scale(values: np.ndarray, factor: float) -> np.ndarray:
+    return values * factor
+
+
+def gather(bounds: np.ndarray, order: np.ndarray) -> np.ndarray:
+    picked = bounds[order]
+    return picked + bounds[order]
+
+
+def flat_sum(rows: np.ndarray) -> float:
+    total = 0.0
+    for value in rows:
+        total = total + float(value)
+    return total
+
+
+def hoisted(widths: np.ndarray) -> float:
+    total = 0.0
+    for i in range(len(widths)):
+        w = widths[i]
+        total = total + w * w + w
+    return total

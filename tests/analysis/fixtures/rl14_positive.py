@@ -1,0 +1,27 @@
+"""RL14 positive: interpreter-bound anti-patterns in kernel code.
+
+Three shapes, one per diagnostic family: an object-dtype array, a
+per-element ndarray walk nested inside another loop, and a scalar
+subscript load repeated three times in one loop body.
+"""
+
+import numpy as np
+
+
+def boxed(count: int) -> np.ndarray:
+    return np.empty(count, dtype=object)
+
+
+def nested_walk(rows: np.ndarray, repeats: int) -> float:
+    total = 0.0
+    for _pass in range(repeats):
+        for value in rows:
+            total = total + float(value)
+    return total
+
+
+def repeated_loads(widths: np.ndarray) -> float:
+    total = 0.0
+    for i in range(len(widths)):
+        total = total + widths[i] * widths[i] + widths[i]
+    return total

@@ -26,7 +26,7 @@ from repro.engine import (
     legalize_sharded,
     spawn_worker_process,
 )
-from repro.engine.remote import lease_id
+from repro.engine.remote import _connect, lease_id
 from repro.engine.wire import (
     decode_message,
     encode_message,
@@ -152,6 +152,51 @@ class TestWireCodec:
         assert lease_id(3, 2) == "s3a2"
         assert _lease_attempt(lease_id(3, 2)) == 2
         assert _lease_attempt("garbage") == 0
+
+
+# ----------------------------------------------------------------------
+# Dial cleanup
+# ----------------------------------------------------------------------
+class TestConnectCleanup:
+    def test_setup_failure_closes_the_dialed_socket(self, monkeypatch):
+        """A post-dial setup failure in the worker's ``_connect`` must
+        close the socket rather than leak it (dial errors retry; setup
+        errors propagate)."""
+        import socket as socket_module
+
+        import repro.engine.remote as remote_module
+
+        dialed = []
+        real_create = socket_module.create_connection
+
+        def recording_create(*args, **kwargs):
+            sock = real_create(*args, **kwargs)
+            dialed.append(sock)
+            return sock
+
+        class ExplodingChannel:
+            def __init__(self, sock):
+                raise RuntimeError("channel setup exploded")
+
+        monkeypatch.setattr(
+            remote_module.socket, "create_connection", recording_create
+        )
+        monkeypatch.setattr(
+            remote_module, "LineChannel", ExplodingChannel
+        )
+        listener = socket_module.create_server(("127.0.0.1", 0))
+        try:
+            config = WorkerConfig(
+                host="127.0.0.1",
+                port=listener.getsockname()[1],
+                connect_retries=1,
+            )
+            with pytest.raises(RuntimeError, match="channel setup"):
+                _connect(config)
+            assert len(dialed) == 1
+            assert dialed[0].fileno() == -1  # closed, not leaked
+        finally:
+            listener.close()
 
 
 # ----------------------------------------------------------------------

@@ -359,3 +359,57 @@ class TestBackoffPolicy:
         )
         delays = {backoff_delay_s(engine, seed, attempt=2) for seed in range(8)}
         assert len(delays) > 1
+
+
+class TestSpawnCleanup:
+    def test_pipe_close_failure_reaps_the_started_child(self):
+        """If closing the parent's copy of the write end fails after
+        ``process.start()``, the just-started child must be terminated
+        and joined instead of orphaned."""
+        from dataclasses import dataclass as _dataclass
+        from types import SimpleNamespace
+
+        from repro.engine.supervisor import ShardSupervisor
+
+        @_dataclass
+        class FakeTask:
+            shard_id: int = 0
+            attempt: int = 0
+
+        class FakeProcess:
+            def __init__(self):
+                self.started = False
+                self.terminated = False
+                self.joined = False
+
+            def start(self):
+                self.started = True
+
+            def terminate(self):
+                self.terminated = True
+
+            def join(self, timeout=None):
+                self.joined = True
+
+        class BadSend:
+            def close(self):
+                raise OSError("pipe close failed")
+
+        proc = FakeProcess()
+
+        class FakeCtx:
+            def Pipe(self, duplex=False):
+                return object(), BadSend()
+
+            def Process(self, **kwargs):
+                return proc
+
+        fake = SimpleNamespace(
+            _ctx=FakeCtx(),
+            engine=SimpleNamespace(shard_timeout_s=None),
+        )
+        with pytest.raises(OSError, match="pipe close failed"):
+            ShardSupervisor._spawn(fake, FakeTask(), attempt=1)
+        assert proc.started
+        assert proc.terminated
+        assert proc.joined

@@ -1,13 +1,15 @@
 """Property: the runtime race trace is contained in the static
 predictions, whatever the workload.
 
-Two drivers, both with the effect sanitizer *and* the race tracer
-armed: the sharded engine differential at ``workers=2`` (process
-parallelism) and a live serve load with concurrent conflicting ECOs
-(thread + event-loop parallelism).  Zero gaps means every observed
-await-in-transaction, in-transaction mutation and under-lock mutation
-landed in a frame the static concurrency model predicted — the
-differential contract RL9-RL11 are trusted on.
+Two drivers with every tracer armed: the sharded engine differential
+at ``workers=2`` (process parallelism, effect + race + resource
+tracing) and a live serve load with concurrent conflicting ECOs
+(thread + event-loop parallelism, plus the taint probe).  Zero gaps
+means every observed await-in-transaction, in-transaction mutation and
+under-lock mutation landed in a frame the static concurrency model
+predicted, every unreleased resource was a statically known RL13 site,
+and every serve-stack sink ran downstream of a wire sanitizer — the
+differential contracts RL9-RL13 are trusted on.
 """
 
 from __future__ import annotations
@@ -60,10 +62,12 @@ def test_workers2_run_stays_inside_static_predictions(seed):
     clients=st.integers(2, 4),
 )
 def test_serve_load_race_trace_is_predicted(seed, clients):
-    digest, gaps, events, race_events = _serve_load_run(
+    digest, gaps, events, race_events, resources, taint = _serve_load_run(
         48, seed, clients=clients, ecos_per_client=3
     )
     assert len(digest) == 64  # the session survived to a digest
     assert events > 0
     assert race_events > 0
+    assert resources > 0  # sockets/locks of the serve stack were seen
+    assert taint > 0  # extractors and sinks of the serve stack were seen
     assert gaps == []

@@ -125,3 +125,38 @@ class TestConnectRetries:
             Client("127.0.0.1", 1, connect_retries=-1)
         with pytest.raises(ValueError):
             Client("127.0.0.1", 1, retry_backoff_s=-0.1)
+
+
+class TestDialCleanup:
+    def test_setup_failure_closes_the_dialed_socket(self, monkeypatch):
+        """A failure between a successful dial and a fully built client
+        (``makefile`` here) must close the socket, not leak it out of
+        the half-constructed ``__init__``."""
+        dialed = []
+        real_create = socket.create_connection
+
+        def recording_create(*args, **kwargs):
+            sock = real_create(*args, **kwargs)
+            dialed.append(sock)
+            return sock
+
+        def exploding_makefile(self, *args, **kwargs):
+            raise RuntimeError("makefile exploded")
+
+        monkeypatch.setattr(
+            socket, "create_connection", recording_create
+        )
+        monkeypatch.setattr(
+            socket.socket, "makefile", exploding_makefile
+        )
+        listener, accepted = silent_listener()
+        try:
+            port = listener.getsockname()[1]
+            with pytest.raises(RuntimeError, match="makefile exploded"):
+                Client("127.0.0.1", port, timeout=1.0)
+            assert len(dialed) == 1
+            assert dialed[0].fileno() == -1  # closed, not leaked
+        finally:
+            listener.close()
+            for conn in accepted:
+                conn.close()

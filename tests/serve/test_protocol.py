@@ -133,3 +133,32 @@ class TestTypedParams:
             param_bool({"b": 1}, "b")
         with pytest.raises(ProtocolError):
             param_opt_int({"n": "x"}, "n")
+
+    def test_bounds_accept_in_range_values(self):
+        assert param_int({"i": 5}, "i", minimum=1, maximum=10) == 5
+        assert param_int({"i": 1}, "i", minimum=1) == 1
+        assert param_int({"i": 10}, "i", maximum=10) == 10
+        assert param_float({"f": 0.5}, "f", minimum=0.0, maximum=1.0) == 0.5
+        assert param_opt_int({"n": 3}, "n", minimum=1, maximum=4) == 3
+        assert param_opt_int({"n": None}, "n", minimum=1) is None
+
+    def test_bounds_reject_out_of_range_values(self):
+        with pytest.raises(ProtocolError, match="must be >= 1"):
+            param_int({"i": 0}, "i", minimum=1)
+        with pytest.raises(ProtocolError, match="must be <= 10"):
+            param_int({"i": 11}, "i", maximum=10)
+        with pytest.raises(ProtocolError, match="must be >= 0.01"):
+            param_float({"f": 0.001}, "f", minimum=0.01)
+        with pytest.raises(ProtocolError, match="must be <= 0.95"):
+            param_float({"f": 0.96}, "f", maximum=0.95)
+        with pytest.raises(ProtocolError, match="must be >= 1"):
+            param_opt_int({"n": 0}, "n", minimum=1)
+
+    def test_bounds_apply_to_defaulted_and_nan_values(self):
+        # A default inside the range passes; the wire value is what
+        # gets range-checked, not the default.
+        assert param_int({}, "i", 5, minimum=1, maximum=10) == 5
+        with pytest.raises(ProtocolError, match="must be finite"):
+            param_float({"f": float("nan")}, "f", minimum=0.0)
+        with pytest.raises(ProtocolError, match="must be finite"):
+            param_float({"f": float("inf")}, "f")

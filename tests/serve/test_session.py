@@ -130,6 +130,25 @@ class TestEcoCommitOrRollback:
         with pytest.raises(EcoError):
             session.execute("eco", {"kind": "teleport"})
 
+    def test_wire_bounds_rejected_before_any_work(self):
+        session = make_session()
+        with pytest.raises(ProtocolError, match="must be >= 1"):
+            session.execute("legalize", {"workers": 0})
+        with pytest.raises(ProtocolError, match="must be <= 64"):
+            session.execute("legalize", {"workers": 65})
+        with pytest.raises(ProtocolError, match="must be <= 256"):
+            session.execute("legalize", {"shards": 1000})
+        assert session.seq == 0  # nothing committed
+
+    def test_generate_bounds_rejected(self):
+        config = LegalizerConfig(seed=1)
+        with pytest.raises(ProtocolError, match="must be >= 1"):
+            DesignSession.generate("g", {"cells": 0}, config)
+        with pytest.raises(ProtocolError, match="must be <= 0.95"):
+            DesignSession.generate("g", {"density": 0.99}, config)
+        with pytest.raises(ProtocolError, match="must be >= 0"):
+            DesignSession.generate("g", {"seed": -1}, config)
+
     def test_unknown_op_rejected(self):
         session = legalized_session()
         with pytest.raises(ProtocolError):
